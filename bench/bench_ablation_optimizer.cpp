@@ -1,0 +1,82 @@
+// Extension ablation: optimizer vs density-model contribution. The paper
+// introduces two things at once — the eDensity electrostatic penalty and
+// the Nesterov/Lipschitz optimizer. This bench fills in the 2x2 matrix the
+// paper's evaluation implies:
+//
+//            | CG + line search   | Nesterov + Lipschitz
+//   bell     | prior art (APlace) | bell cost, new optimizer
+//   eDensity | (ePlace w/o Nest.*)| ePlace
+//
+// eDensity+CG is approximated by ePlace with momentum disabled (*gradient
+// descent with Lipschitz steps — the closest cost-identical contrast our
+// engine supports); bell rows swap the optimizer under an identical cost
+// via BellPlaceConfig::useNesterov.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace ep;
+  using namespace ep::bench;
+  auto suite = ispd2005Suite();
+  suite.resize(fastMode(argc, argv) ? 1 : 3);
+
+  std::printf("=== Extension: optimizer x density-model matrix ===\n");
+  std::printf("%-22s %12s %12s %12s %12s\n", "circuit", "bell+CG",
+              "bell+Nest", "eDens+GD", "ePlace");
+
+  std::vector<double> bc, bn, eg, ep_;
+  for (const auto& spec : suite) {
+    RunMetrics m[4];
+    {
+      PlacementDB db = generateCircuit(spec);
+      Timer t;
+      quadraticInitialPlace(db);
+      bellPlace(db);
+      finishBaseline(db);
+      m[0] = measure(db, t.seconds());
+    }
+    {
+      PlacementDB db = generateCircuit(spec);
+      Timer t;
+      quadraticInitialPlace(db);
+      BellPlaceConfig cfg;
+      cfg.useNesterov = true;
+      bellPlace(db, cfg);
+      finishBaseline(db);
+      m[1] = measure(db, t.seconds());
+    }
+    {
+      PlacementDB db = generateCircuit(spec);
+      Timer t;
+      FlowConfig cfg;
+      cfg.gp.enableMomentum = false;
+      runEplaceFlow(db, cfg);
+      m[2] = measure(db, t.seconds());
+    }
+    {
+      PlacementDB db = generateCircuit(spec);
+      Timer t;
+      runEplaceFlow(db);
+      m[3] = measure(db, t.seconds());
+    }
+    bc.push_back(m[0].hpwl);
+    bn.push_back(m[1].hpwl);
+    eg.push_back(m[2].hpwl);
+    ep_.push_back(m[3].hpwl);
+    std::printf("%-22s %12.4g %12.4g %12.4g %12.4g\n", spec.name.c_str(),
+                m[0].hpwl, m[1].hpwl, m[2].hpwl, m[3].hpwl);
+  }
+
+  std::printf("\nvs ePlace (geomean): bell+CG %+.1f%%, bell+Nesterov %+.1f%%, "
+              "eDensity+GD %+.1f%%\n",
+              (meanRatio(bc, ep_) - 1.0) * 100.0,
+              (meanRatio(bn, ep_) - 1.0) * 100.0,
+              (meanRatio(eg, ep_) - 1.0) * 100.0);
+  // The full combination must win the matrix.
+  const bool shape = meanRatio(bc, ep_) > 1.0 && meanRatio(bn, ep_) > 0.98 &&
+                     meanRatio(eg, ep_) > 0.98;
+  std::printf("shape check (full ePlace at or ahead of every variant): %s\n",
+              shape ? "PASS" : "FAIL");
+  std::printf("paper context: both ingredients are claimed necessary — the "
+              "matrix quantifies each at this scale.\n");
+  return shape ? 0 : 1;
+}

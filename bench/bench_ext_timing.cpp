@@ -1,0 +1,38 @@
+// Extension experiment: timing-driven placement (paper future work,
+// Sec. VIII) via criticality net weighting over the unchanged ePlace
+// engine. Reports WNS / TNS / critical-path delay and the wirelength cost.
+#include "common.h"
+#include "timing/timing_driven.h"
+
+int main(int argc, char** argv) {
+  using namespace ep;
+  using namespace ep::bench;
+  auto suite = ispd2005Suite();
+  suite.resize(fastMode(argc, argv) ? 1 : 3);
+
+  std::printf("=== Extension: timing-driven placement (net weighting) ===\n");
+  std::printf("%-22s %10s %10s %12s %12s %10s\n", "circuit", "WNS-pre",
+              "WNS-post", "Tcrit-pre", "Tcrit-post", "HPWL-cost");
+
+  bool shape = true;
+  for (const auto& spec : suite) {
+    PlacementDB db = generateCircuit(spec);
+    TimingDrivenConfig cfg;
+    cfg.rounds = 2;
+    // Clock 10% tighter than the seed run's critical path, so WNS starts
+    // negative and the weighting rounds have something to recover.
+    cfg.clockFactor = 0.9;
+    const TimingDrivenResult res = timingDrivenPlace(db, cfg);
+    std::printf("%-22s %10.4g %10.4g %12.4g %12.4g %+9.2f%%\n",
+                spec.name.c_str(), res.wnsBefore, res.wnsAfter,
+                res.maxDelayBefore, res.maxDelayAfter,
+                (res.hpwlAfter / res.hpwlBefore - 1.0) * 100.0);
+    shape = shape && res.legal && res.wnsAfter >= res.wnsBefore - 1e-9;
+  }
+
+  std::printf("\nshape check (WNS never degrades — best round kept — and "
+              "layouts stay legal): %s\n", shape ? "PASS" : "FAIL");
+  std::printf("context: classic criticality weighting; the paper's engine "
+              "needs no changes because Eq. 3/4 already honor net weights.\n");
+  return shape ? 0 : 1;
+}

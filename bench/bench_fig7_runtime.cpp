@@ -1,0 +1,51 @@
+// Fig. 7 reproduction: runtime breakdown of the ePlace flow averaged over
+// the MMS-like suite — per-stage shares (mGP / mLG / cGP / cDP / mIP) and
+// the split inside mGP (density gradient / wirelength gradient / other).
+//
+// Paper expectation (Fig. 7): mGP dominates the flow runtime; inside mGP
+// the density gradient is the largest share (57%), wirelength gradient
+// 29%, everything else (Lipschitz prediction, parameter updates) 14%.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace ep;
+  using namespace ep::bench;
+  auto suite = mmsSuite();
+  if (fastMode(argc, argv)) suite.resize(4);
+
+  double stage[5] = {};  // mIP, mGP, mLG, cGP, cDP
+  double inner[3] = {};  // density, wirelength, other
+  for (const auto& spec : suite) {
+    PlacementDB db = generateCircuit(spec);
+    const FlowResult res = runEplaceFlow(db);
+    stage[0] += res.stageSeconds.get("mIP");
+    stage[1] += res.stageSeconds.get("mGP");
+    stage[2] += res.stageSeconds.get("mLG");
+    stage[3] += res.stageSeconds.get("cGP");
+    stage[4] += res.stageSeconds.get("cDP");
+    inner[0] += res.mgpInner.get("density");
+    inner[1] += res.mgpInner.get("wirelength");
+    inner[2] += res.mgpInner.get("other");
+  }
+
+  const double total = stage[0] + stage[1] + stage[2] + stage[3] + stage[4];
+  const double mgpTotal = inner[0] + inner[1] + inner[2];
+  std::printf("=== Fig. 7: runtime breakdown, mean over MMS-like suite ===\n");
+  const char* names[5] = {"mIP", "mGP", "mLG", "cGP", "cDP"};
+  for (int i = 0; i < 5; ++i) {
+    std::printf("%-4s %6.1f%%  (%.2fs total)\n", names[i],
+                100.0 * stage[i] / total, stage[i]);
+  }
+  std::printf("inside mGP: density %.0f%%, wirelength %.0f%%, other %.0f%%\n",
+              100.0 * inner[0] / mgpTotal, 100.0 * inner[1] / mgpTotal,
+              100.0 * inner[2] / mgpTotal);
+
+  const bool shape =
+      stage[1] >= stage[0] && stage[1] >= stage[2] && stage[1] >= stage[4] &&
+      inner[0] >= inner[1];
+  std::printf("shape check (mGP dominant, density gradient the largest mGP "
+              "share): %s\n", shape ? "PASS" : "FAIL");
+  std::printf("paper Fig. 7: mGP is the longest stage; density 57%% / "
+              "wirelength 29%% / other 14%% inside mGP.\n");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Microbenchmarks for the spectral substrate: complex FFT, the DCT family,
+// and the full Poisson solve (4 2-D transforms) at the grid sizes mGP uses.
+// Validates the O(n log n) density-cost claim of Sec. IV empirically.
+#include <benchmark/benchmark.h>
+
+#include "fft/dct.h"
+#include "fft/fft.h"
+#include "fft/poisson.h"
+#include "util/rng.h"
+
+namespace {
+
+void BM_ComplexFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ep::Fft fft(n);
+  ep::Rng rng(1);
+  std::vector<ep::Complex> data(n);
+  for (auto& c : data) c = {rng.uniform(), rng.uniform()};
+  for (auto _ : state) {
+    fft.forward(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ComplexFft)->RangeMultiplier(2)->Range(64, 2048)->Complexity();
+
+void BM_Dct2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ep::Dct dct(n);
+  ep::Rng rng(2);
+  std::vector<double> data(n);
+  for (auto& x : data) x = rng.uniform();
+  for (auto _ : state) {
+    dct.dct2(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Dct2)->RangeMultiplier(2)->Range(64, 2048);
+
+void BM_SineSynthesis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ep::Dct dct(n);
+  ep::Rng rng(3);
+  std::vector<double> data(n);
+  for (auto& x : data) x = rng.uniform();
+  for (auto _ : state) {
+    dct.sineSynthesis(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_SineSynthesis)->RangeMultiplier(2)->Range(64, 2048);
+
+void BM_PoissonSolve(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  ep::PoissonSolver solver(m, m, 1.0, 1.0);
+  ep::Rng rng(4);
+  std::vector<double> rho(m * m);
+  for (auto& x : rho) x = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    solver.solve(rho);
+    benchmark::DoNotOptimize(solver.psi().data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(m * m));
+}
+BENCHMARK(BM_PoissonSolve)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

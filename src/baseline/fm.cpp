@@ -1,0 +1,228 @@
+#include "baseline/fm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "util/rng.h"
+
+namespace ep {
+
+int cutSize(const FmProblem& p, std::span<const std::int8_t> side) {
+  int cut = 0;
+  for (const auto& net : p.nets) {
+    bool has0 = false, has1 = false;
+    for (auto v : net) {
+      (side[static_cast<std::size_t>(v)] == 0 ? has0 : has1) = true;
+    }
+    cut += (has0 && has1) ? 1 : 0;
+  }
+  return cut;
+}
+
+FmResult fmPartition(const FmProblem& p, std::uint64_t seed, int maxPasses) {
+  const std::size_t n = p.areas.size();
+  FmResult res;
+  res.side.assign(n, 0);
+
+  double totalArea = 0.0;
+  for (double a : p.areas) totalArea += a;
+  const double targetA0 = p.targetFraction * totalArea;
+  const double tolArea = p.tolerance * totalArea;
+
+  // Vertex -> incident nets (CSR).
+  std::vector<std::int32_t> vnStart(n + 1, 0);
+  for (const auto& net : p.nets) {
+    for (auto v : net) ++vnStart[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) vnStart[i] += vnStart[i - 1];
+  std::vector<std::int32_t> vnIds(static_cast<std::size_t>(vnStart[n]));
+  {
+    auto cursor = vnStart;
+    for (std::size_t e = 0; e < p.nets.size(); ++e) {
+      for (auto v : p.nets[e]) {
+        vnIds[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] =
+            static_cast<std::int32_t>(e);
+      }
+    }
+  }
+
+  const bool hasLocks = !p.locked.empty();
+  auto isLocked = [&](std::size_t v) {
+    return hasLocks && p.locked[v] >= 0;
+  };
+
+  // Deterministic balanced seed: locked vertices as given; free vertices
+  // shuffled then greedily assigned to the side with the larger deficit.
+  Rng rng(seed);
+  double a0 = 0.0;
+  std::vector<std::int32_t> freeVerts;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (isLocked(v)) {
+      res.side[v] = p.locked[v];
+      if (res.side[v] == 0) a0 += p.areas[v];
+    } else {
+      freeVerts.push_back(static_cast<std::int32_t>(v));
+    }
+  }
+  rng.shuffle(freeVerts);
+  for (auto vi : freeVerts) {
+    const auto v = static_cast<std::size_t>(vi);
+    const double deficit0 = targetA0 - a0;
+    const double deficit1 = (totalArea - targetA0) - /* a1 */ 0.0;
+    (void)deficit1;
+    if (deficit0 > 0.0) {
+      res.side[v] = 0;
+      a0 += p.areas[v];
+    } else {
+      res.side[v] = 1;
+    }
+  }
+  res.initialCut = cutSize(p, res.side);
+
+  // Per-net side counts.
+  std::vector<std::int32_t> cnt0(p.nets.size()), cnt1(p.nets.size());
+  auto recount = [&] {
+    std::fill(cnt0.begin(), cnt0.end(), 0);
+    std::fill(cnt1.begin(), cnt1.end(), 0);
+    for (std::size_t e = 0; e < p.nets.size(); ++e) {
+      for (auto v : p.nets[e]) {
+        (res.side[static_cast<std::size_t>(v)] == 0 ? cnt0[e] : cnt1[e])++;
+      }
+    }
+  };
+
+  std::vector<int> gain(n, 0);
+  std::vector<char> unlocked(n, 0);
+  // Ordered candidate set: (-gain, vertex) so begin() is the best gain.
+  std::set<std::pair<int, std::int32_t>> bucket;
+
+  auto computeGain = [&](std::size_t v) {
+    int g = 0;
+    const auto from = res.side[v];
+    for (auto k = vnStart[v]; k < vnStart[v + 1]; ++k) {
+      const auto e = static_cast<std::size_t>(vnIds[static_cast<std::size_t>(k)]);
+      const int cf = from == 0 ? cnt0[e] : cnt1[e];
+      const int ct = from == 0 ? cnt1[e] : cnt0[e];
+      if (cf == 1) ++g;
+      if (ct == 0) --g;
+    }
+    return g;
+  };
+
+  auto bucketUpdate = [&](std::size_t v, int newGain) {
+    if (!unlocked[v]) return;
+    bucket.erase({-gain[v], static_cast<std::int32_t>(v)});
+    gain[v] = newGain;
+    bucket.insert({-newGain, static_cast<std::int32_t>(v)});
+  };
+
+  int curCut = res.initialCut;
+  for (int pass = 0; pass < maxPasses; ++pass) {
+    ++res.passes;
+    recount();
+    bucket.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      unlocked[v] = isLocked(v) ? 0 : 1;
+      if (unlocked[v]) {
+        gain[v] = computeGain(v);
+        bucket.insert({-gain[v], static_cast<std::int32_t>(v)});
+      }
+    }
+
+    std::vector<std::int32_t> moveOrder;
+    std::vector<int> cutAfterMove;
+    int runningCut = curCut;
+    int bestCut = curCut;
+    std::size_t bestPrefix = 0;
+
+    while (!bucket.empty()) {
+      // Best-gain vertex whose move keeps balance.
+      auto it = bucket.begin();
+      std::size_t chosen = n;
+      for (; it != bucket.end(); ++it) {
+        const auto v = static_cast<std::size_t>(it->second);
+        const double newA0 =
+            res.side[v] == 0 ? a0 - p.areas[v] : a0 + p.areas[v];
+        if (std::abs(newA0 - targetA0) <= tolArea) {
+          chosen = v;
+          break;
+        }
+      }
+      if (chosen == n) break;
+
+      const int g = gain[chosen];
+      bucket.erase(it);
+      unlocked[chosen] = 0;
+
+      const auto from = res.side[chosen];
+      const auto to = static_cast<std::int8_t>(1 - from);
+
+      // Textbook FM incremental gain updates on critical nets.
+      for (auto k = vnStart[chosen]; k < vnStart[chosen + 1]; ++k) {
+        const auto e =
+            static_cast<std::size_t>(vnIds[static_cast<std::size_t>(k)]);
+        auto& cf = from == 0 ? cnt0[e] : cnt1[e];
+        auto& ct = from == 0 ? cnt1[e] : cnt0[e];
+        if (ct == 0) {
+          for (auto u : p.nets[e]) {
+            const auto uu = static_cast<std::size_t>(u);
+            if (unlocked[uu]) bucketUpdate(uu, gain[uu] + 1);
+          }
+        } else if (ct == 1) {
+          for (auto u : p.nets[e]) {
+            const auto uu = static_cast<std::size_t>(u);
+            if (unlocked[uu] && res.side[uu] == to) {
+              bucketUpdate(uu, gain[uu] - 1);
+            }
+          }
+        }
+        --cf;
+        ++ct;
+        if (cf == 0) {
+          for (auto u : p.nets[e]) {
+            const auto uu = static_cast<std::size_t>(u);
+            if (unlocked[uu]) bucketUpdate(uu, gain[uu] - 1);
+          }
+        } else if (cf == 1) {
+          for (auto u : p.nets[e]) {
+            const auto uu = static_cast<std::size_t>(u);
+            if (unlocked[uu] && res.side[uu] == from) {
+              bucketUpdate(uu, gain[uu] + 1);
+            }
+          }
+        }
+      }
+
+      res.side[chosen] = to;
+      a0 += (to == 0) ? p.areas[chosen] : -p.areas[chosen];
+      runningCut -= g;
+      moveOrder.push_back(static_cast<std::int32_t>(chosen));
+      cutAfterMove.push_back(runningCut);
+      if (runningCut < bestCut) {
+        bestCut = runningCut;
+        bestPrefix = moveOrder.size();
+      }
+    }
+
+    // Roll back the moves past the best prefix.
+    for (std::size_t k = moveOrder.size(); k-- > bestPrefix;) {
+      const auto v = static_cast<std::size_t>(moveOrder[k]);
+      const auto cur = res.side[v];
+      res.side[v] = static_cast<std::int8_t>(1 - cur);
+      a0 += (res.side[v] == 0) ? p.areas[v] : -p.areas[v];
+    }
+
+    if (bestCut >= curCut) {
+      curCut = bestCut;
+      break;  // no improvement this pass
+    }
+    curCut = bestCut;
+  }
+
+  res.finalCut = cutSize(p, res.side);
+  assert(res.finalCut == curCut);
+  return res;
+}
+
+}  // namespace ep

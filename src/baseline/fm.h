@@ -1,0 +1,42 @@
+// Fiduccia–Mattheyses hypergraph bipartitioning with gain buckets — the
+// engine of the min-cut baseline placer (the Capo-category representative in
+// Tables I-III). Standalone and unit-tested: vertices carry areas, nets are
+// hyperedges, balance is enforced against a target left-side fraction, and
+// vertices may be pre-locked to a side (terminal propagation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ep {
+
+struct FmProblem {
+  /// Vertex areas; vertex count = weights.size().
+  std::vector<double> areas;
+  /// Hyperedges as vertex-id lists (ids < areas.size()).
+  std::vector<std::vector<std::int32_t>> nets;
+  /// Desired fraction of total area on side 0.
+  double targetFraction = 0.5;
+  /// Allowed deviation of the side-0 area fraction from the target.
+  double tolerance = 0.1;
+  /// Optional: -1 free, 0/1 locked to that side. Empty = all free.
+  std::vector<std::int8_t> locked;
+};
+
+struct FmResult {
+  std::vector<std::int8_t> side;  ///< 0/1 per vertex
+  int initialCut = 0;
+  int finalCut = 0;
+  int passes = 0;
+};
+
+/// Runs FM from a deterministic balanced seed (or the provided sides for
+/// pre-locked vertices). Complexity O(passes * pins).
+FmResult fmPartition(const FmProblem& problem, std::uint64_t seed = 1,
+                     int maxPasses = 8);
+
+/// Cut size (number of nets spanning both sides) of a given assignment.
+int cutSize(const FmProblem& problem, std::span<const std::int8_t> side);
+
+}  // namespace ep

@@ -1,0 +1,162 @@
+#include "baseline/mincut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "baseline/fm.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+
+namespace {
+
+double freeCapacity(const PlacementDB& db, const Rect& r) {
+  double fixedArea = 0.0;
+  for (const auto& o : db.objects) {
+    if (o.fixed) fixedArea += o.rect().overlapArea(r);
+  }
+  return std::max(0.0, r.area() - fixedArea);
+}
+
+}  // namespace
+
+MinCutResult minCutPlace(PlacementDB& db, const MinCutConfig& cfg) {
+  MinCutResult res;
+  Rng rng(cfg.seed);
+
+  struct Task {
+    Rect region;
+    std::vector<std::int32_t> objs;
+    int depth;
+  };
+  std::deque<Task> queue;
+  queue.push_back({db.region, db.movable(), 0});
+
+  // Net-visited stamp to deduplicate nets per task.
+  std::vector<std::int32_t> netStamp(db.nets.size(), -1);
+  std::int32_t stamp = 0;
+
+  while (!queue.empty()) {
+    Task task = std::move(queue.front());
+    queue.pop_front();
+    res.maxDepth = std::max(res.maxDepth, task.depth);
+
+    if (task.objs.size() <= cfg.leafCells || task.region.width() < 2.0 ||
+        task.region.height() < 2.0) {
+      // Leaf: spread objects on a small grid inside the region.
+      const auto cols = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(task.objs.size()))));
+      for (std::size_t k = 0; k < task.objs.size(); ++k) {
+        auto& o = db.objects[static_cast<std::size_t>(task.objs[k])];
+        const std::size_t cx = k % cols, cy = k / cols;
+        const double fx = (static_cast<double>(cx) + 0.5) /
+                          static_cast<double>(cols);
+        const double fy = (static_cast<double>(cy) + 0.5) /
+                          static_cast<double>((task.objs.size() + cols - 1) / cols);
+        const double px = task.region.lx + fx * task.region.width();
+        const double py = task.region.ly + fy * task.region.height();
+        o.setCenter(std::clamp(px, db.region.lx + o.w * 0.5,
+                               db.region.hx - o.w * 0.5),
+                    std::clamp(py, db.region.ly + o.h * 0.5,
+                               db.region.hy - o.h * 0.5));
+      }
+      continue;
+    }
+
+    // Split the longer axis at the midpoint.
+    const bool splitX = task.region.width() >= task.region.height();
+    Rect a = task.region, b = task.region;
+    double cut;
+    if (splitX) {
+      cut = task.region.center().x;
+      a.hx = cut;
+      b.lx = cut;
+    } else {
+      cut = task.region.center().y;
+      a.hy = cut;
+      b.ly = cut;
+    }
+
+    // FM problem with a virtual locked terminal per side for propagation.
+    FmProblem fm;
+    const std::size_t nLocal = task.objs.size();
+    fm.areas.resize(nLocal + 2);
+    // Local id lookup via a dense map over db objects, reused across tasks.
+    static thread_local std::vector<std::int32_t> lookup;
+    lookup.assign(db.objects.size(), -1);
+    for (std::size_t k = 0; k < nLocal; ++k) {
+      lookup[static_cast<std::size_t>(task.objs[k])] =
+          static_cast<std::int32_t>(k);
+      fm.areas[k] = db.objects[static_cast<std::size_t>(task.objs[k])].area();
+    }
+    const auto term0 = static_cast<std::int32_t>(nLocal);
+    const auto term1 = static_cast<std::int32_t>(nLocal + 1);
+    fm.areas[static_cast<std::size_t>(term0)] = 0.0;
+    fm.areas[static_cast<std::size_t>(term1)] = 0.0;
+    fm.locked.assign(nLocal + 2, -1);
+    fm.locked[static_cast<std::size_t>(term0)] = 0;
+    fm.locked[static_cast<std::size_t>(term1)] = 1;
+
+    ++stamp;
+    for (auto objId : task.objs) {
+      for (auto netId : db.netsOf(objId)) {
+        if (netStamp[static_cast<std::size_t>(netId)] == stamp) continue;
+        netStamp[static_cast<std::size_t>(netId)] = stamp;
+        const auto& net = db.nets[static_cast<std::size_t>(netId)];
+        std::vector<std::int32_t> verts;
+        double extCoordSum = 0.0;
+        int extCount = 0;
+        for (const auto& pin : net.pins) {
+          const auto local = lookup[static_cast<std::size_t>(pin.obj)];
+          if (local >= 0) {
+            if (std::find(verts.begin(), verts.end(), local) == verts.end()) {
+              verts.push_back(local);
+            }
+          } else {
+            const Point p = db.pinPos(pin);
+            extCoordSum += splitX ? p.x : p.y;
+            ++extCount;
+          }
+        }
+        if (verts.empty()) continue;
+        if (extCount > 0) {
+          const double mean = extCoordSum / extCount;
+          verts.push_back(mean < cut ? term0 : term1);
+        }
+        if (verts.size() >= 2) fm.nets.push_back(std::move(verts));
+      }
+    }
+
+    fm.targetFraction =
+        freeCapacity(db, a) /
+        std::max(1e-9, freeCapacity(db, a) + freeCapacity(db, b));
+    fm.tolerance = cfg.balanceTolerance;
+
+    const FmResult part = fmPartition(fm, rng.next(), cfg.fmPasses);
+    ++res.partitions;
+
+    Task ta{a, {}, task.depth + 1}, tb{b, {}, task.depth + 1};
+    for (std::size_t k = 0; k < nLocal; ++k) {
+      auto& o = db.objects[static_cast<std::size_t>(task.objs[k])];
+      if (part.side[k] == 0) {
+        ta.objs.push_back(task.objs[k]);
+        o.setCenter(a.center().x, a.center().y);
+      } else {
+        tb.objs.push_back(task.objs[k]);
+        o.setCenter(b.center().x, b.center().y);
+      }
+    }
+    if (!ta.objs.empty()) queue.push_back(std::move(ta));
+    if (!tb.objs.empty()) queue.push_back(std::move(tb));
+  }
+
+  res.hpwl = hpwl(db);
+  logInfo("minCutPlace: %d partitions, depth %d, HPWL %.4g", res.partitions,
+          res.maxDepth, res.hpwl);
+  return res;
+}
+
+}  // namespace ep

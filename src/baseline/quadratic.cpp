@@ -1,0 +1,200 @@
+#include "baseline/quadratic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "eval/metrics.h"
+#include "qp/b2b.h"
+#include "qp/sparse.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+
+namespace {
+
+/// Per-band inverse-CDF remap of one axis. `pos` is the coordinate being
+/// spread, `other` selects the band. Returns the spreading targets.
+std::vector<double> spreadAxis(const PlacementDB& db,
+                               const std::vector<std::int32_t>& movable,
+                               const std::vector<double>& pos,
+                               const std::vector<double>& other, bool axisX,
+                               std::size_t bands, std::size_t bins) {
+  const Rect& r = db.region;
+  const double lo = axisX ? r.lx : r.ly;
+  const double hi = axisX ? r.hx : r.hy;
+  const double bandLo = axisX ? r.ly : r.lx;
+  const double bandHi = axisX ? r.hy : r.hx;
+  const double binW = (hi - lo) / static_cast<double>(bins);
+  const double bandW = (bandHi - bandLo) / static_cast<double>(bands);
+
+  // Free capacity per (band, bin): band area minus fixed overlap, scaled by
+  // the target density.
+  std::vector<double> cap(bands * bins, 0.0);
+  for (std::size_t b = 0; b < bands; ++b) {
+    for (std::size_t i = 0; i < bins; ++i) {
+      Rect cell;
+      if (axisX) {
+        cell = {lo + i * binW, bandLo + b * bandW, lo + (i + 1) * binW,
+                bandLo + (b + 1) * bandW};
+      } else {
+        cell = {bandLo + b * bandW, lo + i * binW, bandLo + (b + 1) * bandW,
+                lo + (i + 1) * binW};
+      }
+      double fixedArea = 0.0;
+      for (const auto& o : db.objects) {
+        if (o.fixed) fixedArea += o.rect().overlapArea(cell);
+      }
+      cap[b * bins + i] =
+          db.targetDensity * std::max(0.0, cell.area() - fixedArea);
+    }
+  }
+
+  // Group movables into bands.
+  std::vector<std::vector<std::size_t>> byBand(bands);
+  for (std::size_t k = 0; k < movable.size(); ++k) {
+    auto b = static_cast<std::size_t>((other[k] - bandLo) / bandW);
+    b = std::min(b, bands - 1);
+    byBand[b].push_back(k);
+  }
+
+  std::vector<double> target = pos;
+  for (std::size_t b = 0; b < bands; ++b) {
+    auto& cells = byBand[b];
+    if (cells.empty()) continue;
+    std::sort(cells.begin(), cells.end(),
+              [&](std::size_t i, std::size_t j) { return pos[i] < pos[j]; });
+    double areaTotal = 0.0;
+    for (auto k : cells) {
+      areaTotal += db.objects[static_cast<std::size_t>(movable[k])].area();
+    }
+    double capTotal = 0.0;
+    for (std::size_t i = 0; i < bins; ++i) capTotal += cap[b * bins + i];
+    if (capTotal <= 0.0 || areaTotal <= 0.0) continue;
+
+    // Walk the capacity CDF.
+    std::size_t bin = 0;
+    double capBefore = 0.0;
+    double areaCum = 0.0;
+    for (auto k : cells) {
+      const double a =
+          db.objects[static_cast<std::size_t>(movable[k])].area();
+      const double want = (areaCum + 0.5 * a) / areaTotal * capTotal;
+      areaCum += a;
+      while (bin + 1 < bins && capBefore + cap[b * bins + bin] < want) {
+        capBefore += cap[b * bins + bin];
+        ++bin;
+      }
+      const double inBin = cap[b * bins + bin] > 0.0
+                               ? (want - capBefore) / cap[b * bins + bin]
+                               : 0.5;
+      target[k] = lo + (static_cast<double>(bin) +
+                        std::clamp(inBin, 0.0, 1.0)) *
+                           binW;
+    }
+  }
+  return target;
+}
+
+}  // namespace
+
+QuadraticPlaceResult quadraticPlace(PlacementDB& db,
+                                    const QuadraticPlaceConfig& cfg) {
+  QuadraticPlaceResult res;
+  const auto& movable = db.movable();
+  const auto n = static_cast<std::int32_t>(movable.size());
+  if (n == 0) return res;
+
+  std::vector<std::int32_t> objToVar(db.objects.size(), -1);
+  for (std::int32_t v = 0; v < n; ++v) {
+    objToVar[static_cast<std::size_t>(movable[static_cast<std::size_t>(v)])] = v;
+  }
+
+  // Seed like mIP: center with jitter.
+  Rng rng(cfg.seed);
+  const Point c = db.region.center();
+  std::vector<double> x(static_cast<std::size_t>(n)),
+      y(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) {
+    x[static_cast<std::size_t>(v)] =
+        c.x + rng.uniform(-1e-3, 1e-3) * db.region.width();
+    y[static_cast<std::size_t>(v)] =
+        c.y + rng.uniform(-1e-3, 1e-3) * db.region.height();
+  }
+
+  std::vector<double> tx, ty;  // anchors (empty in the first iteration)
+  double anchorW = cfg.anchorWeight0;
+
+  auto writeBack = [&] {
+    for (std::int32_t v = 0; v < n; ++v) {
+      auto& o = db.objects[static_cast<std::size_t>(
+          movable[static_cast<std::size_t>(v)])];
+      const double cx = std::clamp(x[static_cast<std::size_t>(v)],
+                                   db.region.lx + o.w * 0.5,
+                                   std::max(db.region.lx + o.w * 0.5,
+                                            db.region.hx - o.w * 0.5));
+      const double cy = std::clamp(y[static_cast<std::size_t>(v)],
+                                   db.region.ly + o.h * 0.5,
+                                   std::max(db.region.ly + o.h * 0.5,
+                                            db.region.hy - o.h * 0.5));
+      o.setCenter(cx, cy);
+    }
+  };
+
+  for (int iter = 0; iter < cfg.maxIterations; ++iter) {
+    res.iterations = iter + 1;
+    for (Axis axis : {Axis::kX, Axis::kY}) {
+      auto& pos = axis == Axis::kX ? x : y;
+      auto& anchors = axis == Axis::kX ? tx : ty;
+      CooBuilder builder(n);
+      std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+      buildB2B(db, axis, objToVar, pos, builder, rhs);
+      if (!anchors.empty()) {
+        for (std::int32_t v = 0; v < n; ++v) {
+          // Anchor strength scales with cell area so macros spread too.
+          const double w =
+              anchorW *
+              std::max(1.0, db.objects[static_cast<std::size_t>(
+                                           movable[static_cast<std::size_t>(v)])]
+                                .area());
+          builder.addDiag(v, w);
+          rhs[static_cast<std::size_t>(v)] +=
+              w * anchors[static_cast<std::size_t>(v)];
+        }
+      } else {
+        // Weak center anchor keeps the first solve non-singular even when a
+        // connected component lacks fixed pins.
+        for (std::int32_t v = 0; v < n; ++v) {
+          builder.addDiag(v, 1e-6);
+          rhs[static_cast<std::size_t>(v)] +=
+              1e-6 * (axis == Axis::kX ? c.x : c.y);
+        }
+      }
+      const Csr A = builder.build();
+      cgSolve(A, rhs, pos, cfg.cgMaxIterations, 1e-6);
+    }
+    writeBack();
+
+    const auto rep = densityOverflow(db);
+    res.finalOverflow = rep.overflow;
+    if (rep.overflow <= cfg.targetOverflow) break;
+
+    tx = spreadAxis(db, movable, x, y, true, cfg.bandsX, cfg.binsPerBand);
+    ty = spreadAxis(db, movable, y, x, false, cfg.bandsY, cfg.binsPerBand);
+    for (std::size_t k = 0; k < tx.size(); ++k) {
+      tx[k] = x[k] + cfg.spreadDamping * (tx[k] - x[k]);
+      ty[k] = y[k] + cfg.spreadDamping * (ty[k] - y[k]);
+    }
+    anchorW *= cfg.anchorGrowth;
+  }
+
+  writeBack();
+  res.hpwl = hpwl(db);
+  logInfo("quadraticPlace: %d iters, overflow %.3f, HPWL %.4g",
+          res.iterations, res.finalOverflow, res.hpwl);
+  return res;
+}
+
+}  // namespace ep

@@ -1,0 +1,42 @@
+// Quadratic placer with iterative spreading — the FastPlace/ComPLx-category
+// baseline of the paper's tables. Alternates:
+//   1. B2B quadratic wirelength solve with anchor pseudo-springs toward the
+//      previous spreading targets (weight grows each iteration),
+//   2. 1-D area-equalization spreading per axis (inverse-CDF remapping of
+//      cell coordinates against the free-capacity profile, computed in
+//      bands along the other axis).
+// Stops when the density overflow reaches the target or the iteration cap.
+#pragma once
+
+#include <cstdint>
+
+#include "model/netlist.h"
+
+namespace ep {
+
+struct QuadraticPlaceConfig {
+  int maxIterations = 30;
+  double targetOverflow = 0.10;
+  double anchorWeight0 = 0.01;  ///< initial pseudo-spring weight
+  double anchorGrowth = 1.2;
+  /// Fraction of the inverse-CDF displacement applied per iteration
+  /// (FastPlace-style damped cell shifting; 1.0 = jump to the target).
+  double spreadDamping = 0.6;
+  std::size_t bandsX = 16;      ///< spreading bands along y when moving x
+  std::size_t bandsY = 16;
+  std::size_t binsPerBand = 32;
+  int cgMaxIterations = 200;
+  std::uint64_t seed = 5;
+};
+
+struct QuadraticPlaceResult {
+  int iterations = 0;
+  double finalOverflow = 0.0;
+  double hpwl = 0.0;
+};
+
+/// Globally places all movables of `db` (cells and macros alike).
+QuadraticPlaceResult quadraticPlace(PlacementDB& db,
+                                    const QuadraticPlaceConfig& cfg = {});
+
+}  // namespace ep

@@ -1,0 +1,362 @@
+#include "bookshelf/bookshelf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/log.h"
+
+namespace ep {
+
+namespace {
+
+std::string dirOf(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? std::string(".") : path.substr(0, pos);
+}
+
+/// Reads the next meaningful line: comments (#...) and blanks skipped.
+bool nextLine(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim.
+    const auto b = line.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r\n");
+    line = line.substr(b, e - b + 1);
+    if (!line.empty()) return true;
+  }
+  return false;
+}
+
+/// Splits "Key : v1 v2" into tokens with ':' treated as whitespace.
+std::vector<std::string> tokens(const std::string& line) {
+  std::string s = line;
+  std::replace(s.begin(), s.end(), ':', ' ');
+  std::istringstream iss(s);
+  std::vector<std::string> out;
+  std::string t;
+  while (iss >> t) out.push_back(t);
+  return out;
+}
+
+BookshelfResult fail(const std::string& msg) {
+  logWarn("bookshelf: %s", msg.c_str());
+  return {false, msg};
+}
+
+}  // namespace
+
+namespace {
+
+BookshelfResult readBookshelfImpl(const std::string& auxPath,
+                                  PlacementDB& db) {
+  std::ifstream aux(auxPath);
+  if (!aux) return fail("cannot open " + auxPath);
+  std::string nodesFile, netsFile, plFile, sclFile, wtsFile;
+  std::string line;
+  while (nextLine(aux, line)) {
+    for (const auto& t : tokens(line)) {
+      auto ends = [&](const char* suffix) {
+        return t.size() > std::strlen(suffix) &&
+               t.compare(t.size() - std::strlen(suffix), std::string::npos,
+                         suffix) == 0;
+      };
+      if (ends(".nodes")) nodesFile = t;
+      if (ends(".nets")) netsFile = t;
+      if (ends(".pl")) plFile = t;
+      if (ends(".scl")) sclFile = t;
+      if (ends(".wts")) wtsFile = t;
+    }
+  }
+  if (nodesFile.empty() || netsFile.empty() || plFile.empty()) {
+    return fail("aux file lists no nodes/nets/pl");
+  }
+  const std::string dir = dirOf(auxPath) + "/";
+
+  db = PlacementDB{};
+  {
+    const auto slash = auxPath.find_last_of('/');
+    std::string basename =
+        slash == std::string::npos ? auxPath : auxPath.substr(slash + 1);
+    const auto dot = basename.find_last_of('.');
+    db.name = dot == std::string::npos ? basename : basename.substr(0, dot);
+  }
+
+  std::unordered_map<std::string, std::int32_t> nameToObj;
+
+  // ---- .nodes ----
+  {
+    std::ifstream in(dir + nodesFile);
+    if (!in) return fail("cannot open " + nodesFile);
+    while (nextLine(in, line)) {
+      const auto t = tokens(line);
+      if (t.empty() || t[0] == "UCLA" || t[0] == "NumNodes" ||
+          t[0] == "NumTerminals") {
+        continue;
+      }
+      if (t.size() < 3) return fail("bad nodes line: " + line);
+      Object o;
+      o.name = t[0];
+      o.w = std::stod(t[1]);
+      o.h = std::stod(t[2]);
+      o.fixed = t.size() > 3 && (t[3] == "terminal" || t[3] == "terminal_NI");
+      nameToObj[o.name] = static_cast<std::int32_t>(db.objects.size());
+      db.objects.push_back(std::move(o));
+    }
+  }
+
+  // ---- .nets ----
+  {
+    std::ifstream in(dir + netsFile);
+    if (!in) return fail("cannot open " + netsFile);
+    Net* cur = nullptr;
+    std::size_t remaining = 0;
+    while (nextLine(in, line)) {
+      const auto t = tokens(line);
+      if (t.empty() || t[0] == "UCLA" || t[0] == "NumNets" ||
+          t[0] == "NumPins") {
+        continue;
+      }
+      if (t[0] == "NetDegree") {
+        Net net;
+        net.name = t.size() > 2 ? t[2] : ("net" + std::to_string(db.nets.size()));
+        remaining = static_cast<std::size_t>(std::stoul(t[1]));
+        db.nets.push_back(std::move(net));
+        cur = &db.nets.back();
+        continue;
+      }
+      if (cur == nullptr || remaining == 0) {
+        return fail("pin line outside a net: " + line);
+      }
+      const auto it = nameToObj.find(t[0]);
+      if (it == nameToObj.end()) return fail("unknown node in net: " + t[0]);
+      PinRef pin;
+      pin.obj = it->second;
+      // "name I : ox oy" — direction token optional, offsets optional.
+      std::size_t k = 1;
+      if (k < t.size() && (t[k] == "I" || t[k] == "O" || t[k] == "B")) {
+        pin.dir = t[k] == "I"   ? PinDir::kInput
+                  : t[k] == "O" ? PinDir::kOutput
+                                : PinDir::kUnknown;
+        ++k;
+      }
+      if (k + 1 < t.size()) {
+        pin.ox = std::stod(t[k]);
+        pin.oy = std::stod(t[k + 1]);
+      }
+      cur->pins.push_back(pin);
+      --remaining;
+    }
+  }
+
+  // ---- .wts (optional) ----
+  if (!wtsFile.empty()) {
+    std::ifstream in(dir + wtsFile);
+    if (in) {
+      std::unordered_map<std::string, std::size_t> netIdx;
+      for (std::size_t i = 0; i < db.nets.size(); ++i) {
+        netIdx[db.nets[i].name] = i;
+      }
+      while (nextLine(in, line)) {
+        const auto t = tokens(line);
+        if (t.size() >= 2) {
+          const auto it = netIdx.find(t[0]);
+          if (it != netIdx.end()) {
+            db.nets[it->second].weight = std::stod(t[1]);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- .pl ----
+  {
+    std::ifstream in(dir + plFile);
+    if (!in) return fail("cannot open " + plFile);
+    while (nextLine(in, line)) {
+      const auto t = tokens(line);
+      if (t.empty() || t[0] == "UCLA") continue;
+      if (t.size() < 3) continue;
+      const auto it = nameToObj.find(t[0]);
+      if (it == nameToObj.end()) continue;
+      auto& o = db.objects[static_cast<std::size_t>(it->second)];
+      o.lx = std::stod(t[1]);
+      o.ly = std::stod(t[2]);
+      for (const auto& tok : t) {
+        if (tok == "/FIXED" || tok == "FIXED") o.fixed = true;
+      }
+    }
+  }
+
+  // ---- .scl ----
+  double rowMinX = std::numeric_limits<double>::max(), rowMaxX = -rowMinX;
+  double rowMinY = rowMinX, rowMaxY = -rowMinX;
+  if (!sclFile.empty()) {
+    std::ifstream in(dir + sclFile);
+    if (!in) return fail("cannot open " + sclFile);
+    Row row;
+    bool inRow = false;
+    while (nextLine(in, line)) {
+      const auto t = tokens(line);
+      if (t.empty()) continue;
+      if (t[0] == "CoreRow") {
+        row = Row{};
+        inRow = true;
+      } else if (inRow && t[0] == "Coordinate" && t.size() > 1) {
+        row.ly = std::stod(t[1]);
+      } else if (inRow && t[0] == "Height" && t.size() > 1) {
+        row.height = std::stod(t[1]);
+      } else if (inRow && t[0] == "Sitewidth" && t.size() > 1) {
+        row.siteWidth = std::stod(t[1]);
+      } else if (inRow && t[0] == "SubrowOrigin" && t.size() > 1) {
+        row.lx = std::stod(t[1]);
+        for (std::size_t k = 2; k + 1 < t.size(); ++k) {
+          if (t[k] == "NumSites") {
+            row.numSites = static_cast<std::int32_t>(std::stol(t[k + 1]));
+          }
+        }
+      } else if (t[0] == "End" && inRow) {
+        if (row.height > 0.0 && row.numSites > 0) {
+          db.rows.push_back(row);
+          rowMinX = std::min(rowMinX, row.lx);
+          rowMaxX = std::max(rowMaxX, row.hx());
+          rowMinY = std::min(rowMinY, row.ly);
+          rowMaxY = std::max(rowMaxY, row.ly + row.height);
+        }
+        inRow = false;
+      }
+    }
+  }
+
+  // Region: bounding box of rows, else of all objects.
+  if (!db.rows.empty()) {
+    db.region = {rowMinX, rowMinY, rowMaxX, rowMaxY};
+  } else {
+    Rect r{1e30, 1e30, -1e30, -1e30};
+    for (const auto& o : db.objects) {
+      r.lx = std::min(r.lx, o.lx);
+      r.ly = std::min(r.ly, o.ly);
+      r.hx = std::max(r.hx, o.lx + o.w);
+      r.hy = std::max(r.hy, o.ly + o.h);
+    }
+    db.region = r;
+  }
+
+  // Classify kinds: movable multi-row objects are macros; fixed row-sized
+  // objects are IO pads, larger fixed ones macros.
+  const double rowH = db.rows.empty() ? 0.0 : db.rows.front().height;
+  for (auto& o : db.objects) {
+    if (rowH > 0.0 && o.h > rowH * 1.5) {
+      o.kind = ObjKind::kMacro;
+    } else {
+      o.kind = o.fixed ? ObjKind::kIo : ObjKind::kStdCell;
+    }
+  }
+
+  db.finalize();
+  const std::string issue = db.validate();
+  if (!issue.empty()) return fail("invalid instance: " + issue);
+  return {true, {}};
+}
+
+}  // namespace
+
+BookshelfResult readBookshelf(const std::string& auxPath, PlacementDB& db) {
+  // stod/stoul throw on malformed numeric tokens; surface that as a parse
+  // error instead of crashing on a corrupt file.
+  try {
+    return readBookshelfImpl(auxPath, db);
+  } catch (const std::exception& e) {
+    return fail(std::string("parse error in ") + auxPath + ": " + e.what());
+  }
+}
+
+BookshelfResult writeBookshelf(const std::string& dir, const std::string& base,
+                               const PlacementDB& db) {
+  const std::string prefix = dir + "/" + base;
+
+  {
+    std::ofstream out(prefix + ".aux");
+    if (!out) return fail("cannot write " + prefix + ".aux");
+    out << "RowBasedPlacement : " << base << ".nodes " << base << ".nets "
+        << base << ".wts " << base << ".pl " << base << ".scl\n";
+  }
+  {
+    std::ofstream out(prefix + ".nodes");
+    out << std::setprecision(15);
+    out << "UCLA nodes 1.0\n\n";
+    std::size_t terminals = 0;
+    for (const auto& o : db.objects) terminals += o.fixed ? 1 : 0;
+    out << "NumNodes : " << db.objects.size() << "\n";
+    out << "NumTerminals : " << terminals << "\n";
+    for (const auto& o : db.objects) {
+      out << "    " << o.name << " " << o.w << " " << o.h
+          << (o.fixed ? " terminal" : "") << "\n";
+    }
+  }
+  {
+    std::ofstream out(prefix + ".nets");
+    out << std::setprecision(15);
+    out << "UCLA nets 1.0\n\n";
+    std::size_t pins = 0;
+    for (const auto& n : db.nets) pins += n.pins.size();
+    out << "NumNets : " << db.nets.size() << "\n";
+    out << "NumPins : " << pins << "\n";
+    for (const auto& n : db.nets) {
+      out << "NetDegree : " << n.pins.size() << "  " << n.name << "\n";
+      for (const auto& p : n.pins) {
+        const char* dir = p.dir == PinDir::kInput    ? "I"
+                          : p.dir == PinDir::kOutput ? "O"
+                                                     : "B";
+        out << "    " << db.objects[static_cast<std::size_t>(p.obj)].name
+            << " " << dir << " : " << p.ox << " " << p.oy << "\n";
+      }
+    }
+  }
+  {
+    std::ofstream out(prefix + ".wts");
+    out << std::setprecision(15);
+    out << "UCLA wts 1.0\n\n";
+    for (const auto& n : db.nets) {
+      if (n.weight != 1.0) out << n.name << " " << n.weight << "\n";
+    }
+  }
+  {
+    std::ofstream out(prefix + ".pl");
+    out << std::setprecision(15);
+    out << "UCLA pl 1.0\n\n";
+    for (const auto& o : db.objects) {
+      out << o.name << " " << o.lx << " " << o.ly << " : N"
+          << (o.fixed ? " /FIXED" : "") << "\n";
+    }
+  }
+  {
+    std::ofstream out(prefix + ".scl");
+    out << std::setprecision(15);
+    out << "UCLA scl 1.0\n\n";
+    out << "NumRows : " << db.rows.size() << "\n";
+    for (const auto& r : db.rows) {
+      out << "CoreRow Horizontal\n";
+      out << "  Coordinate : " << r.ly << "\n";
+      out << "  Height : " << r.height << "\n";
+      out << "  Sitewidth : " << r.siteWidth << "\n";
+      out << "  Sitespacing : " << r.siteWidth << "\n";
+      out << "  Siteorient : 1\n";
+      out << "  Sitesymmetry : 1\n";
+      out << "  SubrowOrigin : " << r.lx << "  NumSites : " << r.numSites
+          << "\n";
+      out << "End\n";
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace ep

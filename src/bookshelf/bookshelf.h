@@ -1,0 +1,35 @@
+// Bookshelf (UCLA / ISPD contest) format reader and writer.
+//
+// Supports the subset the ISPD 2005/2006 and MMS suites use:
+//   .aux    file list,   .nodes  objects (+terminal flag),
+//   .nets   hyperedges with pin offsets from node centers,
+//   .pl     placements (+/FIXED),      .scl  core rows,
+//   .wts    net weights (optional).
+//
+// The paper's benchmarks are distributed in exactly this format, so the
+// genuine circuits can be run through this repo unmodified; the bundled
+// experiments use the synthetic generator (see src/gen) which round-trips
+// through this module in the tests.
+#pragma once
+
+#include <string>
+
+#include "model/netlist.h"
+
+namespace ep {
+
+struct BookshelfResult {
+  bool ok = false;
+  std::string error;
+};
+
+/// Reads `<aux>` (path to the .aux file) and fills `db` (finalized).
+/// Object kinds: terminals with row-sized height stay kIo, larger ones are
+/// kMacro; movable objects taller than one row are kMacro.
+BookshelfResult readBookshelf(const std::string& auxPath, PlacementDB& db);
+
+/// Writes db as `<dir>/<base>.{aux,nodes,nets,pl,scl,wts}`.
+BookshelfResult writeBookshelf(const std::string& dir, const std::string& base,
+                               const PlacementDB& db);
+
+}  // namespace ep

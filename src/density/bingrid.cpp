@@ -1,0 +1,61 @@
+#include "density/bingrid.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "fft/fft.h"
+
+namespace ep {
+
+BinGrid::BinGrid(const Rect& region, std::size_t nx, std::size_t ny)
+    : region_(region), nx_(nx), ny_(ny) {
+  assert(!region.empty());
+  assert(nx > 0 && ny > 0);
+  dx_ = region.width() / static_cast<double>(nx);
+  dy_ = region.height() / static_cast<double>(ny);
+}
+
+std::size_t BinGrid::chooseResolution(std::size_t numObjects) {
+  std::size_t m = 32;
+  while (m < 512 && m * m < numObjects) m <<= 1;
+  return m;
+}
+
+std::size_t BinGrid::chooseOverflowResolution(std::size_t numObjects) {
+  std::size_t m = 16;
+  while (m < 256 && m * m < numObjects / 8) m <<= 1;
+  return m;
+}
+
+std::size_t BinGrid::binX(double x) const {
+  const double t = (x - region_.lx) / dx_;
+  const auto i = static_cast<std::ptrdiff_t>(t);
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(i, 0, static_cast<std::ptrdiff_t>(nx_) - 1));
+}
+
+std::size_t BinGrid::binY(double y) const {
+  const double t = (y - region_.ly) / dy_;
+  const auto i = static_cast<std::ptrdiff_t>(t);
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(i, 0, static_cast<std::ptrdiff_t>(ny_) - 1));
+}
+
+void BinGrid::stamp(const Rect& r, double amount, std::span<double> map) const {
+  const Rect c = r.intersect(region_);
+  if (c.empty()) return;
+  const double scale = amount / r.area();
+  const std::size_t x0 = binX(c.lx), x1 = binX(c.hx - 1e-12 * dx_);
+  const std::size_t y0 = binY(c.ly), y1 = binY(c.hy - 1e-12 * dy_);
+  for (std::size_t iy = y0; iy <= y1; ++iy) {
+    const double by0 = region_.ly + static_cast<double>(iy) * dy_;
+    const double oy = intervalOverlap(c.ly, c.hy, by0, by0 + dy_);
+    for (std::size_t ix = x0; ix <= x1; ++ix) {
+      const double bx0 = region_.lx + static_cast<double>(ix) * dx_;
+      const double ox = intervalOverlap(c.lx, c.hx, bx0, bx0 + dx_);
+      map[iy * nx_ + ix] += scale * ox * oy;
+    }
+  }
+}
+
+}  // namespace ep

@@ -1,0 +1,145 @@
+#include "density/electro.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ep {
+
+namespace {
+constexpr double kSqrt2 = 1.4142135623730951;
+}
+
+ElectroDensity::ElectroDensity(const Rect& region, std::size_t nx,
+                               std::size_t ny, double targetDensity)
+    : grid_(region, nx, ny),
+      ovfGrid_(region, std::max<std::size_t>(16, nx / 4),
+               std::max<std::size_t>(16, ny / 4)),
+      rhoT_(targetDensity),
+      solver_(nx, ny, grid_.dx(), grid_.dy()),
+      fixedSolver_(nx * ny, 0.0),
+      fixedExact_(ovfGrid_.numBins(), 0.0),
+      staticCharge_(nx * ny, 0.0),
+      movCharge_(nx * ny, 0.0),
+      rho_(nx * ny, 0.0) {}
+
+void ElectroDensity::stampFixed(const PlacementDB& db) {
+  std::fill(fixedExact_.begin(), fixedExact_.end(), 0.0);
+  std::vector<double> fixedFine(grid_.numBins(), 0.0);
+  for (const auto& o : db.objects) {
+    if (!o.fixed) continue;
+    const Rect r = o.rect();
+    const Rect clipped = r.intersect(grid_.region());
+    if (clipped.empty()) continue;
+    grid_.stamp(r, r.area(), fixedFine);
+    ovfGrid_.stamp(r, r.area(), fixedExact_);
+  }
+  // Solver map: occupancy clamped at 1, scaled by rho_t (see header).
+  const double binArea = grid_.binArea();
+  for (std::size_t b = 0; b < fixedFine.size(); ++b) {
+    fixedSolver_[b] = rhoT_ * std::min(1.0, fixedFine[b] / binArea);
+  }
+}
+
+void ElectroDensity::stampStaticCharges(const ChargeView& charges) {
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    const Footprint f =
+        smoothed(charges.cx[i], charges.cy[i], charges.w[i], charges.h[i]);
+    grid_.stamp(f.r, f.r.area() * f.scale, staticCharge_);
+  }
+}
+
+void ElectroDensity::clearStatic() {
+  std::fill(staticCharge_.begin(), staticCharge_.end(), 0.0);
+}
+
+ElectroDensity::Footprint ElectroDensity::smoothed(double cx, double cy,
+                                                   double w, double h) const {
+  const double minW = kSqrt2 * grid_.dx();
+  const double minH = kSqrt2 * grid_.dy();
+  const double sw = std::max(w, minW);
+  const double sh = std::max(h, minH);
+  const double scale = (w * h) / (sw * sh);
+  return {Rect{cx - sw * 0.5, cy - sh * 0.5, cx + sw * 0.5, cy + sh * 0.5},
+          scale};
+}
+
+void ElectroDensity::update(const ChargeView& charges) {
+  std::fill(movCharge_.begin(), movCharge_.end(), 0.0);
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    const Footprint f =
+        smoothed(charges.cx[i], charges.cy[i], charges.w[i], charges.h[i]);
+    // stamp() spreads (area * scale) == q_i over the smoothed rect.
+    grid_.stamp(f.r, f.r.area() * f.scale, movCharge_);
+  }
+  const double invBinArea = 1.0 / grid_.binArea();
+  for (std::size_t b = 0; b < rho_.size(); ++b) {
+    rho_[b] =
+        fixedSolver_[b] + (movCharge_[b] + staticCharge_[b]) * invBinArea;
+  }
+  solver_.solve(rho_);
+  // N(v) = sum_i q_i psi_i evaluated bin-wise from the stamped charge.
+  double e = 0.0;
+  const auto psi = solver_.psi();
+  const double inv = invBinArea;
+  for (std::size_t b = 0; b < rho_.size(); ++b) {
+    e += movCharge_[b] * inv * psi[b];
+  }
+  energy_ = e;
+}
+
+void ElectroDensity::gradient(const ChargeView& charges, std::span<double> gx,
+                              std::span<double> gy) const {
+  assert(gx.size() == charges.size() && gy.size() == charges.size());
+  const auto ex = solver_.fieldX();
+  const auto ey = solver_.fieldY();
+  const Rect& region = grid_.region();
+  const std::size_t nx = grid_.nx();
+  const double dx = grid_.dx(), dy = grid_.dy();
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    const Footprint f =
+        smoothed(charges.cx[i], charges.cy[i], charges.w[i], charges.h[i]);
+    const Rect c = f.r.intersect(region);
+    double fx = 0.0, fy = 0.0;
+    if (!c.empty()) {
+      const std::size_t x0 = grid_.binX(c.lx), x1 = grid_.binX(c.hx - 1e-12 * dx);
+      const std::size_t y0 = grid_.binY(c.ly), y1 = grid_.binY(c.hy - 1e-12 * dy);
+      for (std::size_t iy = y0; iy <= y1; ++iy) {
+        const double by0 = region.ly + static_cast<double>(iy) * dy;
+        const double oy = intervalOverlap(c.ly, c.hy, by0, by0 + dy);
+        for (std::size_t ix = x0; ix <= x1; ++ix) {
+          const double bx0 = region.lx + static_cast<double>(ix) * dx;
+          const double ox = intervalOverlap(c.lx, c.hx, bx0, bx0 + dx);
+          const double charge = f.scale * ox * oy;
+          fx += charge * ex[iy * nx + ix];
+          fy += charge * ey[iy * nx + ix];
+        }
+      }
+    }
+    gx[i] = fx;
+    gy[i] = fy;
+  }
+}
+
+double ElectroDensity::overflow(const ChargeView& movablesOnly) const {
+  std::vector<double> area(ovfGrid_.numBins(), 0.0);
+  double totalMovable = 0.0;
+  for (std::size_t i = 0; i < movablesOnly.size(); ++i) {
+    const double w = movablesOnly.w[i], h = movablesOnly.h[i];
+    const Rect r{movablesOnly.cx[i] - w * 0.5, movablesOnly.cy[i] - h * 0.5,
+                 movablesOnly.cx[i] + w * 0.5, movablesOnly.cy[i] + h * 0.5};
+    ovfGrid_.stamp(r, r.area(), area);
+    totalMovable += w * h;
+  }
+  if (totalMovable <= 0.0) return 0.0;
+  const double binArea = ovfGrid_.binArea();
+  double over = 0.0;
+  for (std::size_t b = 0; b < area.size(); ++b) {
+    const double capacity =
+        rhoT_ * std::max(0.0, binArea - fixedExact_[b]);
+    over += std::max(0.0, area[b] - capacity);
+  }
+  return over / totalMovable;
+}
+
+}  // namespace ep

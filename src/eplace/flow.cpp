@@ -1,0 +1,114 @@
+#include "eplace/flow.h"
+
+#include <cmath>
+
+#include "util/log.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+
+namespace {
+
+StageMetrics stageSnapshot(const PlacementDB& db, double seconds, int iters) {
+  StageMetrics m;
+  m.hpwl = hpwl(db);
+  m.overflow = densityOverflow(db).overflow;
+  m.seconds = seconds;
+  m.iterations = iters;
+  m.ran = true;
+  return m;
+}
+
+}  // namespace
+
+FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg) {
+  FlowResult res;
+  Timer total;
+
+  // ---- mIP ----
+  {
+    Timer t;
+    const auto ip = quadraticInitialPlace(db, cfg.ip);
+    res.stageSeconds.add("mIP", t.seconds());
+    res.mip = stageSnapshot(db, t.seconds(), cfg.ip.outerIterations);
+  }
+
+  const bool mixedSize = db.numMovableMacros() > 0;
+
+  // ---- mGP ----
+  FillerSet fillersFromMgp;
+  {
+    Timer t;
+    GlobalPlacer mgp(db, db.movable(), cfg.gp);
+    mgp.makeFillersFromDb();
+    GlobalPlacer::TraceFn trace;
+    if (cfg.gpTrace) {
+      trace = [&cfg](const GpIterTrace& it) { cfg.gpTrace("mGP", it); };
+    }
+    res.mgpResult = mgp.run(trace);
+    fillersFromMgp = mgp.fillers();
+    res.mgpInner = mgp.breakdown();
+    const double stageTotal = t.seconds();
+    res.mgpInner.add("other", stageTotal - res.mgpInner.get("density") -
+                                  res.mgpInner.get("wirelength") -
+                                  res.mgpInner.get("other"));
+    res.stageSeconds.add("mGP", stageTotal);
+    res.mgp = stageSnapshot(db, stageTotal, res.mgpResult.iterations);
+  }
+
+  if (mixedSize) {
+    // ---- mLG ---- (fillers removed, standard cells fixed implicitly: the
+    // annealer only moves macros)
+    {
+      Timer t;
+      res.mlgResult = legalizeMacros(db, cfg.mlg);
+      res.stageSeconds.add("mLG", t.seconds());
+      res.mlg = stageSnapshot(db, t.seconds(), res.mlgResult.outerIterations);
+    }
+
+    // Freeze macros for the remainder of the flow.
+    for (auto& o : db.objects) {
+      if (o.kind == ObjKind::kMacro) o.fixed = true;
+    }
+    db.finalize();
+
+    // ---- cGP ----
+    {
+      Timer t;
+      GpConfig gpc = cfg.gp;
+      const int m =
+          std::max(1, res.mgpResult.iterations / std::max(1, cfg.cgpBufferDivisor));
+      gpc.initialLambda = res.mgpResult.finalLambda *
+                          std::pow(gpc.lambdaMultMax, -static_cast<double>(m));
+      GlobalPlacer cgp(db, db.movable(), gpc);
+      cgp.setFillers(fillersFromMgp);
+      if (cfg.enableFillerOnly) cgp.runFillerOnly(cfg.fillerOnlyIterations);
+      GlobalPlacer::TraceFn trace;
+      if (cfg.gpTrace) {
+        trace = [&cfg](const GpIterTrace& it) { cfg.gpTrace("cGP", it); };
+      }
+      res.cgpResult = cgp.run(trace);
+      res.stageSeconds.add("cGP", t.seconds());
+      res.cgp = stageSnapshot(db, t.seconds(), res.cgpResult.iterations);
+    }
+  }
+
+  // ---- cDP ----
+  if (cfg.runDetail) {
+    Timer t;
+    res.legalizeResult = legalizeCells(db);
+    res.detailResult = detailPlace(db, cfg.detail);
+    res.stageSeconds.add("cDP", t.seconds());
+    res.cdp = stageSnapshot(db, t.seconds(), res.detailResult.passes);
+  }
+
+  res.finalHpwl = hpwl(db);
+  res.finalScaledHpwl = scaledHpwl(db);
+  res.legality = checkLegality(db);
+  res.totalSeconds = total.seconds();
+  logInfo("flow done: HPWL %.4g (scaled %.4g), legal=%d, %.2fs", res.finalHpwl,
+          res.finalScaledHpwl, res.legality.legal ? 1 : 0, res.totalSeconds);
+  return res;
+}
+
+}  // namespace ep

@@ -1,0 +1,71 @@
+// The complete ePlace flow (Fig. 1 of the paper):
+//
+//   mIP  quadratic wirelength-only initial placement
+//   mGP  mixed-size global placement (Nesterov + eDensity, all movables +
+//        fillers)
+//   mLG  annealing macro legalization (mixed-size designs only)
+//   cGP  standard-cell global placement with macros fixed: filler-only
+//        redistribution, lambda rewound by 1.1^-m, then the same engine
+//   cDP  legalization + detail placement of standard cells
+//
+// Standard-cell designs (no movable macros) skip mLG and cGP, exactly as
+// the paper runs ISPD 2005/2006 ("with mLG and cGP disabled").
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "eplace/global_placer.h"
+#include "eval/metrics.h"
+#include "legal/detail.h"
+#include "legal/legalize.h"
+#include "legal/mlg.h"
+#include "model/netlist.h"
+#include "qp/initial_place.h"
+#include "util/timer.h"
+
+namespace ep {
+
+struct FlowConfig {
+  InitialPlaceConfig ip;
+  GpConfig gp;  ///< used by mGP and (with rewound lambda) cGP
+  MlgConfig mlg;
+  DetailConfig detail;
+  int fillerOnlyIterations = 20;  ///< Sec. VI-B
+  int cgpBufferDivisor = 10;      ///< m = mGP iterations / 10
+  bool enableFillerOnly = true;   ///< Sec. VI-B ablation switch
+  bool runDetail = true;
+  /// Per-iteration hook for the global placement stages; `stage` is "mGP"
+  /// or "cGP" (the filler-only prelude moves no real objects and is not
+  /// traced). The DB holds live positions during the call.
+  std::function<void(const std::string& stage, const GpIterTrace&)> gpTrace;
+};
+
+struct StageMetrics {
+  double hpwl = 0.0;
+  double overflow = 0.0;
+  double seconds = 0.0;
+  int iterations = 0;
+  bool ran = false;
+};
+
+struct FlowResult {
+  StageMetrics mip, mgp, mlg, cgp, cdp;
+  double finalHpwl = 0.0;
+  double finalScaledHpwl = 0.0;
+  LegalityReport legality;
+  GpResult mgpResult, cgpResult;
+  MlgResult mlgResult;
+  LegalizeResult legalizeResult;
+  DetailResult detailResult;
+  TimeBreakdown stageSeconds;  ///< "mIP"/"mGP"/"mLG"/"cGP"/"cDP" (Fig. 7)
+  TimeBreakdown mgpInner;      ///< "density"/"wirelength"/"other" (Fig. 7)
+  double totalSeconds = 0.0;
+};
+
+/// Runs the flow on `db` in place and returns every stage's metrics.
+/// Mixed-size behaviour (mLG + cGP) activates automatically when the design
+/// has movable macros. The mGP filler set is reused by cGP per the paper.
+FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg = {});
+
+}  // namespace ep

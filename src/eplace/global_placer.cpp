@@ -1,0 +1,328 @@
+#include "eplace/global_placer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "density/electro.h"
+#include "util/log.h"
+#include "util/stats.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+
+namespace {
+
+/// Grid resolution per config / auto rule.
+std::size_t gridDim(std::size_t cfgDim, std::size_t numObjects) {
+  return cfgDim != 0 ? cfgDim : BinGrid::chooseResolution(numObjects);
+}
+
+}  // namespace
+
+// Internal arrays shared by the main run and the filler-only run.
+struct GlobalPlacer::Engine {
+  PlacementDB& db;
+  const GpConfig& cfg;
+  FillerSet& fillers;
+  TimeBreakdown& breakdown;
+
+  std::size_t nCells = 0;    // optimized movable objects
+  std::size_t nFillers = 0;
+  std::size_t nVars = 0;     // nCells + nFillers
+
+  std::vector<double> w, h, q;           // per-var dims and charge
+  std::vector<std::int32_t> objToVar;    // db object -> var (< nCells)
+  std::vector<double> wlPrecond;         // |E_i| per var (0 for fillers)
+  std::vector<double> loX, hiX, loY, hiY;  // projection box per var
+
+  ElectroDensity density;
+
+  // Scratch gradient buffers.
+  std::vector<double> gxW, gyW, gxD, gyD;
+
+  double gammaX = 1.0, gammaY = 1.0;
+  double lambda = 0.0;
+  double smoothWl = 0.0;  // last W~ value
+
+  Engine(PlacementDB& dbIn, const std::vector<std::int32_t>& movables,
+         const GpConfig& cfgIn, FillerSet& fillersIn, TimeBreakdown& bd)
+      : db(dbIn),
+        cfg(cfgIn),
+        fillers(fillersIn),
+        breakdown(bd),
+        density(dbIn.region,
+                gridDim(cfgIn.gridNx, movables.size() + fillersIn.size()),
+                gridDim(cfgIn.gridNy, movables.size() + fillersIn.size()),
+                dbIn.targetDensity) {
+    nCells = movables.size();
+    nFillers = fillers.size();
+    nVars = nCells + nFillers;
+    w.resize(nVars);
+    h.resize(nVars);
+    q.resize(nVars);
+    wlPrecond.assign(nVars, 0.0);
+    objToVar.assign(db.objects.size(), -1);
+    loX.resize(nVars);
+    hiX.resize(nVars);
+    loY.resize(nVars);
+    hiY.resize(nVars);
+    for (std::size_t v = 0; v < nCells; ++v) {
+      const auto obj = movables[v];
+      const auto& o = db.objects[static_cast<std::size_t>(obj)];
+      w[v] = o.w;
+      h[v] = o.h;
+      q[v] = o.area();
+      objToVar[static_cast<std::size_t>(obj)] = static_cast<std::int32_t>(v);
+      wlPrecond[v] = static_cast<double>(db.degreeOf(obj));
+    }
+    for (std::size_t k = 0; k < nFillers; ++k) {
+      const std::size_t v = nCells + k;
+      w[v] = fillers.w;
+      h[v] = fillers.h;
+      q[v] = fillers.w * fillers.h;
+    }
+    const Rect& r = db.region;
+    for (std::size_t v = 0; v < nVars; ++v) {
+      loX[v] = r.lx + w[v] * 0.5;
+      hiX[v] = std::max(loX[v], r.hx - w[v] * 0.5);
+      loY[v] = r.ly + h[v] * 0.5;
+      hiY[v] = std::max(loY[v], r.hy - h[v] * 0.5);
+    }
+    gxW.resize(nVars);
+    gyW.resize(nVars);
+    gxD.resize(nVars);
+    gyD.resize(nVars);
+    density.stampFixed(db);
+  }
+
+  [[nodiscard]] ChargeView allCharges(std::span<const double> x,
+                                      std::span<const double> y) const {
+    return {x.subspan(0, nVars), y.subspan(0, nVars), w, h};
+  }
+  [[nodiscard]] ChargeView cellCharges(std::span<const double> x,
+                                       std::span<const double> y) const {
+    return {x.subspan(0, nCells), y.subspan(0, nCells),
+            std::span<const double>(w).subspan(0, nCells),
+            std::span<const double>(h).subspan(0, nCells)};
+  }
+
+  /// Objective + preconditioned gradient; `v` is [x..., y...].
+  double evalGrad(std::span<const double> v, std::span<double> grad) {
+    const auto x = v.subspan(0, nVars);
+    const auto y = v.subspan(nVars, nVars);
+    {
+      ScopedTimer t(breakdown, "density");
+      density.update(allCharges(x, y));
+      density.gradient(allCharges(x, y), gxD, gyD);
+    }
+    double wl = 0.0;
+    {
+      ScopedTimer t(breakdown, "wirelength");
+      const VarView view{&db, objToVar, x, y};
+      wl = waWirelengthGrad(view, gammaX, gammaY, gxW, gyW);
+    }
+    smoothWl = wl;
+    for (std::size_t i = 0; i < nVars; ++i) {
+      const double pre = cfg.enablePreconditioner
+                             ? std::max(1.0, wlPrecond[i] + lambda * q[i])
+                             : 1.0;
+      grad[i] = (gxW[i] + lambda * gxD[i]) / pre;
+      grad[nVars + i] = (gyW[i] + lambda * gyD[i]) / pre;
+    }
+    return wl + lambda * density.energy();
+  }
+
+  void project(std::span<double> v) const {
+    for (std::size_t i = 0; i < nVars; ++i) {
+      v[i] = std::clamp(v[i], loX[i], hiX[i]);
+      v[nVars + i] = std::clamp(v[nVars + i], loY[i], hiY[i]);
+    }
+  }
+
+  /// Initial lambda: ratio of L1 gradient norms (wirelength over density)
+  /// at the start point, per FFTPL/ePlace.
+  double initialLambda(std::span<const double> v) {
+    const auto x = v.subspan(0, nVars);
+    const auto y = v.subspan(nVars, nVars);
+    density.update(allCharges(x, y));
+    density.gradient(allCharges(x, y), gxD, gyD);
+    const VarView view{&db, objToVar, x, y};
+    waWirelengthGrad(view, gammaX, gammaY, gxW, gyW);
+    const double wlNorm = norm1(gxW) + norm1(gyW);
+    const double dNorm = norm1(gxD) + norm1(gyD);
+    return dNorm > 0.0 ? wlNorm / dNorm : 1.0;
+  }
+
+  /// Exact HPWL at the given variable values.
+  double exactHpwl(std::span<const double> v) const {
+    const VarView view{&db, objToVar, v.subspan(0, nVars),
+                       v.subspan(nVars, nVars)};
+    return hpwl(view);
+  }
+
+  double overflow(std::span<const double> v) const {
+    return density.overflow(
+        cellCharges(v.subspan(0, nVars), v.subspan(nVars, nVars)));
+  }
+
+  void updateGamma(double tau) {
+    gammaX = waGammaSchedule(density.grid().dx(), tau);
+    gammaY = waGammaSchedule(density.grid().dy(), tau);
+  }
+
+  /// Collect the start vector from DB (cells) and the filler set.
+  [[nodiscard]] std::vector<double> startVector(
+      const std::vector<std::int32_t>& movables) const {
+    std::vector<double> v(2 * nVars);
+    for (std::size_t i = 0; i < nCells; ++i) {
+      const Point c =
+          db.objects[static_cast<std::size_t>(movables[i])].center();
+      v[i] = c.x;
+      v[nVars + i] = c.y;
+    }
+    for (std::size_t k = 0; k < nFillers; ++k) {
+      v[nCells + k] = fillers.cx[k];
+      v[nVars + nCells + k] = fillers.cy[k];
+    }
+    return v;
+  }
+
+  void writeBack(std::span<const double> v,
+                 const std::vector<std::int32_t>& movables) {
+    for (std::size_t i = 0; i < nCells; ++i) {
+      auto& o = db.objects[static_cast<std::size_t>(movables[i])];
+      o.setCenter(v[i], v[nVars + i]);
+    }
+    for (std::size_t k = 0; k < nFillers; ++k) {
+      fillers.cx[k] = v[nCells + k];
+      fillers.cy[k] = v[nVars + nCells + k];
+    }
+  }
+};
+
+GlobalPlacer::GlobalPlacer(PlacementDB& db,
+                           std::vector<std::int32_t> movables, GpConfig cfg)
+    : db_(db), movables_(std::move(movables)), cfg_(cfg) {}
+
+void GlobalPlacer::makeFillersFromDb() {
+  fillers_ = makeFillers(db_, cfg_.fillerSeed);
+}
+
+void GlobalPlacer::setFillers(FillerSet fillers) {
+  fillers_ = std::move(fillers);
+}
+
+void GlobalPlacer::runFillerOnly(int iterations) {
+  if (fillers_.size() == 0 || iterations <= 0) return;
+  // Dedicated engine: no movable cells, all real objects static charges.
+  std::vector<std::int32_t> none;
+  Engine eng(db_, none, cfg_, fillers_, breakdown_);
+  // Pin every movable object as a static charge.
+  std::vector<double> cx, cy, cw, ch;
+  for (auto i : db_.movable()) {
+    const auto& o = db_.objects[static_cast<std::size_t>(i)];
+    const Point c = o.center();
+    cx.push_back(c.x);
+    cy.push_back(c.y);
+    cw.push_back(o.w);
+    ch.push_back(o.h);
+  }
+  eng.density.stampStaticCharges({cx, cy, cw, ch});
+  eng.lambda = 1.0;  // density force only; wirelength plays no role
+
+  NesterovConfig ncfg = cfg_.nesterov;
+  ncfg.enableBacktracking = cfg_.enableBacktracking;
+  ncfg.enableMomentum = cfg_.enableMomentum;
+  ncfg.bootstrapMove = 0.1 * eng.density.grid().dx();
+  NesterovOptimizer opt(
+      2 * eng.nVars,
+      [&eng](std::span<const double> v, std::span<double> g) {
+        return eng.evalGrad(v, g);
+      },
+      ncfg, [&eng](std::span<double> v) { eng.project(v); });
+  const auto v0 = eng.startVector(none);
+  opt.initialize(v0);
+  for (int k = 0; k < iterations; ++k) opt.step();
+  eng.writeBack(opt.solution(), none);
+  logInfo("filler-only placement: %d iterations over %zu fillers", iterations,
+          fillers_.size());
+}
+
+GpResult GlobalPlacer::run(TraceFn trace) {
+  GpResult result;
+  Engine eng(db_, movables_, cfg_, fillers_, breakdown_);
+  if (eng.nVars == 0) return result;
+
+  const auto v0 = eng.startVector(movables_);
+  const double tau0 = eng.overflow(v0);
+  eng.updateGamma(tau0);
+  eng.lambda = cfg_.initialLambda.value_or(eng.initialLambda(v0));
+
+  NesterovConfig ncfg = cfg_.nesterov;
+  ncfg.enableBacktracking = cfg_.enableBacktracking;
+  ncfg.enableMomentum = cfg_.enableMomentum;
+  ncfg.bootstrapMove = 0.1 * eng.density.grid().dx();
+  NesterovOptimizer opt(
+      2 * eng.nVars,
+      [&eng](std::span<const double> v, std::span<double> g) {
+        return eng.evalGrad(v, g);
+      },
+      ncfg, [&eng](std::span<double> v) { eng.project(v); });
+  opt.initialize(v0);
+
+  double prevHpwl = eng.exactHpwl(v0);
+  const double refDelta =
+      std::max(1e-12, cfg_.refHpwlDeltaFrac * std::max(prevHpwl, 1.0));
+
+  int iter = 0;
+  for (; iter < cfg_.maxIterations; ++iter) {
+    const auto info = opt.step();
+
+    double curHpwl, tau;
+    {
+      ScopedTimer t(breakdown_, "other");
+      curHpwl = eng.exactHpwl(opt.solution());
+      tau = eng.overflow(opt.solution());
+      eng.updateGamma(tau);
+
+      // Penalty schedule: aggressive while HPWL holds, relaxed when it
+      // degrades (RePlAce-style mu).
+      const double dHpwl = curHpwl - prevHpwl;
+      double mu = dHpwl < 0.0
+                      ? cfg_.lambdaMultMax
+                      : std::pow(cfg_.lambdaMultMax, 1.0 - dHpwl / refDelta);
+      mu = std::clamp(mu, cfg_.lambdaMultMin, cfg_.lambdaMultMax);
+      eng.lambda *= mu;
+      prevHpwl = curHpwl;
+    }
+
+    if (trace) {
+      // Sync positions so the callback can snapshot the live layout
+      // (Fig. 2 / Fig. 3 benches plot from the DB mid-run).
+      eng.writeBack(opt.solution(), movables_);
+      trace(GpIterTrace{iter, curHpwl, tau, eng.lambda, eng.gammaX,
+                        info.alpha, info.backtracks, eng.density.energy()});
+    }
+
+    if (tau <= cfg_.targetOverflow && iter >= cfg_.minIterations) {
+      result.converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  eng.writeBack(opt.solution(), movables_);
+  lambda_ = eng.lambda;
+  result.iterations = iter;
+  result.finalHpwl = eng.exactHpwl(opt.solution());
+  result.finalOverflow = eng.overflow(opt.solution());
+  result.finalLambda = eng.lambda;
+  result.gradEvals = opt.evalCount();
+  result.backtracks = opt.backtrackCount();
+  logInfo("GP: %d iters, HPWL %.4g, overflow %.3f, converged=%d", iter,
+          result.finalHpwl, result.finalOverflow, result.converged ? 1 : 0);
+  return result;
+}
+
+}  // namespace ep

@@ -1,0 +1,111 @@
+// The ePlace global placement engine (Sec. V): Nesterov's method over the
+// composite cost f(v) = W~(v) + lambda N(v), with
+//   * weighted-average wirelength smoothing, gamma scheduled from the
+//     density overflow tau (sharpening as spreading progresses);
+//   * eDensity electrostatic penalty with spectral gradients;
+//   * the approximated diagonal preconditioner |E_i| + lambda q_i (Eq. 12/13);
+//   * penalty factor lambda normalized from the first-iteration gradient
+//     ratio and multiplied per iteration by mu in [0.75, 1.1] driven by the
+//     HPWL delta (aggressive while wirelength is stable, relaxed when it
+//     degrades);
+//   * termination at overflow tau <= 10% (configurable) or the iteration cap.
+//
+// The same engine runs both placement phases: mGP optimizes all movables
+// (macros + cells + fillers); cGP re-runs it with macros fixed, after a
+// filler-only placement redistributes fillers around the legalized macros
+// (Sec. VI-B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "eplace/filler.h"
+#include "model/netlist.h"
+#include "opt/nesterov.h"
+#include "util/timer.h"
+
+namespace ep {
+
+struct GpConfig {
+  double targetOverflow = 0.10;  ///< mGP stop criterion (Sec. III)
+  int maxIterations = 3000;      ///< paper's cap (Sec. V-D)
+  int minIterations = 20;
+  std::size_t gridNx = 0;  ///< 0 = auto (power of two tracking object count)
+  std::size_t gridNy = 0;
+  bool enablePreconditioner = true;  ///< Sec. V-D ablation switch
+  bool enableBacktracking = true;    ///< Sec. V-C ablation switch
+  bool enableMomentum = true;        ///< degrade to gradient descent
+  /// lambda multiplier bounds and the HPWL delta (relative to initial HPWL)
+  /// that maps to mu = 1.0.
+  double lambdaMultMax = 1.1;
+  double lambdaMultMin = 0.95;
+  double refHpwlDeltaFrac = 1e-2;
+  /// Override the initial lambda (cGP uses lambda_mGP * 1.1^-m, Sec. VI-B).
+  std::optional<double> initialLambda;
+  std::uint64_t fillerSeed = 7;
+  NesterovConfig nesterov;
+};
+
+/// Per-iteration trace record (drives Fig. 2 / Fig. 3 benches).
+struct GpIterTrace {
+  int iter = 0;
+  double hpwl = 0.0;
+  double overflow = 0.0;
+  double lambda = 0.0;
+  double gamma = 0.0;
+  double alpha = 0.0;
+  int backtracks = 0;
+  double energy = 0.0;  ///< N(v)
+};
+
+struct GpResult {
+  int iterations = 0;
+  double finalOverflow = 0.0;
+  double finalHpwl = 0.0;
+  double finalLambda = 0.0;
+  bool converged = false;  ///< reached target overflow within the cap
+  long gradEvals = 0;
+  long backtracks = 0;
+};
+
+class GlobalPlacer {
+ public:
+  using TraceFn = std::function<void(const GpIterTrace&)>;
+
+  /// `movables`: DB object ids this phase optimizes (others stay put and are
+  /// treated as fixed charges if their `fixed` flag is set in the DB; a
+  /// non-fixed object excluded from `movables` would neither move nor repel,
+  /// so phases must keep flags consistent — the Flow does).
+  GlobalPlacer(PlacementDB& db, std::vector<std::int32_t> movables,
+               GpConfig cfg);
+
+  /// Create fillers from the DB whitespace budget (mGP) …
+  void makeFillersFromDb();
+  /// … or adopt an existing set (cGP reuses mGP's fillers).
+  void setFillers(FillerSet fillers);
+  [[nodiscard]] const FillerSet& fillers() const { return fillers_; }
+
+  /// Filler-only placement (Sec. VI-B): cells pinned, fillers spread by the
+  /// density force alone for a fixed number of iterations.
+  void runFillerOnly(int iterations);
+
+  /// Run the Nesterov loop until the overflow target or iteration cap.
+  GpResult run(TraceFn trace = {});
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+  /// Stage-internal runtime split (Fig. 7: density vs wirelength vs other).
+  [[nodiscard]] const TimeBreakdown& breakdown() const { return breakdown_; }
+
+ private:
+  struct Engine;  // internal arrays + callbacks, built per run
+  PlacementDB& db_;
+  std::vector<std::int32_t> movables_;
+  GpConfig cfg_;
+  FillerSet fillers_;
+  double lambda_ = 0.0;
+  TimeBreakdown breakdown_;
+};
+
+}  // namespace ep

@@ -1,0 +1,36 @@
+// Layout snapshot rendering to PPM (P6) images, used by the figure benches
+// (Fig. 3 mGP progression, Fig. 5 macro legalization, Fig. 6 cGP). Colors
+// follow the paper: standard cells red, macros black outlines, fillers blue,
+// fixed objects gray.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "model/netlist.h"
+
+namespace ep {
+
+struct PlotOptions {
+  int width = 512;   ///< image width in pixels; height follows aspect ratio
+  bool drawFixed = true;
+};
+
+/// Renders the DB layout. `fillers` optionally adds filler rectangles
+/// (center/size quadruples are taken from the spans, all sized like the
+/// ChargeView the placer maintains). Returns false when the file cannot be
+/// written.
+bool plotLayout(const PlacementDB& db, const std::string& path,
+                const PlotOptions& opts = {},
+                std::span<const double> fillerCx = {},
+                std::span<const double> fillerCy = {},
+                std::span<const double> fillerW = {},
+                std::span<const double> fillerH = {});
+
+/// Renders a scalar bin map (density rho, potential psi, field magnitude)
+/// as a blue->white->red heatmap, one pixel block per bin, normalized to
+/// the map's own [min, max]. Row-major nx*ny, index iy*nx+ix.
+bool plotScalarMap(std::span<const double> map, std::size_t nx,
+                   std::size_t ny, const std::string& path, int scale = 4);
+
+}  // namespace ep

@@ -1,0 +1,107 @@
+#include "fft/dct.h"
+
+#include <cassert>
+#include <numbers>
+
+namespace ep {
+
+Dct::Dct(std::size_t n) : n_(n), fft_(n), buf_(n), phase_(n), tmp_(n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = -std::numbers::pi * static_cast<double>(k) /
+                       (2.0 * static_cast<double>(n));
+    phase_[k] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void Dct::dct2(std::span<double> x) {
+  assert(x.size() == n_);
+  const std::size_t n = n_;
+  // Makhoul even/odd reindexing: v = [x0, x2, ..., x_{N-2}, x_{N-1}, ..., x3, x1].
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    buf_[i] = {x[2 * i], 0.0};
+    buf_[n - 1 - i] = {x[2 * i + 1], 0.0};
+  }
+  if (n == 1) buf_[0] = {x[0], 0.0};
+  fft_.forward(buf_);
+  // C_k = Re(e^{-i pi k/(2N)} V_k).
+  for (std::size_t k = 0; k < n; ++k) {
+    x[k] = (phase_[k] * buf_[k]).real();
+  }
+}
+
+void Dct::idct2(std::span<double> x) {
+  assert(x.size() == n_);
+  const std::size_t n = n_;
+  if (n == 1) return;  // dct2 of size 1 is the identity.
+  // Reconstruct V_k = e^{i pi k/(2N)} (C_k - i C_{N-k}), V_0 = C_0.
+  buf_[0] = {x[0], 0.0};
+  for (std::size_t k = 1; k < n; ++k) {
+    const Complex p{x[k], -x[n - k]};
+    buf_[k] = std::conj(phase_[k]) * p;
+  }
+  fft_.inverse(buf_);
+  // Undo the even/odd permutation.
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    x[2 * i] = buf_[i].real();
+    x[2 * i + 1] = buf_[n - 1 - i].real();
+  }
+}
+
+void Dct::cosineSynthesis(std::span<double> c) {
+  assert(c.size() == n_);
+  // y = (N/2) * idct2(c with the DC term doubled); see header for why.
+  c[0] *= 2.0;
+  idct2(c);
+  const double scale = static_cast<double>(n_) * 0.5;
+  for (auto& v : c) v *= scale;
+}
+
+void Dct::sineSynthesis(std::span<double> s) {
+  assert(s.size() == n_);
+  const std::size_t n = n_;
+  // sineSynthesis(s)_n = (-1)^n * cosineSynthesis(reverse(s))_n.
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = s[n - 1 - i];
+  for (std::size_t i = 0; i < n; ++i) s[i] = tmp_[i];
+  cosineSynthesis(s);
+  for (std::size_t i = 1; i < n; i += 2) s[i] = -s[i];
+}
+
+namespace {
+
+void apply(Dct& d, TrigOp op, std::span<double> v) {
+  switch (op) {
+    case TrigOp::kDct2:
+      d.dct2(v);
+      break;
+    case TrigOp::kIdct2:
+      d.idct2(v);
+      break;
+    case TrigOp::kCosSynth:
+      d.cosineSynthesis(v);
+      break;
+    case TrigOp::kSinSynth:
+      d.sineSynthesis(v);
+      break;
+  }
+}
+
+}  // namespace
+
+void transform2d(std::span<double> grid, std::size_t nx, std::size_t ny,
+                 Dct& dctX, Dct& dctY, TrigOp opX, TrigOp opY) {
+  assert(grid.size() == nx * ny);
+  assert(dctX.size() == nx && dctY.size() == ny);
+  // Rows (x direction, contiguous).
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    apply(dctX, opX, grid.subspan(iy * nx, nx));
+  }
+  // Columns (y direction, strided gather/scatter).
+  std::vector<double> col(ny);
+  for (std::size_t ix = 0; ix < nx; ++ix) {
+    for (std::size_t iy = 0; iy < ny; ++iy) col[iy] = grid[iy * nx + ix];
+    apply(dctY, opY, col);
+    for (std::size_t iy = 0; iy < ny; ++iy) grid[iy * nx + ix] = col[iy];
+  }
+}
+
+}  // namespace ep

@@ -1,0 +1,51 @@
+// Real trigonometric transforms built on the complex FFT (Makhoul's N-point
+// reindexing). These are the primitives of the spectral Poisson solver:
+//
+//   dct2(x)_k            = sum_n x_n cos(pi (2n+1) k / (2N))         (analysis)
+//   idct2                = exact inverse of dct2
+//   cosineSynthesis(c)_n = sum_k c_k cos(pi k (2n+1) / (2N))
+//                          (all terms full weight, including k = 0)
+//   sineSynthesis(s)_n   = sum_k s_k sin(pi (k+1) (2n+1) / (2N))
+//                          (s_k is the coefficient of frequency k+1)
+//
+// The synthesis pair evaluates a Neumann cosine series and its x-derivative
+// (a sine series) at bin centers — exactly what Eq. (6) of the paper needs.
+// All sizes must be powers of two. A Dct object owns scratch buffers and an
+// Fft plan so repeated application allocates nothing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fft/fft.h"
+
+namespace ep {
+
+class Dct {
+ public:
+  explicit Dct(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  void dct2(std::span<double> x);
+  void idct2(std::span<double> x);
+  void cosineSynthesis(std::span<double> c);
+  void sineSynthesis(std::span<double> s);
+
+ private:
+  std::size_t n_;
+  Fft fft_;
+  std::vector<Complex> buf_;
+  std::vector<Complex> phase_;  // e^{-i pi k / (2N)}
+  std::vector<double> tmp_;
+};
+
+/// Apply a 1-D transform (a Dct member) along both axes of a row-major
+/// nx*ny grid (index = iy*nx + ix). `dctX` must have size nx, `dctY` size ny.
+/// `op` selects the member function to apply.
+enum class TrigOp { kDct2, kIdct2, kCosSynth, kSinSynth };
+
+void transform2d(std::span<double> grid, std::size_t nx, std::size_t ny,
+                 Dct& dctX, Dct& dctY, TrigOp opX, TrigOp opY);
+
+}  // namespace ep

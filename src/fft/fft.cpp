@@ -1,0 +1,63 @@
+#include "fft/fft.h"
+
+#include <cassert>
+#include <numbers>
+
+namespace ep {
+
+std::size_t nextPowerOfTwo(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+Fft::Fft(std::size_t n) : n_(n) {
+  assert(isPowerOfTwo(n));
+  bitrev_.resize(n);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    }
+    bitrev_[i] = r;
+  }
+  twiddle_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    twiddle_[k] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void Fft::transform(std::span<Complex> data, bool invert) const {
+  assert(data.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t stride = n_ / len;
+    const std::size_t half = len / 2;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        Complex w = twiddle_[k * stride];
+        if (invert) w = std::conj(w);
+        const Complex u = data[start + k];
+        const Complex t = data[start + k + half] * w;
+        data[start + k] = u + t;
+        data[start + k + half] = u - t;
+      }
+    }
+  }
+  if (invert) {
+    const double inv = 1.0 / static_cast<double>(n_);
+    for (auto& x : data) x *= inv;
+  }
+}
+
+void Fft::forward(std::span<Complex> data) const { transform(data, false); }
+void Fft::inverse(std::span<Complex> data) const { transform(data, true); }
+
+}  // namespace ep

@@ -1,0 +1,47 @@
+// Iterative radix-2 complex FFT with cached twiddle factors.
+//
+// The paper solves the density Poisson equation spectrally (Sec. IV,
+// O(n log n) via FFT). FFTW is not a dependency of this repo; this module is
+// the from-scratch replacement. Sizes are powers of two — the density grid
+// is chosen as a power of two precisely so radix-2 suffices.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ep {
+
+using Complex = std::complex<double>;
+
+/// FFT plan for a fixed power-of-two size. Reusable and cheap to apply; the
+/// constructor precomputes the bit-reversal permutation and twiddle table.
+class Fft {
+ public:
+  /// `n` must be a power of two and >= 1.
+  explicit Fft(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place forward DFT: X_k = sum_n x_n e^{-2 pi i n k / N}.
+  void forward(std::span<Complex> data) const;
+
+  /// In-place inverse DFT including the 1/N factor.
+  void inverse(std::span<Complex> data) const;
+
+ private:
+  void transform(std::span<Complex> data, bool invert) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;
+  std::vector<Complex> twiddle_;  // e^{-2 pi i k / N}, k in [0, N/2)
+};
+
+/// True when v is a power of two (and nonzero).
+constexpr bool isPowerOfTwo(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v >= 1).
+std::size_t nextPowerOfTwo(std::size_t v);
+
+}  // namespace ep

@@ -1,0 +1,83 @@
+#include "fft/poisson.h"
+
+#include <cassert>
+#include <numbers>
+
+namespace ep {
+
+PoissonSolver::PoissonSolver(std::size_t nx, std::size_t ny, double dx,
+                             double dy)
+    : nx_(nx),
+      ny_(ny),
+      dctX_(nx),
+      dctY_(ny),
+      wx_(nx),
+      wy_(ny),
+      coeff_(nx * ny),
+      psi_(nx * ny),
+      ex_(nx * ny),
+      ey_(nx * ny) {
+  assert(isPowerOfTwo(nx) && isPowerOfTwo(ny));
+  const double widthX = static_cast<double>(nx) * dx;
+  const double widthY = static_cast<double>(ny) * dy;
+  for (std::size_t u = 0; u < nx; ++u) {
+    wx_[u] = std::numbers::pi * static_cast<double>(u) / widthX;
+  }
+  for (std::size_t v = 0; v < ny; ++v) {
+    wy_[v] = std::numbers::pi * static_cast<double>(v) / widthY;
+  }
+}
+
+void PoissonSolver::solve(std::span<const double> rho) {
+  assert(rho.size() == nx_ * ny_);
+  const std::size_t nx = nx_, ny = ny_;
+
+  // Analysis: raw DCT-II both axes, then orthogonality normalization
+  // (2/N per axis, halved for the zero frequency).
+  std::copy(rho.begin(), rho.end(), coeff_.begin());
+  transform2d(coeff_, nx, ny, dctX_, dctY_, TrigOp::kDct2, TrigOp::kDct2);
+  const double sx = 2.0 / static_cast<double>(nx);
+  const double sy = 2.0 / static_cast<double>(ny);
+  for (std::size_t v = 0; v < ny; ++v) {
+    const double fy = (v == 0) ? sy * 0.5 : sy;
+    for (std::size_t u = 0; u < nx; ++u) {
+      const double fx = (u == 0) ? sx * 0.5 : sx;
+      coeff_[v * nx + u] *= fx * fy;
+    }
+  }
+  coeff_[0] = 0.0;  // zero-frequency removal (Eq. 6, third line)
+
+  // Potential: psi_uv = a_uv / (w_u^2 + w_v^2).
+  for (std::size_t v = 0; v < ny; ++v) {
+    for (std::size_t u = 0; u < nx; ++u) {
+      if (u == 0 && v == 0) {
+        psi_[0] = 0.0;
+        continue;
+      }
+      const double w2 = wx_[u] * wx_[u] + wy_[v] * wy_[v];
+      psi_[v * nx + u] = coeff_[v * nx + u] / w2;
+    }
+  }
+
+  // Field x: -psi_uv * w_u paired with sin(w_u x); sineSynthesis stores the
+  // coefficient of frequency u at slot u-1, and frequency nx is absent.
+  for (std::size_t v = 0; v < ny; ++v) {
+    for (std::size_t u = 1; u < nx; ++u) {
+      ex_[v * nx + (u - 1)] = -psi_[v * nx + u] * wx_[u];
+    }
+    ex_[v * nx + (nx - 1)] = 0.0;
+  }
+  // Field y likewise along the y axis.
+  for (std::size_t u = 0; u < nx; ++u) {
+    for (std::size_t v = 1; v < ny; ++v) {
+      ey_[(v - 1) * nx + u] = -psi_[v * nx + u] * wy_[v];
+    }
+    ey_[(ny - 1) * nx + u] = 0.0;
+  }
+
+  transform2d(psi_, nx, ny, dctX_, dctY_, TrigOp::kCosSynth, TrigOp::kCosSynth);
+  transform2d(ex_, nx, ny, dctX_, dctY_, TrigOp::kSinSynth, TrigOp::kCosSynth);
+  transform2d(ey_, nx, ny, dctX_, dctY_, TrigOp::kCosSynth, TrigOp::kSinSynth);
+}
+
+}  // namespace ep

@@ -1,0 +1,52 @@
+// Spectral solver for the placement Poisson problem, Eq. (6) of the paper:
+//
+//   div grad psi(x,y) = -rho(x,y)      on R = [0, nx*dx] x [0, ny*dy]
+//   n . grad psi = 0                   on dR (Neumann)
+//   integral of rho = integral of psi = 0   (zero-frequency removal)
+//
+// With Neumann walls the natural basis is the half-sample cosine family
+// cos(w_u x), w_u = pi u / W, evaluated at bin centers — exactly the DCT-II
+// grid. Writing rho = sum a_uv cos(w_u x) cos(w_v y) gives
+//
+//   psi   = sum  a_uv / (w_u^2 + w_v^2) cos(w_u x) cos(w_v y)
+//   dpsi/dx = sum -a_uv w_u / (w_u^2 + w_v^2) sin(w_u x) cos(w_v y)
+//
+// a_00 is dropped per the paper so that the equilibrium couples to an even
+// charge distribution inside R. Total cost is O(n log n): four 2-D real
+// transforms per solve.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fft/dct.h"
+
+namespace ep {
+
+class PoissonSolver {
+ public:
+  /// Grid of nx*ny bins (each a power of two) of physical size dx*dy.
+  PoissonSolver(std::size_t nx, std::size_t ny, double dx, double dy);
+
+  /// Solve for the density grid `rho` (row-major, index iy*nx+ix).
+  /// After the call psi(), fieldX(), fieldY() hold the potential and its
+  /// gradient (xi = grad psi) sampled at bin centers.
+  void solve(std::span<const double> rho);
+
+  [[nodiscard]] std::span<const double> psi() const { return psi_; }
+  [[nodiscard]] std::span<const double> fieldX() const { return ex_; }
+  [[nodiscard]] std::span<const double> fieldY() const { return ey_; }
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+
+ private:
+  std::size_t nx_, ny_;
+  Dct dctX_, dctY_;
+  std::vector<double> wx_, wy_;   // angular frequencies w_u, w_v
+  std::vector<double> coeff_;     // a_uv scratch
+  std::vector<double> psi_, ex_, ey_;
+};
+
+}  // namespace ep

@@ -1,0 +1,45 @@
+// Synthetic ISPD-like benchmark generator.
+//
+// The real ISPD 2005/2006 and MMS contest circuits are not redistributable
+// inside this repository, so the experiment suites run on deterministic
+// synthetic instances that preserve the statistics the placement algorithms
+// react to: hypergraph sparsity (mean net degree ~3.5 with a geometric
+// tail), locality (clustered "natural" netlist structure so good placements
+// exist and quality differences are measurable), whitespace/utilization,
+// benchmark-specific target densities, a mix of fixed blocks + boundary IO
+// pads (ISPD 2005/2006 style) or movable macros + fixed IO blocks (MMS
+// style). The Bookshelf reader in src/bookshelf accepts the genuine
+// benchmarks when available.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/netlist.h"
+
+namespace ep {
+
+struct GenSpec {
+  std::string name = "synthetic";
+  std::size_t numCells = 2000;   ///< movable standard cells
+  std::size_t numMovableMacros = 0;
+  std::size_t numFixedMacros = 0;
+  std::size_t numIo = 64;        ///< fixed periphery pads
+  double netsPerCell = 1.1;
+  double avgNetDegree = 3.5;     ///< >= 2; geometric tail, capped at 16
+  double utilization = 0.7;      ///< movable area / (rho_t * free area)
+  double targetDensity = 1.0;    ///< rho_t
+  double macroAreaFraction = 0.3; ///< movable area share in macros (MMS)
+  double locality = 0.75;        ///< fraction of pins drawn cluster-locally
+  double ioNetFraction = 0.08;   ///< nets that include an IO pad
+  double rowHeight = 1.0;
+  double siteWidth = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a finalized, validated PlacementDB. Deterministic per spec.
+/// Movable objects start at their "natural" (generator-latent) positions;
+/// callers normally run mIP first anyway.
+PlacementDB generateCircuit(const GenSpec& spec);
+
+}  // namespace ep

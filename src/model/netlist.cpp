@@ -1,0 +1,117 @@
+#include "model/netlist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ep {
+
+void PlacementDB::finalize() {
+  movable_.clear();
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (!objects[i].fixed) movable_.push_back(static_cast<std::int32_t>(i));
+  }
+  // CSR of object -> incident nets. A net touching the same object through
+  // several pins counts once per pin for degree purposes (matches |E_i| as
+  // "net subset incident" closely enough and is cheaper; duplicates are rare
+  // in these benchmarks).
+  std::vector<std::int32_t> counts(objects.size() + 1, 0);
+  for (const auto& net : nets) {
+    for (const auto& pin : net.pins) ++counts[static_cast<std::size_t>(pin.obj) + 1];
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  objNetStart_ = counts;
+  objNetIds_.assign(static_cast<std::size_t>(objNetStart_.back()), 0);
+  std::vector<std::int32_t> cursor(objNetStart_.begin(), objNetStart_.end() - 1);
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    for (const auto& pin : nets[n].pins) {
+      objNetIds_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(pin.obj)]++)] =
+          static_cast<std::int32_t>(n);
+    }
+  }
+  finalized_ = true;
+}
+
+std::size_t PlacementDB::numMovableMacros() const {
+  std::size_t k = 0;
+  for (auto i : movable_) {
+    if (objects[static_cast<std::size_t>(i)].kind == ObjKind::kMacro) ++k;
+  }
+  return k;
+}
+
+std::vector<std::int32_t> PlacementDB::netsOf(std::int32_t obj) const {
+  const auto b = static_cast<std::size_t>(objNetStart_[static_cast<std::size_t>(obj)]);
+  const auto e = static_cast<std::size_t>(objNetStart_[static_cast<std::size_t>(obj) + 1]);
+  return {objNetIds_.begin() + static_cast<std::ptrdiff_t>(b),
+          objNetIds_.begin() + static_cast<std::ptrdiff_t>(e)};
+}
+
+std::int32_t PlacementDB::degreeOf(std::int32_t obj) const {
+  return objNetStart_[static_cast<std::size_t>(obj) + 1] -
+         objNetStart_[static_cast<std::size_t>(obj)];
+}
+
+double PlacementDB::totalMovableArea() const {
+  double a = 0.0;
+  for (auto i : movable_) a += objects[static_cast<std::size_t>(i)].area();
+  return a;
+}
+
+double PlacementDB::fixedAreaInRegion() const {
+  double a = 0.0;
+  for (const auto& o : objects) {
+    if (o.fixed) a += o.rect().overlapArea(region);
+  }
+  return a;
+}
+
+double PlacementDB::freeArea() const {
+  return region.area() - fixedAreaInRegion();
+}
+
+std::string PlacementDB::validate() const {
+  std::ostringstream err;
+  if (region.empty()) return "region is empty";
+  if (!finalized_) return "finalize() has not been called";
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const auto& o = objects[i];
+    if (!(o.w > 0.0) || !(o.h > 0.0)) {
+      err << "object " << o.name << " has non-positive dims";
+      return err.str();
+    }
+    if (!std::isfinite(o.lx) || !std::isfinite(o.ly)) {
+      err << "object " << o.name << " has non-finite position";
+      return err.str();
+    }
+  }
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    if (nets[n].pins.empty()) {
+      err << "net " << nets[n].name << " has no pins";
+      return err.str();
+    }
+    for (const auto& pin : nets[n].pins) {
+      if (pin.obj < 0 ||
+          static_cast<std::size_t>(pin.obj) >= objects.size()) {
+        err << "net " << nets[n].name << " references invalid object "
+            << pin.obj;
+        return err.str();
+      }
+    }
+    if (nets[n].weight <= 0.0) {
+      err << "net " << nets[n].name << " has non-positive weight";
+      return err.str();
+    }
+  }
+  for (const auto& r : rows) {
+    if (r.height <= 0.0 || r.siteWidth <= 0.0 || r.numSites <= 0) {
+      return "row with non-positive geometry";
+    }
+  }
+  if (targetDensity <= 0.0 || targetDensity > 1.0) {
+    return "target density out of (0, 1]";
+  }
+  return {};
+}
+
+}  // namespace ep

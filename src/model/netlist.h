@@ -1,0 +1,127 @@
+// Placement instance model: objects (standard cells, macros, IO pads),
+// hyperedge nets with pin offsets, placement rows and the core region.
+//
+// This is the G = (V, E, R) of Section II of the paper. The model follows
+// Bookshelf (ISPD contest) conventions: pin offsets are measured from the
+// object center; "terminals" are fixed objects. Fillers are *not* part of
+// the instance — they are an optimizer-internal device and live in
+// src/eplace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace ep {
+
+enum class ObjKind : std::uint8_t { kStdCell, kMacro, kIo };
+
+/// One placeable (or fixed) rectangle. Position is the lower-left corner.
+struct Object {
+  std::string name;
+  ObjKind kind = ObjKind::kStdCell;
+  double w = 0.0;
+  double h = 0.0;
+  double lx = 0.0;
+  double ly = 0.0;
+  bool fixed = false;
+
+  [[nodiscard]] double area() const { return w * h; }
+  [[nodiscard]] Rect rect() const { return {lx, ly, lx + w, ly + h}; }
+  [[nodiscard]] Point center() const { return {lx + w * 0.5, ly + h * 0.5}; }
+  void setCenter(double cx, double cy) {
+    lx = cx - w * 0.5;
+    ly = cy - h * 0.5;
+  }
+};
+
+/// Pin direction (Bookshelf I/O/B). Drives the timing graph; placement
+/// itself is direction-agnostic.
+enum class PinDir : std::uint8_t { kUnknown, kInput, kOutput };
+
+/// A pin: an object index plus an offset of the pin from the object center.
+struct PinRef {
+  std::int32_t obj = -1;
+  double ox = 0.0;
+  double oy = 0.0;
+  PinDir dir = PinDir::kUnknown;
+};
+
+/// A hyperedge over pins with an optional weight (Bookshelf .wts).
+struct Net {
+  std::string name;
+  std::vector<PinRef> pins;
+  double weight = 1.0;
+
+  [[nodiscard]] std::size_t degree() const { return pins.size(); }
+};
+
+/// One placement row (Bookshelf .scl). All rows share a height in the
+/// designs we model; sites are uniform.
+struct Row {
+  double lx = 0.0;
+  double ly = 0.0;
+  double height = 0.0;
+  double siteWidth = 1.0;
+  std::int32_t numSites = 0;
+
+  [[nodiscard]] double hx() const {
+    return lx + siteWidth * static_cast<double>(numSites);
+  }
+};
+
+/// The full placement instance plus derived connectivity.
+class PlacementDB {
+ public:
+  std::string name;
+  Rect region;
+  std::vector<Object> objects;
+  std::vector<Net> nets;
+  std::vector<Row> rows;
+  /// Per-bin density upper bound rho_t (1.0 for ISPD 2005, lower for 2006).
+  double targetDensity = 1.0;
+
+  /// (Re)build derived structures: movable index list and the object->nets
+  /// CSR map. Must be called after the instance is assembled or edited
+  /// structurally (moving objects is fine without a rebuild).
+  void finalize();
+
+  [[nodiscard]] const std::vector<std::int32_t>& movable() const {
+    return movable_;
+  }
+  [[nodiscard]] std::size_t numMovable() const { return movable_.size(); }
+  [[nodiscard]] std::size_t numMovableMacros() const;
+
+  /// Nets incident to object i (CSR lookup).
+  [[nodiscard]] std::vector<std::int32_t> netsOf(std::int32_t obj) const;
+  /// Vertex degree |E_i| — the wirelength preconditioner term of Eq. (12).
+  [[nodiscard]] std::int32_t degreeOf(std::int32_t obj) const;
+
+  [[nodiscard]] double totalMovableArea() const;
+  /// Area of fixed objects clipped to the core region.
+  [[nodiscard]] double fixedAreaInRegion() const;
+  /// Whitespace available to movable objects: region minus clipped fixed.
+  [[nodiscard]] double freeArea() const;
+
+  /// Pin position for a PinRef given current object placement.
+  [[nodiscard]] Point pinPos(const PinRef& p) const {
+    const Point c = objects[static_cast<std::size_t>(p.obj)].center();
+    return {c.x + p.ox, c.y + p.oy};
+  }
+
+  /// Validate structural invariants (pin indices in range, positive dims,
+  /// non-empty region, finalized connectivity). Returns an empty string on
+  /// success or a description of the first violation.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::vector<std::int32_t> movable_;
+  // CSR: nets incident to each object.
+  std::vector<std::int32_t> objNetStart_;
+  std::vector<std::int32_t> objNetIds_;
+  bool finalized_ = false;
+};
+
+}  // namespace ep

@@ -1,0 +1,64 @@
+// Conjugate-gradient nonlinear optimizer with Armijo backtracking line
+// search. This is the optimizer class of the prior nonlinear placers the
+// paper compares against (APlace / NTUplace3-style); Sec. V-A quantifies
+// line search as >60% of their runtime, which bench_ablation_linesearch
+// reproduces via the lineSearchSeconds() counter.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "opt/nesterov.h"  // GradFn / ProjectionFn
+
+namespace ep {
+
+struct CgConfig {
+  double armijoC = 1e-4;          ///< sufficient-decrease constant
+  double shrink = 0.5;            ///< step shrink factor per trial
+  int maxTrials = 30;             ///< cap on line-search trials
+  double growth = 2.0;            ///< first trial = growth * last accepted
+  double initialStep = 1.0;       ///< first iteration trial step
+  int restartInterval = 50;       ///< periodic steepest-descent restart
+};
+
+class CgOptimizer {
+ public:
+  CgOptimizer(std::size_t dim, GradFn fn, CgConfig cfg = {},
+              ProjectionFn projection = {});
+
+  void initialize(std::span<const double> v0);
+
+  struct StepInfo {
+    double alpha = 0.0;
+    int trials = 0;          ///< line-search evaluations this iteration
+    double objective = 0.0;  ///< f at the accepted point
+    double gradNorm = 0.0;
+  };
+
+  /// One Polak-Ribiere+ iteration with Armijo line search.
+  StepInfo step();
+
+  [[nodiscard]] std::span<const double> solution() const { return x_; }
+  [[nodiscard]] long evalCount() const { return evals_; }
+  /// Wall time spent inside line-search evaluations (Sec. V-A experiment).
+  [[nodiscard]] double lineSearchSeconds() const { return lineSearchSec_; }
+  [[nodiscard]] double totalSeconds() const { return totalSec_; }
+
+ private:
+  double evaluate(std::span<const double> v, std::span<double> grad);
+
+  std::size_t dim_;
+  GradFn fn_;
+  CgConfig cfg_;
+  ProjectionFn project_;
+
+  std::vector<double> x_, grad_, prevGrad_, dir_, trial_, trialGrad_;
+  double f_ = 0.0;
+  double lastStep_ = 0.0;
+  int iter_ = 0;
+  long evals_ = 0;
+  double lineSearchSec_ = 0.0;
+  double totalSec_ = 0.0;
+};
+
+}  // namespace ep

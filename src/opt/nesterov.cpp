@@ -1,0 +1,115 @@
+#include "opt/nesterov.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace ep {
+
+NesterovOptimizer::NesterovOptimizer(std::size_t dim, GradFn fn,
+                                     NesterovConfig cfg,
+                                     ProjectionFn projection)
+    : dim_(dim),
+      fn_(std::move(fn)),
+      cfg_(cfg),
+      project_(std::move(projection)),
+      u_(dim),
+      cur_(dim),
+      prev_(dim),
+      curGrad_(dim),
+      prevGrad_(dim),
+      uNext_(dim),
+      vNext_(dim),
+      gradNext_(dim) {}
+
+double NesterovOptimizer::evaluate(std::span<const double> v,
+                                   std::span<double> grad) {
+  ++evals_;
+  return fn_(v, grad);
+}
+
+void NesterovOptimizer::initialize(std::span<const double> v0) {
+  assert(v0.size() == dim_);
+  std::copy(v0.begin(), v0.end(), cur_.begin());
+  std::copy(v0.begin(), v0.end(), u_.begin());
+  evaluate(cur_, curGrad_);
+  // Fictitious previous iterate: a small gradient step backward in time so
+  // that the first Lipschitz prediction has a (position, gradient) pair.
+  double gmax = 0.0;
+  for (double g : curGrad_) gmax = std::max(gmax, std::abs(g));
+  const double s = gmax > 0.0 ? cfg_.bootstrapMove / gmax : 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) prev_[i] = cur_[i] - s * curGrad_[i];
+  if (project_) project_(prev_);
+  evaluate(prev_, prevGrad_);
+  a_ = 1.0;
+  lastAlpha_ = 0.0;
+  iter_ = 0;
+}
+
+NesterovOptimizer::StepInfo NesterovOptimizer::step() {
+  StepInfo info;
+
+  const double dv = dist2(cur_, prev_);
+  const double dg = dist2(curGrad_, prevGrad_);
+  double alpha = (dg > 0.0 && dv > 0.0) ? dv / dg
+                 : (lastAlpha_ > 0.0 ? lastAlpha_ : cfg_.bootstrapMove);
+
+  const double aNext = (1.0 + std::sqrt(4.0 * a_ * a_ + 1.0)) * 0.5;
+  const double coef = cfg_.enableMomentum ? (a_ - 1.0) / aNext : 0.0;
+
+  double objective = 0.0;
+  for (int bt = 0;; ++bt) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      uNext_[i] = cur_[i] - alpha * curGrad_[i];
+    }
+    if (project_) project_(uNext_);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      vNext_[i] = uNext_[i] + coef * (uNext_[i] - u_[i]);
+    }
+    if (project_) project_(vNext_);
+
+    objective = evaluate(vNext_, gradNext_);
+
+    if (!cfg_.enableBacktracking || bt >= cfg_.maxBacktracks) {
+      info.backtracks = bt;
+      break;
+    }
+    const double ddv = dist2(vNext_, cur_);
+    const double ddg = dist2(gradNext_, curGrad_);
+    if (ddg <= 0.0 || ddv <= 0.0) {  // flat or zero move: accept
+      info.backtracks = bt;
+      break;
+    }
+    const double alphaRef = ddv / ddg;
+    // Backtrack only when the reference says the step was a genuine
+    // overestimate; a reference at or above the current step cannot shrink
+    // it (re-taking the same step would loop forever on e.g. an exact
+    // quadratic where prediction is already tight).
+    if (alphaRef >= alpha || alpha <= cfg_.backtrackEps * alphaRef) {
+      info.backtracks = bt;
+      break;
+    }
+    alpha = alphaRef;
+    ++backtracks_;
+  }
+
+  // Accept: shift the iterate history; the gradient at the accepted
+  // lookahead point is reused next iteration.
+  std::swap(u_, uNext_);
+  std::swap(prev_, cur_);
+  std::swap(cur_, vNext_);
+  std::swap(prevGrad_, curGrad_);
+  std::swap(curGrad_, gradNext_);
+  a_ = aNext;
+  lastAlpha_ = alpha;
+  ++iter_;
+
+  info.alpha = alpha;
+  info.objective = objective;
+  info.gradNorm = norm2(curGrad_);
+  return info;
+}
+
+}  // namespace ep

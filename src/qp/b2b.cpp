@@ -1,0 +1,100 @@
+#include "qp/b2b.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ep {
+
+namespace {
+
+struct PinCoord {
+  double coord;   // absolute pin coordinate on this axis
+  double offset;  // pin offset from object center
+  std::int32_t var;  // variable index or -1 when fixed
+};
+
+}  // namespace
+
+void buildB2B(const PlacementDB& db, Axis axis,
+              std::span<const std::int32_t> objToVar,
+              std::span<const double> pos, CooBuilder& builder,
+              std::span<double> rhs) {
+  std::vector<PinCoord> pins;
+  for (const auto& net : db.nets) {
+    if (net.pins.size() < 2) continue;
+    pins.clear();
+    for (const auto& pin : net.pins) {
+      const auto v = objToVar[static_cast<std::size_t>(pin.obj)];
+      const double off = (axis == Axis::kX) ? pin.ox : pin.oy;
+      double c;
+      if (v >= 0) {
+        c = pos[static_cast<std::size_t>(v)] + off;
+      } else {
+        const Point pc = db.objects[static_cast<std::size_t>(pin.obj)].center();
+        c = ((axis == Axis::kX) ? pc.x : pc.y) + off;
+      }
+      pins.push_back({c, off, v});
+    }
+    std::size_t lo = 0, hi = 0;
+    for (std::size_t k = 1; k < pins.size(); ++k) {
+      if (pins[k].coord < pins[lo].coord) lo = k;
+      if (pins[k].coord > pins[hi].coord) hi = k;
+    }
+    if (lo == hi) hi = (lo + 1) % pins.size();  // degenerate: all equal
+
+    const double degScale =
+        2.0 / (static_cast<double>(pins.size()) - 1.0) * net.weight;
+    const double minSep = 1e-6;
+
+    auto connect = [&](std::size_t a, std::size_t b) {
+      if (a == b) return;
+      const PinCoord& p = pins[a];
+      const PinCoord& q = pins[b];
+      if (p.var < 0 && q.var < 0) return;
+      const double sep = std::max(std::abs(p.coord - q.coord), minSep);
+      const double w = degScale / sep;
+      if (p.var >= 0 && q.var >= 0) {
+        builder.addSpring(p.var, q.var, w);
+        // Offsets enter the linear term: w (x_p + op - x_q - oq)^2.
+        rhs[static_cast<std::size_t>(p.var)] += w * (q.offset - p.offset);
+        rhs[static_cast<std::size_t>(q.var)] += w * (p.offset - q.offset);
+      } else {
+        const PinCoord& mov = p.var >= 0 ? p : q;
+        const PinCoord& fix = p.var >= 0 ? q : p;
+        builder.addDiag(mov.var, w);
+        rhs[static_cast<std::size_t>(mov.var)] +=
+            w * (fix.coord - mov.offset);
+      }
+    };
+
+    // Bound-bound connection plus every interior pin to both bounds.
+    connect(lo, hi);
+    for (std::size_t k = 0; k < pins.size(); ++k) {
+      if (k == lo || k == hi) continue;
+      connect(k, lo);
+      connect(k, hi);
+    }
+  }
+}
+
+double quadraticNetCost(const PlacementDB& db) {
+  double total = 0.0;
+  for (const auto& net : db.nets) {
+    if (net.pins.size() < 2) continue;
+    double lx = std::numeric_limits<double>::max(), hx = -lx;
+    double ly = lx, hy = -lx;
+    for (const auto& pin : net.pins) {
+      const Point p = db.pinPos(pin);
+      lx = std::min(lx, p.x);
+      hx = std::max(hx, p.x);
+      ly = std::min(ly, p.y);
+      hy = std::max(hy, p.y);
+    }
+    total += net.weight * ((hx - lx) * (hx - lx) + (hy - ly) * (hy - ly));
+  }
+  return total;
+}
+
+}  // namespace ep

@@ -1,0 +1,38 @@
+// Bound-to-Bound (B2B) quadratic net model [Spindler et al., Kraftwerk2].
+//
+// For each net and axis the extreme pins (min and max) are identified from
+// the *current* placement; every pin connects to both bounds with weight
+//   w = 2 / ((P - 1) * |coord_p - coord_bound|)
+// which makes the quadratic form's optimum reproduce the net's HPWL
+// linearization at the linearization point. The mixed-size initial placement
+// (mIP) and the quadratic baseline placer both iterate: build B2B at the
+// current point, solve, repeat.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/netlist.h"
+#include "qp/sparse.h"
+
+namespace ep {
+
+enum class Axis : std::uint8_t { kX, kY };
+
+/// Builds the B2B system for one axis.
+/// `objToVar` maps object index -> variable index (-1 = fixed; its pin
+/// positions come from the DB). `pos` holds the current centers of the
+/// variables on this axis (the linearization point).
+/// Appends entries to `builder` and adds the linear terms to `rhs`.
+void buildB2B(const PlacementDB& db, Axis axis,
+              std::span<const std::int32_t> objToVar,
+              std::span<const double> pos, CooBuilder& builder,
+              std::span<double> rhs);
+
+/// Quadratic wirelength of the current DB placement under the clique/B2B
+/// hybrid used for reporting in tests:  sum over nets of
+/// weight * ((max-min)^2 contributions). Exposed mainly for unit tests.
+double quadraticNetCost(const PlacementDB& db);
+
+}  // namespace ep

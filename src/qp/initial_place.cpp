@@ -1,0 +1,99 @@
+#include "qp/initial_place.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qp/b2b.h"
+#include "qp/sparse.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+
+InitialPlaceResult quadraticInitialPlace(PlacementDB& db,
+                                         const InitialPlaceConfig& cfg) {
+  InitialPlaceResult result;
+  result.hpwlBefore = hpwl(db);
+
+  const auto& movable = db.movable();
+  const auto n = static_cast<std::int32_t>(movable.size());
+  if (n == 0) {
+    result.hpwlAfter = result.hpwlBefore;
+    return result;
+  }
+
+  std::vector<std::int32_t> objToVar(db.objects.size(), -1);
+  for (std::int32_t v = 0; v < n; ++v) {
+    objToVar[static_cast<std::size_t>(movable[static_cast<std::size_t>(v)])] = v;
+  }
+
+  // Seed: region center plus deterministic jitter.
+  const Point c = db.region.center();
+  Rng rng(cfg.seed);
+  std::vector<double> x(static_cast<std::size_t>(n)),
+      y(static_cast<std::size_t>(n));
+  const double jx = cfg.seedJitter * db.region.width();
+  const double jy = cfg.seedJitter * db.region.height();
+  for (std::int32_t v = 0; v < n; ++v) {
+    x[static_cast<std::size_t>(v)] = c.x + rng.uniform(-jx, jx);
+    y[static_cast<std::size_t>(v)] = c.y + rng.uniform(-jy, jy);
+  }
+
+  bool hasFixedPin = false;
+  for (const auto& net : db.nets) {
+    for (const auto& pin : net.pins) {
+      if (db.objects[static_cast<std::size_t>(pin.obj)].fixed) {
+        hasFixedPin = true;
+        break;
+      }
+    }
+    if (hasFixedPin) break;
+  }
+
+  auto solveAxis = [&](Axis axis, std::vector<double>& pos) {
+    CooBuilder builder(n);
+    std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+    buildB2B(db, axis, objToVar, pos, builder, rhs);
+    if (!hasFixedPin) {
+      const double anchorPos = (axis == Axis::kX) ? c.x : c.y;
+      for (std::int32_t v = 0; v < n; ++v) {
+        builder.addDiag(v, cfg.fallbackAnchor);
+        rhs[static_cast<std::size_t>(v)] += cfg.fallbackAnchor * anchorPos;
+      }
+    }
+    const Csr A = builder.build();
+    const CgResult cg =
+        cgSolve(A, rhs, pos, cfg.cgMaxIterations, cfg.cgTolerance);
+    result.totalCgIterations += cg.iterations;
+  };
+
+  for (int it = 0; it < cfg.outerIterations; ++it) {
+    solveAxis(Axis::kX, x);
+    solveAxis(Axis::kY, y);
+  }
+
+  // Write back, clamping centers so every object stays inside the region.
+  // (Objects larger than the region — not seen in practice — sit centered.)
+  auto clampOrMid = [](double v, double lo, double hi) {
+    return lo > hi ? 0.5 * (lo + hi) : std::clamp(v, lo, hi);
+  };
+  for (std::int32_t v = 0; v < n; ++v) {
+    auto& o = db.objects[static_cast<std::size_t>(
+        movable[static_cast<std::size_t>(v)])];
+    const double cx =
+        clampOrMid(x[static_cast<std::size_t>(v)], db.region.lx + o.w * 0.5,
+                   db.region.hx - o.w * 0.5);
+    const double cy =
+        clampOrMid(y[static_cast<std::size_t>(v)], db.region.ly + o.h * 0.5,
+                   db.region.hy - o.h * 0.5);
+    o.setCenter(cx, cy);
+  }
+
+  result.hpwlAfter = hpwl(db);
+  logInfo("mIP: HPWL %.4g -> %.4g (%d CG iterations)", result.hpwlBefore,
+          result.hpwlAfter, result.totalCgIterations);
+  return result;
+}
+
+}  // namespace ep

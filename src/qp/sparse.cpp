@@ -1,0 +1,110 @@
+#include "qp/sparse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace ep {
+
+void Csr::multiply(std::span<const double> x, std::span<double> y) const {
+  assert(x.size() == static_cast<std::size_t>(n));
+  assert(y.size() == static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::int32_t k = start[static_cast<std::size_t>(i)];
+         k < start[static_cast<std::size_t>(i) + 1]; ++k) {
+      s += val[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(col[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+void CooBuilder::addDiag(std::int32_t i, double w) {
+  entries_.push_back({i, i, w});
+}
+
+void CooBuilder::addOffDiag(std::int32_t i, std::int32_t j, double w) {
+  entries_.push_back({i, j, w});
+  entries_.push_back({j, i, w});
+}
+
+void CooBuilder::addSpring(std::int32_t i, std::int32_t j, double w) {
+  addDiag(i, w);
+  addDiag(j, w);
+  addOffDiag(i, j, -w);
+}
+
+Csr CooBuilder::build() const {
+  auto sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  Csr m;
+  m.n = n_;
+  m.start.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::size_t k = 0; k < sorted.size();) {
+    std::size_t j = k;
+    double sum = 0.0;
+    while (j < sorted.size() && sorted[j].row == sorted[k].row &&
+           sorted[j].col == sorted[k].col) {
+      sum += sorted[j].val;
+      ++j;
+    }
+    m.col.push_back(sorted[k].col);
+    m.val.push_back(sum);
+    ++m.start[static_cast<std::size_t>(sorted[k].row) + 1];
+    k = j;
+  }
+  for (std::size_t i = 1; i < m.start.size(); ++i) m.start[i] += m.start[i - 1];
+  return m;
+}
+
+CgResult cgSolve(const Csr& A, std::span<const double> b, std::span<double> x,
+                 int maxIter, double tol) {
+  const auto n = static_cast<std::size_t>(A.n);
+  std::vector<double> diag(n, 1.0);
+  for (std::int32_t i = 0; i < A.n; ++i) {
+    for (std::int32_t k = A.start[static_cast<std::size_t>(i)];
+         k < A.start[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (A.col[static_cast<std::size_t>(k)] == i) {
+        const double d = A.val[static_cast<std::size_t>(k)];
+        if (d > 0.0) diag[static_cast<std::size_t>(i)] = d;
+      }
+    }
+  }
+
+  std::vector<double> r(n), z(n), p(n), Ap(n);
+  A.multiply(x, Ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];
+  const double bNorm = std::max(norm2(b), 1e-30);
+
+  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+  std::copy(z.begin(), z.end(), p.begin());
+  double rz = dot(r, z);
+
+  CgResult res;
+  for (int it = 0; it < maxIter; ++it) {
+    res.iterations = it;
+    if (norm2(r) / bNorm < tol) break;
+    A.multiply(p, Ap);
+    const double pAp = dot(p, Ap);
+    if (pAp <= 0.0) break;  // numerical breakdown / not SPD
+    const double alpha = rz / pAp;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+    const double rzNew = dot(r, z);
+    const double beta = rzNew / rz;
+    rz = rzNew;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  res.residual = norm2(r) / bNorm;
+  return res;
+}
+
+}  // namespace ep

@@ -1,0 +1,63 @@
+// Sparse symmetric linear algebra for the quadratic placement engine:
+// a COO accumulator, a CSR matrix, and a Jacobi-preconditioned conjugate
+// gradient solver. Sized for placement systems (n up to a few hundred
+// thousand, a handful of entries per row from the B2B model).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ep {
+
+/// Compressed sparse row matrix (square).
+struct Csr {
+  std::int32_t n = 0;
+  std::vector<std::int32_t> start;  // n+1
+  std::vector<std::int32_t> col;
+  std::vector<double> val;
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+};
+
+/// Accumulates symmetric quadratic-form entries and compresses to CSR.
+/// Duplicate coordinates are summed during build.
+class CooBuilder {
+ public:
+  explicit CooBuilder(std::int32_t n) : n_(n) {}
+
+  /// A_ii += w.
+  void addDiag(std::int32_t i, double w);
+  /// A_ij += w and A_ji += w (call with the off-diagonal value, usually
+  /// negative for a connection of weight -w... callers pass w directly).
+  void addOffDiag(std::int32_t i, std::int32_t j, double w);
+  /// Convenience: a two-movable spring of weight w
+  /// (A_ii += w, A_jj += w, A_ij -= w, A_ji -= w).
+  void addSpring(std::int32_t i, std::int32_t j, double w);
+
+  [[nodiscard]] Csr build() const;
+  [[nodiscard]] std::int32_t size() const { return n_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::int32_t row, col;
+    double val;
+  };
+  std::int32_t n_;
+  std::vector<Entry> entries_;
+};
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;  ///< ||Ax-b|| / ||b||
+};
+
+/// Solve A x = b with Jacobi-preconditioned CG, starting from the x passed
+/// in. A must be symmetric positive definite (the B2B system with at least
+/// one fixed-pin anchor is).
+CgResult cgSolve(const Csr& A, std::span<const double> b, std::span<double> x,
+                 int maxIter = 300, double tol = 1e-6);
+
+}  // namespace ep

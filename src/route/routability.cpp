@@ -1,0 +1,105 @@
+#include "route/routability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eplace/global_placer.h"
+#include "eval/metrics.h"
+#include "legal/detail.h"
+#include "legal/legalize.h"
+#include "util/log.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+
+RoutabilityResult routabilityDrivenRefine(PlacementDB& db,
+                                          const RoutabilityConfig& cfg) {
+  RoutabilityResult res;
+  res.hpwlBefore = hpwl(db);
+  {
+    const CongestionMap m0 = estimateRudy(db);
+    res.hotspotBefore = m0.hotspot;
+    res.peakBefore = m0.peak;
+  }
+
+  // True widths of the movable standard cells (restored every round).
+  std::vector<std::pair<std::int32_t, double>> trueW;
+  for (auto i : db.movable()) {
+    const auto& o = db.objects[static_cast<std::size_t>(i)];
+    if (o.kind == ObjKind::kStdCell) trueW.emplace_back(i, o.w);
+  }
+  if (trueW.empty()) {
+    res.hotspotAfter = res.hotspotBefore;
+    res.peakAfter = res.peakBefore;
+    res.hpwlAfter = res.hpwlBefore;
+    res.legal = checkLegality(db).legal;
+    return res;
+  }
+
+  double prevScore = res.hotspotBefore;
+  for (int round = 0; round < cfg.maxRounds; ++round) {
+    const CongestionMap rudy = estimateRudy(db);
+    if (round > 0) {
+      const double improvement = (prevScore - rudy.hotspot) / prevScore;
+      if (improvement < cfg.minImprovement) break;
+      prevScore = rudy.hotspot;
+    }
+
+    // Inflate hotspot cells (width only: height is the row pitch).
+    const double threshold = cfg.hotspotFactor * rudy.mean;
+    std::size_t inflated = 0;
+    for (const auto& [idx, w] : trueW) {
+      auto& o = db.objects[static_cast<std::size_t>(idx)];
+      const Point c = o.center();
+      const double demand = rudy.at(c.x, c.y);
+      double factor = 1.0;
+      if (demand > threshold && rudy.mean > 0.0) {
+        factor = std::min(
+            2.0, 1.0 + cfg.inflation * (demand / rudy.mean - cfg.hotspotFactor));
+        ++inflated;
+      }
+      o.w = w * factor;
+      o.setCenter(c.x, c.y);
+    }
+    logInfo("routability round %d: hotspot %.4g, %zu cells inflated", round,
+            rudy.hotspot, inflated);
+    if (inflated == 0) {
+      // Restore and stop: nothing to do.
+      for (const auto& [idx, w] : trueW) {
+        auto& o = db.objects[static_cast<std::size_t>(idx)];
+        const Point c = o.center();
+        o.w = w;
+        o.setCenter(c.x, c.y);
+      }
+      break;
+    }
+
+    // Re-place with the inflated footprints.
+    GlobalPlacer gp(db, db.movable(), cfg.flow.gp);
+    gp.makeFillersFromDb();
+    gp.run();
+
+    // Restore true sizes around the new centers, then legalize.
+    for (const auto& [idx, w] : trueW) {
+      auto& o = db.objects[static_cast<std::size_t>(idx)];
+      const Point c = o.center();
+      o.w = w;
+      o.setCenter(c.x, c.y);
+    }
+    legalizeCells(db);
+    detailPlace(db, cfg.flow.detail);
+    ++res.rounds;
+  }
+
+  const CongestionMap m1 = estimateRudy(db);
+  res.hotspotAfter = m1.hotspot;
+  res.peakAfter = m1.peak;
+  res.hpwlAfter = hpwl(db);
+  res.legal = checkLegality(db).legal;
+  logInfo("routability: hotspot %.4g -> %.4g, HPWL %.4g -> %.4g (%d rounds)",
+          res.hotspotBefore, res.hotspotAfter, res.hpwlBefore, res.hpwlAfter,
+          res.rounds);
+  return res;
+}
+
+}  // namespace ep

@@ -1,0 +1,42 @@
+// Routability-driven placement — the extension the paper's conclusion
+// names as future work. The standard recipe (used by RePlAce's routability
+// mode): estimate congestion with RUDY, *inflate* cells that sit in
+// hotspots so the density force thins them out, re-run global placement
+// with the inflated footprints, then restore true sizes and legalize.
+#pragma once
+
+#include "eplace/flow.h"
+#include "model/netlist.h"
+#include "route/rudy.h"
+
+namespace ep {
+
+struct RoutabilityConfig {
+  int maxRounds = 2;
+  /// Bins with demand above `threshold * mean` are hotspots.
+  double hotspotFactor = 1.5;
+  /// Cell area inflation per unit of relative excess demand (capped 2x).
+  double inflation = 0.5;
+  /// Stop when the hotspot score improves less than this fraction.
+  double minImprovement = 0.02;
+  FlowConfig flow;  ///< settings for the re-placement rounds
+};
+
+struct RoutabilityResult {
+  double hotspotBefore = 0.0;
+  double hotspotAfter = 0.0;
+  double peakBefore = 0.0;
+  double peakAfter = 0.0;
+  double hpwlBefore = 0.0;
+  double hpwlAfter = 0.0;
+  int rounds = 0;
+  bool legal = false;
+};
+
+/// Takes a *placed* (post-flow) design and trades wirelength for routing
+/// hotspot relief. Standard cells only; macros stay fixed. The layout is
+/// legalized again before returning.
+RoutabilityResult routabilityDrivenRefine(PlacementDB& db,
+                                          const RoutabilityConfig& cfg = {});
+
+}  // namespace ep

@@ -1,0 +1,59 @@
+#include "route/rudy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "wirelength/wl.h"
+
+namespace ep {
+
+CongestionMap estimateRudy(const PlacementDB& db, std::size_t nx,
+                           std::size_t ny) {
+  if (nx == 0 || ny == 0) {
+    nx = ny = BinGrid::chooseOverflowResolution(db.objects.size());
+  }
+  CongestionMap map{BinGrid(db.region, nx, ny), {}, 0.0, 0.0, 0.0};
+  map.demand.assign(map.grid.numBins(), 0.0);
+
+  for (const auto& net : db.nets) {
+    if (net.pins.size() < 2) continue;
+    double lx = std::numeric_limits<double>::max(), hx = -lx;
+    double ly = lx, hy = -lx;
+    for (const auto& pin : net.pins) {
+      const Point p = db.pinPos(pin);
+      lx = std::min(lx, p.x);
+      hx = std::max(hx, p.x);
+      ly = std::min(ly, p.y);
+      hy = std::max(hy, p.y);
+    }
+    // Degenerate boxes get a minimum extent of one bin so a dense knot of
+    // coincident pins still registers demand.
+    const double w = std::max(hx - lx, map.grid.dx());
+    const double h = std::max(hy - ly, map.grid.dy());
+    const Rect box{lx, ly, lx + w, ly + h};
+    // RUDY density: expected wirelength (w + h) spread over the box. The
+    // stamp() helper distributes `amount` proportionally to overlap, so
+    // passing (w + h) yields demand with wirelength units per bin.
+    map.grid.stamp(box, net.weight * (w + h), map.demand);
+  }
+  // Normalize to per-area units and compute the summary scores.
+  const double invBinArea = 1.0 / map.grid.binArea();
+  for (auto& d : map.demand) d *= invBinArea;
+
+  std::vector<double> sorted = map.demand;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double d : sorted) sum += d;
+  map.mean = sum / static_cast<double>(sorted.size());
+  map.peak = sorted.back();
+  const std::size_t topCount =
+      std::max<std::size_t>(1, sorted.size() / 50);  // top 2%
+  double topSum = 0.0;
+  for (std::size_t i = sorted.size() - topCount; i < sorted.size(); ++i) {
+    topSum += sorted[i];
+  }
+  map.hotspot = topSum / static_cast<double>(topCount);
+  return map;
+}
+
+}  // namespace ep

@@ -1,0 +1,40 @@
+// RUDY routing-demand estimation (Spindler & Johannes, "Fast and Accurate
+// Routing Demand Estimation for Efficient Routability-driven Placement",
+// DATE 2007) — the standard congestion proxy in placement.
+//
+// Each net spreads a uniform wire density of (w + h) / (w * h) over its
+// bounding box (w, h = box dims): the expected wirelength of the net per
+// unit area of its box. Summing over nets gives a per-bin demand map whose
+// peaks predict routing hotspots. This powers the routability extension
+// (the paper lists routability as future work, Sec. VIII).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "density/bingrid.h"
+#include "model/netlist.h"
+
+namespace ep {
+
+struct CongestionMap {
+  BinGrid grid;
+  /// Demand per bin in wirelength-per-area units.
+  std::vector<double> demand;
+  double mean = 0.0;
+  double peak = 0.0;
+  /// Mean of the top 2% densest bins — the standard hotspot score.
+  double hotspot = 0.0;
+
+  /// Demand at the bin containing (x, y).
+  [[nodiscard]] double at(double x, double y) const {
+    return demand[grid.binY(y) * grid.nx() + grid.binX(x)];
+  }
+};
+
+/// Builds the RUDY map for the current placement. nx/ny default to the
+/// overflow-grid rule.
+CongestionMap estimateRudy(const PlacementDB& db, std::size_t nx = 0,
+                           std::size_t ny = 0);
+
+}  // namespace ep

@@ -1,0 +1,41 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/log.h"
+
+namespace ep {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    logWarn("CsvWriter: cannot open %s", path.c_str());
+    return;
+  }
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  if (!out_) return;
+  if (cells.size() != columns_) {
+    logWarn("CsvWriter: row has %zu cells, header has %zu", cells.size(),
+            columns_);
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", cells[i]);
+    out_ << (i ? "," : "") << buf;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << (i ? "," : "") << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace ep

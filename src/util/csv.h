@@ -1,0 +1,28 @@
+// Tiny CSV emitter. Benches dump per-iteration traces (Fig. 2 / Fig. 3
+// series) as CSV so they can be re-plotted outside the repo.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ep {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Check ok() before
+  /// writing rows; construction never throws.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  /// Writes one row; numeric cells are formatted with %.6g.
+  void row(const std::vector<double>& cells);
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace ep

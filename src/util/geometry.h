@@ -1,0 +1,113 @@
+// Basic planar geometry used throughout the placer: points, rectangles and
+// the interval arithmetic that density stamping and legality checking need.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace ep {
+
+/// A point (or 2-vector) in placement coordinates. Placement coordinates are
+/// double precision throughout global placement; legalization snaps to sites.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+  constexpr Point& operator+=(const Point& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Point& operator-=(const Point& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Point& o) const = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+};
+
+/// Axis-aligned rectangle given by its lower-left (lx,ly) and upper-right
+/// (hx,hy) corners. An empty rectangle has hx<=lx or hy<=ly.
+struct Rect {
+  double lx = 0.0;
+  double ly = 0.0;
+  double hx = 0.0;
+  double hy = 0.0;
+
+  constexpr Rect() = default;
+  constexpr Rect(double l, double b, double r, double t)
+      : lx(l), ly(b), hx(r), hy(t) {}
+
+  [[nodiscard]] constexpr double width() const { return hx - lx; }
+  [[nodiscard]] constexpr double height() const { return hy - ly; }
+  [[nodiscard]] constexpr double area() const {
+    return std::max(0.0, width()) * std::max(0.0, height());
+  }
+  [[nodiscard]] constexpr Point center() const {
+    return {(lx + hx) * 0.5, (ly + hy) * 0.5};
+  }
+  [[nodiscard]] constexpr bool empty() const { return hx <= lx || hy <= ly; }
+
+  [[nodiscard]] constexpr bool contains(const Point& p) const {
+    return p.x >= lx && p.x <= hx && p.y >= ly && p.y <= hy;
+  }
+  /// True when `r` lies entirely inside this rectangle (closed comparison).
+  [[nodiscard]] constexpr bool contains(const Rect& r) const {
+    return r.lx >= lx && r.hx <= hx && r.ly >= ly && r.hy <= hy;
+  }
+  [[nodiscard]] constexpr bool overlaps(const Rect& r) const {
+    return r.lx < hx && r.hx > lx && r.ly < hy && r.hy > ly;
+  }
+
+  [[nodiscard]] constexpr Rect intersect(const Rect& r) const {
+    return {std::max(lx, r.lx), std::max(ly, r.ly), std::min(hx, r.hx),
+            std::min(hy, r.hy)};
+  }
+  /// Area of the intersection with `r` (zero when disjoint).
+  [[nodiscard]] constexpr double overlapArea(const Rect& r) const {
+    const double w = std::min(hx, r.hx) - std::max(lx, r.lx);
+    const double h = std::min(hy, r.hy) - std::max(ly, r.ly);
+    return (w > 0.0 && h > 0.0) ? w * h : 0.0;
+  }
+
+  [[nodiscard]] constexpr Rect expanded(double d) const {
+    return {lx - d, ly - d, hx + d, hy + d};
+  }
+  constexpr bool operator==(const Rect& o) const = default;
+};
+
+/// Overlap length of two 1-D closed intervals; zero when disjoint.
+constexpr double intervalOverlap(double lo1, double hi1, double lo2,
+                                 double hi2) {
+  return std::max(0.0, std::min(hi1, hi2) - std::max(lo1, lo2));
+}
+
+/// Clamp a rectangle of size (w,h) so it lies inside `region`, returning the
+/// clamped lower-left corner. If the object is larger than the region it is
+/// pinned to the region's lower-left.
+inline Point clampLowerLeft(double lx, double ly, double w, double h,
+                            const Rect& region) {
+  const double cx =
+      std::clamp(lx, region.lx, std::max(region.lx, region.hx - w));
+  const double cy =
+      std::clamp(ly, region.ly, std::max(region.ly, region.hy - h));
+  return {cx, cy};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.lx << "," << r.ly << " " << r.hx << "," << r.hy << "]";
+}
+
+}  // namespace ep

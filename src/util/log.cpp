@@ -1,0 +1,61 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ep {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+void vlog(LogLevel level, const char* fmt, va_list args) {
+  if (level < g_level.load()) return;
+  char buf[1024];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  std::fprintf(stderr, "[%s] %s\n", levelName(level), buf);
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+void logLine(LogLevel level, std::string_view msg) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %.*s\n", levelName(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+#define EP_DEFINE_LOG(Name, Level)          \
+  void Name(const char* fmt, ...) {         \
+    va_list args;                           \
+    va_start(args, fmt);                    \
+    vlog(Level, fmt, args);                 \
+    va_end(args);                           \
+  }
+
+EP_DEFINE_LOG(logDebug, LogLevel::kDebug)
+EP_DEFINE_LOG(logInfo, LogLevel::kInfo)
+EP_DEFINE_LOG(logWarn, LogLevel::kWarn)
+EP_DEFINE_LOG(logError, LogLevel::kError)
+
+#undef EP_DEFINE_LOG
+
+}  // namespace ep

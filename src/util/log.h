@@ -1,0 +1,25 @@
+// Minimal leveled logger. The placer is a library first: logging defaults to
+// warnings only and callers (examples, benches) opt into verbosity.
+// printf-style formatting (GCC 12 on this toolchain lacks <format>).
+#pragma once
+
+#include <string_view>
+
+namespace ep {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit one line to stderr as "[level] message" when enabled.
+void logLine(LogLevel level, std::string_view msg);
+
+/// printf-style logging; format errors are caught at compile time.
+void logDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void logInfo(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void logWarn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void logError(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ep

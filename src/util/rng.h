@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic component in the placer (filler seeding, simulated
+// annealing, benchmark generation) draws from an explicitly seeded Rng so
+// that runs are bit-reproducible across platforms — std::mt19937's
+// distributions are not guaranteed identical across standard libraries,
+// which breaks golden tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ep {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via SplitMix64 expansion.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double gaussian();
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace ep

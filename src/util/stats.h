@@ -1,0 +1,45 @@
+// Small numeric helpers: vector norms used by the Lipschitz estimate, and a
+// running summary used by tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ep {
+
+/// Euclidean norm of a vector.
+double norm2(std::span<const double> v);
+
+/// Euclidean distance between two equally sized vectors.
+double dist2(std::span<const double> a, std::span<const double> b);
+
+/// L1 norm.
+double norm1(std::span<const double> v);
+
+/// Dot product.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Welford-style running summary of a scalar stream.
+class Summary {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of positive values; returns 0 for an empty input.
+double geomean(std::span<const double> v);
+
+}  // namespace ep

@@ -1,0 +1,167 @@
+#include "wirelength/wl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace ep {
+
+double netHpwl(const PlacementDB& db, const Net& net) {
+  if (net.pins.empty()) return 0.0;
+  double lx = std::numeric_limits<double>::max(), hx = -lx;
+  double ly = lx, hy = -lx;
+  for (const auto& pin : net.pins) {
+    const Point p = db.pinPos(pin);
+    lx = std::min(lx, p.x);
+    hx = std::max(hx, p.x);
+    ly = std::min(ly, p.y);
+    hy = std::max(hy, p.y);
+  }
+  return (hx - lx) + (hy - ly);
+}
+
+double hpwl(const PlacementDB& db) {
+  double total = 0.0;
+  for (const auto& net : db.nets) total += net.weight * netHpwl(db, net);
+  return total;
+}
+
+double hpwl(const VarView& view) {
+  double total = 0.0;
+  for (const auto& net : view.db->nets) {
+    if (net.pins.empty()) continue;
+    double lx = std::numeric_limits<double>::max(), hx = -lx;
+    double ly = lx, hy = -lx;
+    for (const auto& pin : net.pins) {
+      const Point p = view.pinPos(pin);
+      lx = std::min(lx, p.x);
+      hx = std::max(hx, p.x);
+      ly = std::min(ly, p.y);
+      hy = std::max(hy, p.y);
+    }
+    total += net.weight * ((hx - lx) + (hy - ly));
+  }
+  return total;
+}
+
+namespace {
+
+/// One axis of one net under the WA model. Computes the smooth extent
+/// (maxWA - minWA) and accumulates d(extent)/d(coordinate) into grad[] for
+/// movable pins. Stabilized: exp arguments are shifted by the axis max/min.
+struct WaAxis {
+  double sumExpPlus = 0.0, sumXExpPlus = 0.0;
+  double sumExpMinus = 0.0, sumXExpMinus = 0.0;
+  double maxC = -std::numeric_limits<double>::max();
+  double minC = std::numeric_limits<double>::max();
+  double invGamma = 0.0;
+
+  void prepare(std::span<const double> coords, double gamma) {
+    invGamma = 1.0 / gamma;
+    for (double c : coords) {
+      maxC = std::max(maxC, c);
+      minC = std::min(minC, c);
+    }
+    for (double c : coords) {
+      const double ep = std::exp((c - maxC) * invGamma);
+      const double em = std::exp((minC - c) * invGamma);
+      sumExpPlus += ep;
+      sumXExpPlus += c * ep;
+      sumExpMinus += em;
+      sumXExpMinus += c * em;
+    }
+  }
+  [[nodiscard]] double waMax() const { return sumXExpPlus / sumExpPlus; }
+  [[nodiscard]] double waMin() const { return sumXExpMinus / sumExpMinus; }
+  [[nodiscard]] double extent() const { return waMax() - waMin(); }
+  /// d(extent)/dc for a pin at coordinate c.
+  [[nodiscard]] double grad(double c) const {
+    const double ep = std::exp((c - maxC) * invGamma);
+    const double em = std::exp((minC - c) * invGamma);
+    const double dMax = ep * (1.0 + (c - waMax()) * invGamma) / sumExpPlus;
+    const double dMin = em * (1.0 - (c - waMin()) * invGamma) / sumExpMinus;
+    return dMax - dMin;
+  }
+};
+
+/// One axis of one net under the LSE model:
+/// extent = gamma * (log sum e^{c/g} + log sum e^{-c/g}).
+struct LseAxis {
+  double sumExpPlus = 0.0, sumExpMinus = 0.0;
+  double maxC = -std::numeric_limits<double>::max();
+  double minC = std::numeric_limits<double>::max();
+  double gamma = 0.0, invGamma = 0.0;
+
+  void prepare(std::span<const double> coords, double g) {
+    gamma = g;
+    invGamma = 1.0 / g;
+    for (double c : coords) {
+      maxC = std::max(maxC, c);
+      minC = std::min(minC, c);
+    }
+    for (double c : coords) {
+      sumExpPlus += std::exp((c - maxC) * invGamma);
+      sumExpMinus += std::exp((minC - c) * invGamma);
+    }
+  }
+  [[nodiscard]] double extent() const {
+    return gamma * (std::log(sumExpPlus) + std::log(sumExpMinus)) +
+           (maxC - minC);
+  }
+  [[nodiscard]] double grad(double c) const {
+    const double ep = std::exp((c - maxC) * invGamma) / sumExpPlus;
+    const double em = std::exp((minC - c) * invGamma) / sumExpMinus;
+    return ep - em;
+  }
+};
+
+template <typename Axis>
+double smoothWirelengthGrad(const VarView& view, double gammaX, double gammaY,
+                            std::span<double> gx, std::span<double> gy) {
+  std::fill(gx.begin(), gx.end(), 0.0);
+  std::fill(gy.begin(), gy.end(), 0.0);
+  double total = 0.0;
+  std::vector<double> px, py;
+  for (const auto& net : view.db->nets) {
+    if (net.pins.size() < 2) continue;
+    px.clear();
+    py.clear();
+    for (const auto& pin : net.pins) {
+      const Point p = view.pinPos(pin);
+      px.push_back(p.x);
+      py.push_back(p.y);
+    }
+    Axis ax, ay;
+    ax.prepare(px, gammaX);
+    ay.prepare(py, gammaY);
+    total += net.weight * (ax.extent() + ay.extent());
+    for (std::size_t k = 0; k < net.pins.size(); ++k) {
+      const auto v = view.objToVar[static_cast<std::size_t>(net.pins[k].obj)];
+      if (v < 0) continue;
+      gx[static_cast<std::size_t>(v)] += net.weight * ax.grad(px[k]);
+      gy[static_cast<std::size_t>(v)] += net.weight * ay.grad(py[k]);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double waWirelengthGrad(const VarView& view, double gammaX, double gammaY,
+                        std::span<double> gx, std::span<double> gy) {
+  return smoothWirelengthGrad<WaAxis>(view, gammaX, gammaY, gx, gy);
+}
+
+double lseWirelengthGrad(const VarView& view, double gammaX, double gammaY,
+                         std::span<double> gx, std::span<double> gy) {
+  return smoothWirelengthGrad<LseAxis>(view, gammaX, gammaY, gx, gy);
+}
+
+double waGammaSchedule(double binDim, double overflow) {
+  const double t = std::clamp(overflow, 0.0, 1.0);
+  return 8.0 * binDim * std::pow(10.0, (20.0 * t - 11.0) / 9.0);
+}
+
+}  // namespace ep

@@ -1,0 +1,60 @@
+// Wirelength models: exact HPWL (Eq. 1), the weighted-average smooth model
+// (Eq. 3) with its analytic gradient, and the log-sum-exp model kept for
+// ablation comparison. All smooth evaluations are numerically stabilized by
+// per-net max subtraction so any gamma > 0 is safe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "model/netlist.h"
+
+namespace ep {
+
+/// Exact total HPWL from the object positions stored in the DB.
+double hpwl(const PlacementDB& db);
+
+/// HPWL of a single net from DB positions.
+double netHpwl(const PlacementDB& db, const Net& net);
+
+/// View mapping optimizer variables onto the netlist: objects with
+/// objToVar[i] >= 0 take their center from (x,y)[objToVar[i]]; all others
+/// (fixed objects) use the position stored in the DB.
+struct VarView {
+  const PlacementDB* db = nullptr;
+  std::span<const std::int32_t> objToVar;
+  std::span<const double> x;
+  std::span<const double> y;
+
+  [[nodiscard]] Point pinPos(const PinRef& p) const {
+    const auto v = objToVar[static_cast<std::size_t>(p.obj)];
+    if (v >= 0) {
+      return {x[static_cast<std::size_t>(v)] + p.ox,
+              y[static_cast<std::size_t>(v)] + p.oy};
+    }
+    const Point c = db->objects[static_cast<std::size_t>(p.obj)].center();
+    return {c.x + p.ox, c.y + p.oy};
+  }
+};
+
+/// Exact HPWL under the variable view.
+double hpwl(const VarView& view);
+
+/// Weighted-average smooth wirelength (Eq. 3) and gradient.
+/// gx/gy are sized to the number of variables and are overwritten.
+/// Net weights multiply both the value and the gradient.
+double waWirelengthGrad(const VarView& view, double gammaX, double gammaY,
+                        std::span<double> gx, std::span<double> gy);
+
+/// Log-sum-exp smooth wirelength [Naylor et al.] and gradient, same
+/// contract as waWirelengthGrad. Used by the bell-shape baseline placer and
+/// the smoothing-model ablation.
+double lseWirelengthGrad(const VarView& view, double gammaX, double gammaY,
+                         std::span<double> gx, std::span<double> gy);
+
+/// The ePlace/FFTPL gamma schedule: gamma = 8 * binDim * 10^{(20 tau - 11)/9}
+/// so that gamma shrinks (the model sharpens toward HPWL) as the density
+/// overflow tau decreases from 1 to 0.1 during mGP.
+double waGammaSchedule(double binDim, double overflow);
+
+}  // namespace ep

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "fft/dct.h"
+#include "fft/fft.h"
+#include "fft/poisson.h"
+#include "util/rng.h"
+
+namespace ep {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Naive O(N^2) references.
+std::vector<Complex> naiveDft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex s{0.0, 0.0};
+    for (std::size_t m = 0; m < n; ++m) {
+      const double ang = -2.0 * kPi * static_cast<double>(k * m) /
+                         static_cast<double>(n);
+      s += x[m] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+std::vector<double> naiveDct2(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<double> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+      s += x[m] * std::cos(kPi * (2.0 * m + 1.0) * k / (2.0 * n));
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+std::vector<double> naiveCosSynth(const std::vector<double>& c) {
+  const std::size_t n = c.size();
+  std::vector<double> out(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      s += c[k] * std::cos(kPi * k * (2.0 * m + 1.0) / (2.0 * n));
+    }
+    out[m] = s;
+  }
+  return out;
+}
+
+std::vector<double> naiveSinSynth(const std::vector<double>& c) {
+  const std::size_t n = c.size();
+  std::vector<double> out(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      s += c[k] * std::sin(kPi * (k + 1.0) * (2.0 * m + 1.0) / (2.0 * n));
+    }
+    out[m] = s;
+  }
+  return out;
+}
+
+std::vector<Complex> randomComplex(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return v;
+}
+
+std::vector<double> randomReal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  for (std::size_t n : {1u, 2u, 4u, 8u, 32u, 128u}) {
+    auto x = randomComplex(n, 100 + n);
+    const auto ref = naiveDft(x);
+    Fft fft(n);
+    fft.forward(x);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(x[k].real(), ref[k].real(), 1e-9) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(x[k].imag(), ref[k].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  for (std::size_t n : {2u, 16u, 256u, 1024u}) {
+    auto x = randomComplex(n, n);
+    const auto orig = x;
+    Fft fft(n);
+    fft.forward(x);
+    fft.inverse(x);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(x[k].real(), orig[k].real(), 1e-10);
+      EXPECT_NEAR(x[k].imag(), orig[k].imag(), 1e-10);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const std::size_t n = 512;
+  auto x = randomComplex(n, 9);
+  double timeEnergy = 0.0;
+  for (const auto& c : x) timeEnergy += std::norm(c);
+  Fft fft(n);
+  fft.forward(x);
+  double freqEnergy = 0.0;
+  for (const auto& c : x) freqEnergy += std::norm(c);
+  EXPECT_NEAR(freqEnergy, timeEnergy * static_cast<double>(n),
+              1e-6 * timeEnergy * n);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  const std::size_t n = 64;
+  std::vector<Complex> x(n, Complex{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  Fft fft(n);
+  fft.forward(x);
+  for (const auto& c : x) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, NextPowerOfTwo) {
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(2), 2u);
+  EXPECT_EQ(nextPowerOfTwo(3), 4u);
+  EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+  EXPECT_TRUE(isPowerOfTwo(64));
+  EXPECT_FALSE(isPowerOfTwo(48));
+  EXPECT_FALSE(isPowerOfTwo(0));
+}
+
+class DctSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DctSizes, Dct2MatchesNaive) {
+  const std::size_t n = GetParam();
+  auto x = randomReal(n, 3 * n + 1);
+  const auto ref = naiveDct2(x);
+  Dct d(n);
+  d.dct2(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k], ref[k], 1e-9 * static_cast<double>(n)) << "k=" << k;
+  }
+}
+
+TEST_P(DctSizes, IdctInvertsDct) {
+  const std::size_t n = GetParam();
+  auto x = randomReal(n, 7 * n + 5);
+  const auto orig = x;
+  Dct d(n);
+  d.dct2(x);
+  d.idct2(x);
+  for (std::size_t k = 0; k < n; ++k) EXPECT_NEAR(x[k], orig[k], 1e-9);
+}
+
+TEST_P(DctSizes, CosineSynthesisMatchesNaive) {
+  const std::size_t n = GetParam();
+  auto c = randomReal(n, 11 * n);
+  const auto ref = naiveCosSynth(c);
+  Dct d(n);
+  d.cosineSynthesis(c);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(c[k], ref[k], 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(DctSizes, SineSynthesisMatchesNaive) {
+  const std::size_t n = GetParam();
+  auto c = randomReal(n, 13 * n);
+  const auto ref = naiveSinSynth(c);
+  Dct d(n);
+  d.sineSynthesis(c);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(c[k], ref[k], 1e-9 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, DctSizes,
+                         ::testing::Values(2, 4, 8, 16, 64, 128));
+
+TEST(Dct, LinearityOfAllTransforms) {
+  const std::size_t n = 64;
+  Dct d(n);
+  auto a = randomReal(n, 21), b = randomReal(n, 22);
+  for (int op = 0; op < 4; ++op) {
+    std::vector<double> mix(n), ta = a, tb = b;
+    for (std::size_t i = 0; i < n; ++i) mix[i] = 3.0 * a[i] - 2.0 * b[i];
+    auto apply = [&](std::vector<double>& v) {
+      switch (op) {
+        case 0: d.dct2(v); break;
+        case 1: d.idct2(v); break;
+        case 2: d.cosineSynthesis(v); break;
+        case 3: d.sineSynthesis(v); break;
+      }
+    };
+    apply(ta);
+    apply(tb);
+    apply(mix);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(mix[i], 3.0 * ta[i] - 2.0 * tb[i], 1e-9) << "op " << op;
+    }
+  }
+}
+
+TEST(Dct, ConstantVectorConcentratesAtDc) {
+  const std::size_t n = 32;
+  Dct d(n);
+  std::vector<double> v(n, 2.5);
+  d.dct2(v);
+  EXPECT_NEAR(v[0], 2.5 * n, 1e-9);
+  for (std::size_t k = 1; k < n; ++k) EXPECT_NEAR(v[k], 0.0, 1e-9);
+}
+
+TEST(Dct, CosineSynthesisOfUnitCoefficient) {
+  const std::size_t n = 32;
+  Dct d(n);
+  std::vector<double> c(n, 0.0);
+  c[3] = 1.0;
+  d.cosineSynthesis(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(c[i], std::cos(kPi * 3.0 * (2.0 * i + 1.0) / (2.0 * n)),
+                1e-10);
+  }
+}
+
+TEST(Dct, SineSynthesisOfUnitCoefficient) {
+  const std::size_t n = 32;
+  Dct d(n);
+  std::vector<double> c(n, 0.0);
+  c[4] = 1.0;  // frequency 5
+  d.sineSynthesis(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(c[i], std::sin(kPi * 5.0 * (2.0 * i + 1.0) / (2.0 * n)),
+                1e-10);
+  }
+}
+
+TEST(Dct, Transform2dSeparability) {
+  // 2-D dct2 then full inverse must round-trip.
+  const std::size_t nx = 16, ny = 8;
+  auto g = randomReal(nx * ny, 77);
+  const auto orig = g;
+  Dct dx(nx), dy(ny);
+  transform2d(g, nx, ny, dx, dy, TrigOp::kDct2, TrigOp::kDct2);
+  transform2d(g, nx, ny, dx, dy, TrigOp::kIdct2, TrigOp::kIdct2);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_NEAR(g[i], orig[i], 1e-9);
+}
+
+// Poisson: manufacture rho from a single cosine mode and verify the analytic
+// potential and field.
+TEST(Poisson, SingleModeAnalyticSolution) {
+  const std::size_t n = 64;
+  const double dx = 0.5, dy = 0.25;
+  const double widthX = n * dx, widthY = n * dy;
+  const double wu = kPi * 3.0 / widthX;  // mode u=3
+  const double wv = kPi * 5.0 / widthY;  // mode v=5
+  std::vector<double> rho(n * n);
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    const double y = (iy + 0.5) * dy;
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      const double x = (ix + 0.5) * dx;
+      rho[iy * n + ix] = std::cos(wu * x) * std::cos(wv * y);
+    }
+  }
+  PoissonSolver solver(n, n, dx, dy);
+  solver.solve(rho);
+  const double denom = wu * wu + wv * wv;
+  for (std::size_t iy = 0; iy < n; iy += 5) {
+    const double y = (iy + 0.5) * dy;
+    for (std::size_t ix = 0; ix < n; ix += 5) {
+      const double x = (ix + 0.5) * dx;
+      const double psiRef = std::cos(wu * x) * std::cos(wv * y) / denom;
+      const double exRef = -wu * std::sin(wu * x) * std::cos(wv * y) / denom;
+      const double eyRef = -wv * std::cos(wu * x) * std::sin(wv * y) / denom;
+      EXPECT_NEAR(solver.psi()[iy * n + ix], psiRef, 1e-9);
+      EXPECT_NEAR(solver.fieldX()[iy * n + ix], exRef, 1e-9);
+      EXPECT_NEAR(solver.fieldY()[iy * n + ix], eyRef, 1e-9);
+    }
+  }
+}
+
+TEST(Poisson, UniformDensityGivesZeroField) {
+  const std::size_t n = 32;
+  PoissonSolver solver(n, n, 1.0, 1.0);
+  std::vector<double> rho(n * n, 3.5);
+  solver.solve(rho);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(solver.psi()[i], 0.0, 1e-9);
+    EXPECT_NEAR(solver.fieldX()[i], 0.0, 1e-9);
+    EXPECT_NEAR(solver.fieldY()[i], 0.0, 1e-9);
+  }
+}
+
+TEST(Poisson, PotentialHasZeroMean) {
+  const std::size_t n = 32;
+  PoissonSolver solver(n, n, 2.0, 2.0);
+  auto rho = randomReal(n * n, 55);
+  solver.solve(rho);
+  double mean = 0.0;
+  for (double p : solver.psi()) mean += p;
+  mean /= static_cast<double>(n * n);
+  EXPECT_NEAR(mean, 0.0, 1e-10);
+}
+
+TEST(Poisson, FieldPointsAwayFromBlob) {
+  // A centered square blob of charge: the field left of center must point
+  // further left (negative gradient direction is used by the optimizer as
+  // force, so grad psi points toward the blob... check signs precisely).
+  const std::size_t n = 64;
+  PoissonSolver solver(n, n, 1.0, 1.0);
+  std::vector<double> rho(n * n, 0.0);
+  for (std::size_t iy = 28; iy < 36; ++iy)
+    for (std::size_t ix = 28; ix < 36; ++ix) rho[iy * n + ix] = 1.0;
+  solver.solve(rho);
+  // psi peaks at the blob; to the left of it d psi / dx > 0 (climbing).
+  const std::size_t row = 32;
+  EXPECT_GT(solver.fieldX()[row * n + 16], 0.0);
+  EXPECT_LT(solver.fieldX()[row * n + 48], 0.0);
+  EXPECT_GT(solver.fieldY()[16 * n + 32], 0.0);
+  EXPECT_LT(solver.fieldY()[48 * n + 32], 0.0);
+  // Potential at the blob exceeds potential at the corner.
+  EXPECT_GT(solver.psi()[32 * n + 32], solver.psi()[2 * n + 2]);
+}
+
+TEST(Poisson, LaplacianResidualSmallForSmoothRho) {
+  // For a band-limited rho (sum of a few modes) the discrete Laplacian of
+  // psi should reproduce -rho away from aliasing.
+  const std::size_t n = 64;
+  const double dx = 1.0, dy = 1.0;
+  PoissonSolver solver(n, n, dx, dy);
+  std::vector<double> rho(n * n);
+  const double widthX = n * dx;
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      const double x = (ix + 0.5) * dx, y = (iy + 0.5) * dy;
+      rho[iy * n + ix] = std::cos(kPi * 2 * x / widthX) +
+                         0.5 * std::cos(kPi * 4 * y / widthX) *
+                             std::cos(kPi * 3 * x / widthX);
+    }
+  }
+  solver.solve(rho);
+  auto psi = solver.psi();
+  double maxResidual = 0.0;
+  for (std::size_t iy = 1; iy + 1 < n; ++iy) {
+    for (std::size_t ix = 1; ix + 1 < n; ++ix) {
+      const double lap =
+          (psi[iy * n + ix + 1] - 2 * psi[iy * n + ix] + psi[iy * n + ix - 1]) /
+              (dx * dx) +
+          (psi[(iy + 1) * n + ix] - 2 * psi[iy * n + ix] +
+           psi[(iy - 1) * n + ix]) /
+              (dy * dy);
+      maxResidual = std::max(maxResidual, std::abs(lap + rho[iy * n + ix]));
+    }
+  }
+  // Second-order finite differences of low modes: residual O(w^2 dx^2) ~ 1e-2.
+  EXPECT_LT(maxResidual, 5e-2);
+}
+
+}  // namespace
+}  // namespace ep

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/generator.h"
+#include "gen/suites.h"
+
+namespace ep {
+namespace {
+
+TEST(Generator, ProducesValidInstance) {
+  GenSpec spec;
+  spec.numCells = 500;
+  spec.numMovableMacros = 4;
+  spec.numFixedMacros = 3;
+  spec.seed = 9;
+  const PlacementDB db = generateCircuit(spec);
+  EXPECT_EQ(db.validate(), "");
+  EXPECT_FALSE(db.rows.empty());
+  EXPECT_FALSE(db.nets.empty());
+}
+
+TEST(Generator, Deterministic) {
+  GenSpec spec;
+  spec.numCells = 300;
+  spec.numMovableMacros = 2;
+  spec.seed = 42;
+  const PlacementDB a = generateCircuit(spec);
+  const PlacementDB b = generateCircuit(spec);
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.objects[i].lx, b.objects[i].lx);
+    EXPECT_DOUBLE_EQ(a.objects[i].w, b.objects[i].w);
+  }
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    ASSERT_EQ(a.nets[i].pins.size(), b.nets[i].pins.size());
+    for (std::size_t k = 0; k < a.nets[i].pins.size(); ++k) {
+      EXPECT_EQ(a.nets[i].pins[k].obj, b.nets[i].pins[k].obj);
+    }
+  }
+}
+
+TEST(Generator, SeedChangesOutcome) {
+  GenSpec spec;
+  spec.numCells = 300;
+  spec.seed = 1;
+  const PlacementDB a = generateCircuit(spec);
+  spec.seed = 2;
+  const PlacementDB b = generateCircuit(spec);
+  // Same counts, different structure.
+  int diff = 0;
+  for (std::size_t i = 0; i < std::min(a.nets.size(), b.nets.size()); ++i) {
+    if (a.nets[i].pins.size() != b.nets[i].pins.size() ||
+        a.nets[i].pins[0].obj != b.nets[i].pins[0].obj) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(Generator, CountsMatchSpec) {
+  GenSpec spec;
+  spec.numCells = 400;
+  spec.numMovableMacros = 5;
+  spec.numIo = 32;
+  const PlacementDB db = generateCircuit(spec);
+  std::size_t cells = 0, movMacros = 0, ios = 0;
+  for (const auto& o : db.objects) {
+    if (o.kind == ObjKind::kStdCell && !o.fixed) ++cells;
+    if (o.kind == ObjKind::kMacro && !o.fixed) ++movMacros;
+    if (o.kind == ObjKind::kIo) ++ios;
+  }
+  EXPECT_EQ(cells, 400u);
+  EXPECT_EQ(movMacros, 5u);
+  EXPECT_EQ(ios, 32u);
+}
+
+TEST(Generator, UtilizationInRange) {
+  GenSpec spec;
+  spec.numCells = 800;
+  spec.utilization = 0.6;
+  spec.targetDensity = 1.0;
+  const PlacementDB db = generateCircuit(spec);
+  const double util = db.totalMovableArea() / db.freeArea();
+  EXPECT_NEAR(util, 0.6, 0.08);
+}
+
+TEST(Generator, TargetDensityRespected) {
+  GenSpec spec;
+  spec.numCells = 500;
+  spec.targetDensity = 0.5;
+  spec.utilization = 0.4;
+  const PlacementDB db = generateCircuit(spec);
+  EXPECT_DOUBLE_EQ(db.targetDensity, 0.5);
+  // Movable area must fit under the density cap.
+  EXPECT_LT(db.totalMovableArea(), 0.5 * db.freeArea());
+}
+
+TEST(Generator, MeanNetDegreeNearSpec) {
+  GenSpec spec;
+  spec.numCells = 2000;
+  spec.avgNetDegree = 3.5;
+  const PlacementDB db = generateCircuit(spec);
+  double pins = 0.0;
+  for (const auto& n : db.nets) pins += static_cast<double>(n.pins.size());
+  const double mean = pins / static_cast<double>(db.nets.size());
+  EXPECT_NEAR(mean, 3.5, 0.6);
+}
+
+TEST(Generator, NoFloatingMovables) {
+  GenSpec spec;
+  spec.numCells = 600;
+  spec.numMovableMacros = 4;
+  const PlacementDB db = generateCircuit(spec);
+  for (auto i : db.movable()) {
+    EXPECT_GT(db.degreeOf(i), 0) << "object " << i << " floats";
+  }
+}
+
+TEST(Generator, ObjectsStartInsideRegion) {
+  GenSpec spec;
+  spec.numCells = 300;
+  spec.numMovableMacros = 3;
+  const PlacementDB db = generateCircuit(spec);
+  for (auto i : db.movable()) {
+    const auto& o = db.objects[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(db.region.contains(o.center()));
+  }
+}
+
+TEST(Generator, FixedMacrosDoNotOverlap) {
+  GenSpec spec;
+  spec.numCells = 500;
+  spec.numFixedMacros = 8;
+  spec.seed = 77;
+  const PlacementDB db = generateCircuit(spec);
+  std::vector<const Object*> fixed;
+  for (const auto& o : db.objects) {
+    if (o.fixed && o.kind == ObjKind::kMacro) fixed.push_back(&o);
+  }
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    for (std::size_t j = i + 1; j < fixed.size(); ++j) {
+      EXPECT_DOUBLE_EQ(fixed[i]->rect().overlapArea(fixed[j]->rect()), 0.0);
+    }
+  }
+}
+
+TEST(Generator, MacroAreaFraction) {
+  GenSpec spec;
+  spec.numCells = 1000;
+  spec.numMovableMacros = 10;
+  spec.macroAreaFraction = 0.3;
+  const PlacementDB db = generateCircuit(spec);
+  double cellArea = 0.0, macroArea = 0.0;
+  for (auto i : db.movable()) {
+    const auto& o = db.objects[static_cast<std::size_t>(i)];
+    (o.kind == ObjKind::kMacro ? macroArea : cellArea) += o.area();
+  }
+  EXPECT_NEAR(macroArea / (macroArea + cellArea), 0.3, 0.08);
+}
+
+TEST(Suites, SizesAndNames) {
+  const auto s05 = ispd2005Suite();
+  const auto s06 = ispd2006Suite();
+  const auto mms = mmsSuite();
+  EXPECT_EQ(s05.size(), 8u);
+  EXPECT_EQ(s06.size(), 8u);
+  EXPECT_EQ(mms.size(), 16u);
+  for (const auto& s : s05) {
+    EXPECT_EQ(s.targetDensity, 1.0);
+    EXPECT_EQ(s.numMovableMacros, 0u);
+    EXPECT_GT(s.numFixedMacros, 0u);
+  }
+  for (const auto& s : mms) EXPECT_GT(s.numMovableMacros, 0u);
+  // ISPD 2006 carries the paper's density bounds.
+  EXPECT_DOUBLE_EQ(s06[0].targetDensity, 0.5);
+  EXPECT_DOUBLE_EQ(s06[2].targetDensity, 0.9);
+}
+
+TEST(Suites, DistinctSeeds) {
+  const auto mms = mmsSuite();
+  for (std::size_t i = 0; i < mms.size(); ++i) {
+    for (std::size_t j = i + 1; j < mms.size(); ++j) {
+      EXPECT_NE(mms[i].seed, mms[j].seed);
+    }
+  }
+}
+
+TEST(Suites, LookupByName) {
+  const GenSpec s = suiteSpec("mms_adaptec1s");
+  EXPECT_EQ(s.name, "mms_adaptec1s");
+  EXPECT_GT(s.numMovableMacros, 0u);
+}
+
+}  // namespace
+}  // namespace ep

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "model/netlist.h"
+
+namespace ep {
+namespace {
+
+PlacementDB smallDb() {
+  PlacementDB db;
+  db.name = "t";
+  db.region = {0, 0, 100, 100};
+  auto add = [&](const std::string& name, double w, double h, bool fixed,
+                 ObjKind kind) {
+    Object o;
+    o.name = name;
+    o.w = w;
+    o.h = h;
+    o.fixed = fixed;
+    o.kind = kind;
+    db.objects.push_back(o);
+  };
+  add("a", 2, 1, false, ObjKind::kStdCell);
+  add("b", 3, 1, false, ObjKind::kStdCell);
+  add("m", 10, 10, false, ObjKind::kMacro);
+  add("io", 1, 1, true, ObjKind::kIo);
+  Net n1;
+  n1.name = "n1";
+  n1.pins = {{0, 0, 0}, {1, 0.5, 0}, {3, 0, 0}};
+  Net n2;
+  n2.name = "n2";
+  n2.pins = {{1, 0, 0}, {2, -1, 2}};
+  db.nets = {n1, n2};
+  db.rows.push_back({0, 0, 1.0, 1.0, 100});
+  db.finalize();
+  return db;
+}
+
+TEST(Model, ObjectGeometry) {
+  Object o;
+  o.w = 4;
+  o.h = 2;
+  o.lx = 10;
+  o.ly = 20;
+  EXPECT_DOUBLE_EQ(o.area(), 8.0);
+  EXPECT_EQ(o.rect(), Rect(10, 20, 14, 22));
+  EXPECT_EQ(o.center(), Point(12, 21));
+  o.setCenter(0, 0);
+  EXPECT_DOUBLE_EQ(o.lx, -2.0);
+  EXPECT_DOUBLE_EQ(o.ly, -1.0);
+}
+
+TEST(Model, FinalizeBuildsMovableList) {
+  const auto db = smallDb();
+  ASSERT_EQ(db.numMovable(), 3u);
+  EXPECT_EQ(db.movable()[0], 0);
+  EXPECT_EQ(db.movable()[1], 1);
+  EXPECT_EQ(db.movable()[2], 2);
+  EXPECT_EQ(db.numMovableMacros(), 1u);
+}
+
+TEST(Model, DegreeAndNetsOf) {
+  const auto db = smallDb();
+  EXPECT_EQ(db.degreeOf(0), 1);
+  EXPECT_EQ(db.degreeOf(1), 2);  // on both nets
+  EXPECT_EQ(db.degreeOf(2), 1);
+  EXPECT_EQ(db.degreeOf(3), 1);
+  const auto nets1 = db.netsOf(1);
+  ASSERT_EQ(nets1.size(), 2u);
+  EXPECT_EQ(nets1[0], 0);
+  EXPECT_EQ(nets1[1], 1);
+}
+
+TEST(Model, Areas) {
+  auto db = smallDb();
+  EXPECT_DOUBLE_EQ(db.totalMovableArea(), 2 + 3 + 100);
+  // io is 1x1 fixed inside the region.
+  EXPECT_DOUBLE_EQ(db.fixedAreaInRegion(), 1.0);
+  EXPECT_DOUBLE_EQ(db.freeArea(), 100 * 100 - 1.0);
+  // A fixed object partially outside only counts its clipped part.
+  db.objects[3].lx = -0.5;
+  EXPECT_DOUBLE_EQ(db.fixedAreaInRegion(), 0.5);
+}
+
+TEST(Model, PinPositions) {
+  auto db = smallDb();
+  db.objects[1].setCenter(50, 60);
+  const Point p = db.pinPos(db.nets[0].pins[1]);
+  EXPECT_DOUBLE_EQ(p.x, 50.5);
+  EXPECT_DOUBLE_EQ(p.y, 60.0);
+}
+
+TEST(Model, ValidatePasses) { EXPECT_EQ(smallDb().validate(), ""); }
+
+TEST(Model, ValidateCatchesBadPin) {
+  auto db = smallDb();
+  // Corrupt a pin after finalize; validate() must flag it (and must be run
+  // before any re-finalize, which assumes valid indices).
+  db.nets[0].pins[0].obj = 99;
+  EXPECT_NE(db.validate(), "");
+}
+
+TEST(Model, ValidateCatchesEmptyRegion) {
+  auto db = smallDb();
+  db.region = {0, 0, 0, 0};
+  EXPECT_NE(db.validate(), "");
+}
+
+TEST(Model, ValidateCatchesNonPositiveDims) {
+  auto db = smallDb();
+  db.objects[0].w = 0.0;
+  EXPECT_NE(db.validate(), "");
+}
+
+TEST(Model, ValidateCatchesEmptyNet) {
+  auto db = smallDb();
+  db.nets.push_back(Net{"empty", {}, 1.0});
+  db.finalize();
+  EXPECT_NE(db.validate(), "");
+}
+
+TEST(Model, ValidateCatchesBadWeight) {
+  auto db = smallDb();
+  db.nets[0].weight = 0.0;
+  EXPECT_NE(db.validate(), "");
+}
+
+TEST(Model, ValidateCatchesBadDensity) {
+  auto db = smallDb();
+  db.targetDensity = 1.5;
+  EXPECT_NE(db.validate(), "");
+}
+
+TEST(Model, ValidateCatchesUnfinalized) {
+  PlacementDB db;
+  db.region = {0, 0, 1, 1};
+  EXPECT_NE(db.validate(), "");
+}
+
+TEST(Model, RowGeometry) {
+  Row r{5.0, 10.0, 1.0, 2.0, 10};
+  EXPECT_DOUBLE_EQ(r.hx(), 25.0);
+}
+
+}  // namespace
+}  // namespace ep

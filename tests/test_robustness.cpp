@@ -1,0 +1,265 @@
+// Failure injection and degenerate-input robustness: the library must
+// degrade gracefully (reported errors, no crashes, no silent corruption)
+// on inputs a downstream user will eventually feed it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "bookshelf/bookshelf.h"
+#include "eplace/flow.h"
+#include "eplace/global_placer.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "legal/legalize.h"
+#include "legal/mlg.h"
+#include "qp/initial_place.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+namespace {
+
+// ---------- degenerate instances through the full flow ----------
+
+TEST(Robustness, SingleCellDesign) {
+  PlacementDB db;
+  db.region = {0, 0, 16, 16};
+  Object o;
+  o.name = "c0";
+  o.w = 2;
+  o.h = 1;
+  o.setCenter(8, 8);
+  db.objects.push_back(o);
+  Object pad;
+  pad.name = "p";
+  pad.w = 1;
+  pad.h = 1;
+  pad.fixed = true;
+  pad.setCenter(1, 1);
+  db.objects.push_back(pad);
+  db.nets.push_back({"n", {{0, 0, 0}, {1, 0, 0}}, 1.0});
+  for (int r = 0; r < 16; ++r) {
+    db.rows.push_back({0, static_cast<double>(r), 1.0, 1.0, 16});
+  }
+  db.finalize();
+  const FlowResult res = runEplaceFlow(db);
+  EXPECT_TRUE(res.legality.legal) << res.legality.firstIssue;
+}
+
+TEST(Robustness, DesignWithoutNets) {
+  PlacementDB db;
+  db.region = {0, 0, 32, 32};
+  for (int i = 0; i < 20; ++i) {
+    Object o;
+    o.name = "c" + std::to_string(i);
+    o.w = 2;
+    o.h = 1;
+    o.setCenter(16, 16);
+    db.objects.push_back(o);
+  }
+  for (int r = 0; r < 32; ++r) {
+    db.rows.push_back({0, static_cast<double>(r), 1.0, 1.0, 32});
+  }
+  db.finalize();
+  // No wirelength force at all: density must still spread and legalize.
+  const FlowResult res = runEplaceFlow(db);
+  EXPECT_TRUE(res.legality.legal) << res.legality.firstIssue;
+  EXPECT_DOUBLE_EQ(res.finalHpwl, 0.0);
+}
+
+TEST(Robustness, NoMovableObjects) {
+  PlacementDB db;
+  db.region = {0, 0, 32, 32};
+  Object o;
+  o.name = "blk";
+  o.w = 8;
+  o.h = 8;
+  o.fixed = true;
+  o.setCenter(16, 16);
+  db.objects.push_back(o);
+  db.rows.push_back({0, 0, 1.0, 1.0, 32});
+  db.finalize();
+  const FlowResult res = runEplaceFlow(db);
+  EXPECT_TRUE(res.legality.legal);
+}
+
+TEST(Robustness, ExtremeUtilizationStillTerminates) {
+  GenSpec spec;
+  spec.name = "packed";
+  spec.numCells = 400;
+  spec.utilization = 0.97;  // almost no whitespace, no filler budget
+  spec.seed = 5;
+  PlacementDB db = generateCircuit(spec);
+  GpConfig cfg;
+  cfg.maxIterations = 400;
+  quadraticInitialPlace(db);
+  GlobalPlacer gp(db, db.movable(), cfg);
+  gp.makeFillersFromDb();  // likely zero fillers
+  const GpResult res = gp.run();
+  EXPECT_GT(res.iterations, 0);
+  // Must make real spreading progress even if 10% tau is out of reach.
+  EXPECT_LT(res.finalOverflow, 0.5);
+}
+
+TEST(Robustness, LegalizerReportsImpossibleCapacity) {
+  // More cell area than row capacity: must not crash and must report the
+  // unplaced remainder instead of overlapping cells silently.
+  PlacementDB db;
+  db.region = {0, 0, 10, 2};
+  db.rows.push_back({0, 0, 1.0, 1.0, 10});
+  db.rows.push_back({0, 1, 1.0, 1.0, 10});
+  for (int i = 0; i < 30; ++i) {  // 30 area into 20 capacity
+    Object o;
+    o.name = "c" + std::to_string(i);
+    o.w = 1;
+    o.h = 1;
+    o.setCenter(5, 1);
+    db.objects.push_back(o);
+  }
+  db.finalize();
+  const LegalizeResult res = legalizeCells(db);
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.unplaced, 10);
+  // The cells that were placed (row-aligned) are pairwise legal; the
+  // unplaced remainder stays at its off-lattice input position.
+  auto placed = [&](const Object& o) {
+    return (o.ly == 0.0 || o.ly == 1.0) && o.lx == std::round(o.lx);
+  };
+  int placedOverlaps = 0;
+  for (std::size_t i = 0; i < db.objects.size(); ++i) {
+    if (!placed(db.objects[i])) continue;
+    for (std::size_t j = i + 1; j < db.objects.size(); ++j) {
+      if (!placed(db.objects[j])) continue;
+      if (db.objects[i].rect().overlapArea(db.objects[j].rect()) > 1e-9) {
+        ++placedOverlaps;
+      }
+    }
+  }
+  EXPECT_EQ(placedOverlaps, 0);
+}
+
+TEST(Robustness, MlgWithWallToWallMacros) {
+  // Macros that barely fit: the annealer must still find a packing.
+  PlacementDB db;
+  db.region = {0, 0, 32, 32};
+  for (int r = 0; r < 32; ++r) {
+    db.rows.push_back({0, static_cast<double>(r), 1.0, 1.0, 32});
+  }
+  for (int i = 0; i < 4; ++i) {
+    Object o;
+    o.name = "m" + std::to_string(i);
+    o.kind = ObjKind::kMacro;
+    o.w = 14;
+    o.h = 14;
+    o.setCenter(16, 16);  // all piled at the center
+    db.objects.push_back(o);
+  }
+  db.finalize();
+  MlgConfig cfg;
+  cfg.maxOuterIterations = 40;
+  const MlgResult res = legalizeMacros(db, cfg);
+  EXPECT_TRUE(res.legal) << "Om=" << res.overlapAfter;
+}
+
+// ---------- bookshelf failure injection ----------
+
+class BookshelfCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/corrupt";
+    std::filesystem::create_directories(dir_);
+    GenSpec spec;
+    spec.numCells = 30;
+    spec.seed = 3;
+    db_ = generateCircuit(spec);
+    ASSERT_TRUE(writeBookshelf(dir_, "c", db_).ok);
+  }
+  std::string dir_;
+  PlacementDB db_;
+};
+
+TEST_F(BookshelfCorruption, MissingNodesFile) {
+  std::filesystem::remove(dir_ + "/c.nodes");
+  PlacementDB db;
+  const auto res = readBookshelf(dir_ + "/c.aux", db);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST_F(BookshelfCorruption, UnknownNodeInNets) {
+  std::ofstream out(dir_ + "/c.nets", std::ios::app);
+  out << "NetDegree : 2 bad\n  ghost B : 0 0\n  c0 B : 0 0\n";
+  out.close();
+  PlacementDB db;
+  const auto res = readBookshelf(dir_ + "/c.aux", db);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("ghost"), std::string::npos);
+}
+
+TEST_F(BookshelfCorruption, PinLineOutsideNet) {
+  {
+    std::ofstream out(dir_ + "/c.nets");
+    out << "UCLA nets 1.0\nNumNets : 1\nNumPins : 1\n  c0 B : 0 0\n";
+  }
+  PlacementDB db;
+  EXPECT_FALSE(readBookshelf(dir_ + "/c.aux", db).ok);
+}
+
+TEST_F(BookshelfCorruption, TruncatedNodesLine) {
+  {
+    std::ofstream out(dir_ + "/c.nodes");
+    out << "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n  lonely\n";
+  }
+  PlacementDB db;
+  EXPECT_FALSE(readBookshelf(dir_ + "/c.aux", db).ok);
+}
+
+TEST_F(BookshelfCorruption, NonNumericTokensReportedNotCrash) {
+  {
+    std::ofstream out(dir_ + "/c.nodes");
+    out << "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n"
+        << "  cell width height\n";  // words where numbers belong
+  }
+  PlacementDB db;
+  const auto res = readBookshelf(dir_ + "/c.aux", db);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("parse error"), std::string::npos);
+}
+
+TEST_F(BookshelfCorruption, ExtraWhitespaceAndCommentsAreFine) {
+  // Robustness in the other direction: odd-but-legal formatting parses.
+  {
+    std::ofstream out(dir_ + "/c.aux");
+    out << "# a comment\nRowBasedPlacement :   c.nodes   c.nets c.wts c.pl "
+           "c.scl  \n";
+  }
+  PlacementDB db;
+  EXPECT_TRUE(readBookshelf(dir_ + "/c.aux", db).ok);
+  EXPECT_EQ(db.objects.size(), db_.objects.size());
+}
+
+// ---------- metric edge cases ----------
+
+TEST(Robustness, MetricsOnEmptyDb) {
+  PlacementDB db;
+  db.region = {0, 0, 10, 10};
+  db.finalize();
+  EXPECT_DOUBLE_EQ(hpwl(db), 0.0);
+  EXPECT_DOUBLE_EQ(densityOverflow(db).overflow, 0.0);
+  EXPECT_TRUE(checkLegality(db).legal);
+}
+
+TEST(Robustness, OverflowWithZeroMovableArea) {
+  PlacementDB db;
+  db.region = {0, 0, 10, 10};
+  Object o;
+  o.name = "b";
+  o.w = 4;
+  o.h = 4;
+  o.fixed = true;
+  db.objects.push_back(o);
+  db.finalize();
+  EXPECT_DOUBLE_EQ(densityOverflow(db).overflow, 0.0);
+}
+
+}  // namespace
+}  // namespace ep

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+namespace {
+
+/// Two movable cells and one fixed pad on a single 3-pin net.
+struct Fixture {
+  PlacementDB db;
+  std::vector<std::int32_t> objToVar;
+  std::vector<double> x, y;
+
+  Fixture() {
+    db.region = {0, 0, 100, 100};
+    for (int i = 0; i < 3; ++i) {
+      Object o;
+      o.name = "o" + std::to_string(i);
+      o.w = 2;
+      o.h = 1;
+      o.fixed = (i == 2);
+      db.objects.push_back(o);
+    }
+    db.objects[2].setCenter(90, 90);
+    Net n;
+    n.name = "n";
+    n.pins = {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+    db.nets.push_back(n);
+    db.rows.push_back({0, 0, 1, 1, 100});
+    db.finalize();
+    objToVar = {0, 1, -1};
+    x = {10, 30};
+    y = {20, 40};
+  }
+
+  [[nodiscard]] VarView view() const { return {&db, objToVar, x, y}; }
+};
+
+TEST(Hpwl, SingleNetExact) {
+  Fixture f;
+  // Pins at (10,20), (30,40), (90,90): HPWL = 80 + 70.
+  EXPECT_DOUBLE_EQ(hpwl(f.view()), 150.0);
+  // DB-based HPWL uses stored positions.
+  f.db.objects[0].setCenter(10, 20);
+  f.db.objects[1].setCenter(30, 40);
+  EXPECT_DOUBLE_EQ(hpwl(f.db), 150.0);
+}
+
+TEST(Hpwl, NetWeightScales) {
+  Fixture f;
+  f.db.nets[0].weight = 2.5;
+  EXPECT_DOUBLE_EQ(hpwl(f.view()), 375.0);
+}
+
+TEST(Hpwl, PinOffsetsCount) {
+  Fixture f;
+  f.db.nets[0].pins[0].ox = -1.0;
+  EXPECT_DOUBLE_EQ(hpwl(f.view()), 151.0);
+}
+
+TEST(Wa, UnderestimatesAndConvergesToHpwl) {
+  Fixture f;
+  std::vector<double> gx(2), gy(2);
+  const double exact = hpwl(f.view());
+  double prev = 0.0;
+  for (double gamma : {10.0, 3.0, 1.0, 0.3, 0.1}) {
+    const double wa = waWirelengthGrad(f.view(), gamma, gamma, gx, gy);
+    EXPECT_LE(wa, exact + 1e-9);
+    EXPECT_GE(wa, prev - 1e-9);  // monotone improvement as gamma shrinks
+    prev = wa;
+  }
+  EXPECT_NEAR(prev, exact, 0.05 * exact);
+}
+
+TEST(Lse, OverestimatesAndConvergesToHpwl) {
+  Fixture f;
+  std::vector<double> gx(2), gy(2);
+  const double exact = hpwl(f.view());
+  for (double gamma : {10.0, 1.0, 0.1}) {
+    const double lse = lseWirelengthGrad(f.view(), gamma, gamma, gx, gy);
+    EXPECT_GE(lse, exact - 1e-9);
+  }
+  const double tight = lseWirelengthGrad(f.view(), 0.05, 0.05, gx, gy);
+  EXPECT_NEAR(tight, exact, 0.05 * exact);
+}
+
+class SmoothGradient : public ::testing::TestWithParam<double> {};
+
+TEST_P(SmoothGradient, WaMatchesFiniteDifference) {
+  const double gamma = GetParam();
+  Fixture f;
+  std::vector<double> gx(2), gy(2), tmpx(2), tmpy(2);
+  waWirelengthGrad(f.view(), gamma, gamma, gx, gy);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (bool isX : {true, false}) {
+      auto& coord = isX ? f.x[i] : f.y[i];
+      const double saved = coord;
+      coord = saved + eps;
+      const double plus = waWirelengthGrad(f.view(), gamma, gamma, tmpx, tmpy);
+      coord = saved - eps;
+      const double minus = waWirelengthGrad(f.view(), gamma, gamma, tmpx, tmpy);
+      coord = saved;
+      const double fd = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(fd, isX ? gx[i] : gy[i], 1e-5)
+          << "var " << i << (isX ? " x" : " y") << " gamma " << gamma;
+    }
+  }
+}
+
+TEST_P(SmoothGradient, LseMatchesFiniteDifference) {
+  const double gamma = GetParam();
+  Fixture f;
+  std::vector<double> gx(2), gy(2), tmpx(2), tmpy(2);
+  lseWirelengthGrad(f.view(), gamma, gamma, gx, gy);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double saved = f.x[i];
+    f.x[i] = saved + eps;
+    const double plus = lseWirelengthGrad(f.view(), gamma, gamma, tmpx, tmpy);
+    f.x[i] = saved - eps;
+    const double minus = lseWirelengthGrad(f.view(), gamma, gamma, tmpx, tmpy);
+    f.x[i] = saved;
+    EXPECT_NEAR((plus - minus) / (2 * eps), gx[i], 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, SmoothGradient,
+                         ::testing::Values(0.5, 1.0, 5.0, 25.0));
+
+TEST(Wa, StableForExtremeCoordinates) {
+  // Numerical stability: huge coordinate spread with tiny gamma must not
+  // produce NaN/inf (naive exp(x/gamma) would overflow).
+  Fixture f;
+  f.x = {1e6, -1e6};
+  std::vector<double> gx(2), gy(2);
+  const double wa = waWirelengthGrad(f.view(), 0.01, 0.01, gx, gy);
+  EXPECT_TRUE(std::isfinite(wa));
+  EXPECT_TRUE(std::isfinite(gx[0]));
+  const double lse = lseWirelengthGrad(f.view(), 0.01, 0.01, gx, gy);
+  EXPECT_TRUE(std::isfinite(lse));
+}
+
+TEST(Wa, GradientSignsPullInward) {
+  Fixture f;
+  std::vector<double> gx(2), gy(2);
+  waWirelengthGrad(f.view(), 1.0, 1.0, gx, gy);
+  // Cell 0 is the leftmost/lowest pin: its gradient is negative (moving it
+  // +x shrinks the extent... careful: moving min pin right reduces WL, so
+  // d WL / dx < 0).
+  EXPECT_LT(gx[0], 0.0);
+  EXPECT_LT(gy[0], 0.0);
+}
+
+TEST(Wa, MultiPinOnSameObjectAccumulates) {
+  Fixture f;
+  f.db.nets[0].pins.push_back({0, 0.5, 0.2});
+  f.db.finalize();
+  std::vector<double> gx(2), gy(2);
+  const double w = waWirelengthGrad(f.view(), 1.0, 1.0, gx, gy);
+  EXPECT_TRUE(std::isfinite(w));
+  EXPECT_TRUE(std::isfinite(gx[0]));
+}
+
+TEST(Wa, SinglePinNetIgnored) {
+  Fixture f;
+  Net n;
+  n.name = "single";
+  n.pins = {{0, 0, 0}};
+  f.db.nets.push_back(n);
+  f.db.finalize();
+  std::vector<double> gx(2), gy(2);
+  const double withSingle = waWirelengthGrad(f.view(), 1.0, 1.0, gx, gy);
+  Fixture f2;
+  std::vector<double> gx2(2), gy2(2);
+  const double without = waWirelengthGrad(f2.view(), 1.0, 1.0, gx2, gy2);
+  EXPECT_DOUBLE_EQ(withSingle, without);
+}
+
+TEST(GammaSchedule, ShrinksWithOverflow) {
+  const double binW = 2.0;
+  const double hi = waGammaSchedule(binW, 1.0);
+  const double mid = waGammaSchedule(binW, 0.5);
+  const double lo = waGammaSchedule(binW, 0.1);
+  EXPECT_GT(hi, mid);
+  EXPECT_GT(mid, lo);
+  // Endpoints: 8 * binW * 10^1 at tau=1 and 8 * binW * 10^-1 at tau=0.1.
+  EXPECT_NEAR(hi, 8.0 * binW * 10.0, 1e-9);
+  EXPECT_NEAR(lo, 8.0 * binW * 0.1, 1e-6);
+  // Clamped outside [0,1].
+  EXPECT_DOUBLE_EQ(waGammaSchedule(binW, 2.0), hi);
+}
+
+}  // namespace
+}  // namespace ep
