@@ -18,6 +18,11 @@ int main() {
 
   CsvWriter csv("fig2_trace.csv",
                 {"stage", "iter", "hpwl", "overflow", "overlap"});
+  if (!csv.ok()) {
+    std::fprintf(stderr,
+                 "fig2_trace.csv is not writable; trace rows will be "
+                 "dropped (bench continues)\n");
+  }
   int global = 0;
   auto overlapNow = [&] { return gridOverlapArea(db, false, 256, 256); };
 

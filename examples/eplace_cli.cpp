@@ -1,16 +1,27 @@
 // eplace_cli — command-line placer over Bookshelf (ISPD contest) files.
 //
 //   eplace_cli <design.aux> [options]
-//     --out <dir>        write the placed result as <dir>/<name>_placed.*
-//     --density <rho>    target density rho_t (default 1.0)
-//     --plot <file.ppm>  render the final layout
-//     --no-detail        stop after legalization
-//     --verbose          info-level logging
+//     --out <dir>            write the placed result as <dir>/<name>_placed.*
+//     --density <rho>        target density rho_t (default 1.0)
+//     --plot <file.ppm>      render the final layout
+//     --no-detail            stop after legalization
+//     --checkpoint-every <n> rollback checkpoint cadence in GP iterations
+//     --time-budget <sec>    wall-clock watchdog per placement stage
+//     --max-recoveries <n>   rollback attempts before graceful degradation
+//     --inject <site=kind@tick[xN]>  arm the fault injector, e.g.
+//                            nesterov.grad=nan@40, fft.forward=spike@3,
+//                            bookshelf.line=trunc@10x-1 (N=-1: every pass)
+//     --verbose              info-level logging
+//
+// Exit codes follow the ep::Status taxonomy (docs/ROBUSTNESS.md):
+//   0 success   1 usage/unknown error   2 InvalidInput   3 Io
+//   4 NumericalDivergence   5 Timeout   6 placed but not legal
 //
 // With no arguments it demonstrates the full loop on a generated circuit:
 // write Bookshelf, read it back, place, and emit the placed .pl — i.e. the
 // exact workflow for running the genuine ISPD 2005/2006/MMS releases.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -20,25 +31,83 @@
 #include "eval/metrics.h"
 #include "eval/plot.h"
 #include "gen/generator.h"
+#include "util/fault_injector.h"
 #include "util/log.h"
+#include "util/status.h"
 
 namespace {
 
-int place(ep::PlacementDB& db, const std::string& outDir,
-          const std::string& plotPath, bool detail) {
-  ep::FlowConfig cfg;
-  cfg.runDetail = detail;
-  const ep::FlowResult res = ep::runEplaceFlow(db, cfg);
+int exitCodeFor(ep::StatusCode code) {
+  switch (code) {
+    case ep::StatusCode::kOk:
+      return 0;
+    case ep::StatusCode::kInvalidInput:
+      return 2;
+    case ep::StatusCode::kIo:
+      return 3;
+    case ep::StatusCode::kNumericalDivergence:
+      return 4;
+    case ep::StatusCode::kTimeout:
+      return 5;
+  }
+  return 1;
+}
+
+/// Parses "site=kind@tick" or "site=kind@tickxCount" and arms the injector.
+bool armInjection(const std::string& arg) {
+  const auto eq = arg.find('=');
+  const auto at = arg.find('@');
+  if (eq == std::string::npos || at == std::string::npos || at < eq) {
+    return false;
+  }
+  const std::string site = arg.substr(0, eq);
+  const std::string kind = arg.substr(eq + 1, at - eq - 1);
+  std::string tickStr = arg.substr(at + 1);
+  ep::FaultSpec spec;
+  if (kind == "nan") {
+    spec.kind = ep::FaultKind::kNaN;
+  } else if (kind == "spike") {
+    spec.kind = ep::FaultKind::kSpike;
+  } else if (kind == "trunc") {
+    spec.kind = ep::FaultKind::kTruncate;
+  } else {
+    return false;
+  }
+  const auto x = tickStr.find('x');
+  if (x != std::string::npos) {
+    spec.count = std::atoi(tickStr.c_str() + x + 1);
+    tickStr.resize(x);
+  }
+  spec.atTick = std::atol(tickStr.c_str());
+  ep::FaultInjector::instance().arm(site, spec);
+  std::printf("armed fault: %s kind=%s tick=%ld count=%d\n", site.c_str(),
+              kind.c_str(), spec.atTick, spec.count);
+  return true;
+}
+
+int place(ep::PlacementDB& db, const ep::FlowConfig& cfg,
+          const std::string& outDir, const std::string& plotPath) {
+  const ep::StatusOr<ep::FlowResult> run = ep::runEplaceFlowChecked(db, cfg);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().toString().c_str());
+    return exitCodeFor(run.status().code());
+  }
+  const ep::FlowResult& res = *run;
   std::printf("%s: HPWL %.6g (scaled %.6g), overflow %.4f, legal=%s, %.2fs\n",
               db.name.c_str(), res.finalHpwl, res.finalScaledHpwl,
               ep::densityOverflow(db).overflow,
               res.legality.legal ? "yes" : "no", res.totalSeconds);
+  if (!res.status.ok()) {
+    std::fprintf(stderr, "degraded: %s (recoveries mGP=%d cGP=%d)\n",
+                 res.status.toString().c_str(), res.mgpResult.recoveries,
+                 res.cgpResult.recoveries);
+  }
   if (!outDir.empty()) {
     std::filesystem::create_directories(outDir);
-    const auto wr = ep::writeBookshelf(outDir, db.name + "_placed", db);
-    if (!wr.ok) {
-      std::fprintf(stderr, "error: %s\n", wr.error.c_str());
-      return 1;
+    const ep::Status wr = ep::writeBookshelf(outDir, db.name + "_placed", db);
+    if (!wr.ok()) {
+      std::fprintf(stderr, "error: %s\n", wr.toString().c_str());
+      return exitCodeFor(wr.code());
     }
     std::printf("wrote %s/%s_placed.{aux,nodes,nets,pl,scl,wts}\n",
                 outDir.c_str(), db.name.c_str());
@@ -46,7 +115,8 @@ int place(ep::PlacementDB& db, const std::string& outDir,
   if (!plotPath.empty() && ep::plotLayout(db, plotPath)) {
     std::printf("wrote %s\n", plotPath.c_str());
   }
-  return res.legality.legal ? 0 : 2;
+  if (!res.status.ok()) return exitCodeFor(res.status.code());
+  return res.legality.legal ? 0 : 6;
 }
 
 }  // namespace
@@ -54,7 +124,7 @@ int place(ep::PlacementDB& db, const std::string& outDir,
 int main(int argc, char** argv) {
   std::string aux, outDir, plotPath;
   double density = 0.0;
-  bool detail = true;
+  ep::FlowConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
@@ -64,7 +134,18 @@ int main(int argc, char** argv) {
     } else if (a == "--plot" && i + 1 < argc) {
       plotPath = argv[++i];
     } else if (a == "--no-detail") {
-      detail = false;
+      cfg.runDetail = false;
+    } else if (a == "--checkpoint-every" && i + 1 < argc) {
+      cfg.gp.health.checkpointEvery = std::atoi(argv[++i]);
+    } else if (a == "--time-budget" && i + 1 < argc) {
+      cfg.gp.health.timeBudgetSeconds = std::atof(argv[++i]);
+    } else if (a == "--max-recoveries" && i + 1 < argc) {
+      cfg.gp.health.maxRecoveries = std::atoi(argv[++i]);
+    } else if (a == "--inject" && i + 1 < argc) {
+      if (!armInjection(argv[++i])) {
+        std::fprintf(stderr, "bad --inject spec %s\n", argv[i]);
+        return 1;
+      }
     } else if (a == "--verbose") {
       ep::setLogLevel(ep::LogLevel::kInfo);
     } else if (a[0] != '-') {
@@ -86,20 +167,20 @@ int main(int argc, char** argv) {
     spec.seed = 99;
     ep::PlacementDB generated = ep::generateCircuit(spec);
     std::filesystem::create_directories("cli_demo");
-    const auto wr = ep::writeBookshelf("cli_demo", "cli_demo", generated);
-    if (!wr.ok) {
-      std::fprintf(stderr, "write failed: %s\n", wr.error.c_str());
-      return 1;
+    const ep::Status wr = ep::writeBookshelf("cli_demo", "cli_demo", generated);
+    if (!wr.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", wr.toString().c_str());
+      return exitCodeFor(wr.code());
     }
     aux = "cli_demo/cli_demo.aux";
     if (outDir.empty()) outDir = "cli_demo";
   }
 
-  const auto rd = ep::readBookshelf(aux, db);
-  if (!rd.ok) {
+  const ep::Status rd = ep::readBookshelf(aux, db);
+  if (!rd.ok()) {
     std::fprintf(stderr, "cannot read %s: %s\n", aux.c_str(),
-                 rd.error.c_str());
-    return 1;
+                 rd.toString().c_str());
+    return exitCodeFor(rd.code());
   }
   if (density > 0.0) db.targetDensity = density;
   std::printf("loaded %s: %zu objects (%zu movable), %zu nets, region %.0f x "
@@ -107,5 +188,5 @@ int main(int argc, char** argv) {
               db.name.c_str(), db.objects.size(), db.numMovable(),
               db.nets.size(), db.region.width(), db.region.height(),
               db.targetDensity);
-  return place(db, outDir, plotPath, detail);
+  return place(db, cfg, outDir, plotPath);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -10,6 +11,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "util/fault_injector.h"
 #include "util/log.h"
 
 namespace ep {
@@ -21,19 +23,56 @@ std::string dirOf(const std::string& path) {
   return pos == std::string::npos ? std::string(".") : path.substr(0, pos);
 }
 
-/// Reads the next meaningful line: comments (#...) and blanks skipped.
-bool nextLine(std::istream& in, std::string& line) {
-  while (std::getline(in, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    // Trim.
-    const auto b = line.find_first_not_of(" \t\r\n");
-    if (b == std::string::npos) continue;
-    const auto e = line.find_last_not_of(" \t\r\n");
-    line = line.substr(b, e - b + 1);
-    if (!line.empty()) return true;
+/// Line-oriented scanner: skips comments (#...) and blanks, tracks the
+/// 1-based line number for error locations, and implements the
+/// "bookshelf.line" fault site (kTruncate = premature EOF).
+class LineScanner {
+ public:
+  LineScanner(std::istream& in, std::string file)
+      : in_(in), file_(std::move(file)) {}
+
+  bool next(std::string& line) {
+    auto& inj = FaultInjector::instance();
+    while (std::getline(in_, line)) {
+      ++lineNo_;
+      if (inj.active()) {
+        if (const FaultSpec* f = inj.fire("bookshelf.line")) {
+          if (f->kind == FaultKind::kTruncate) return false;
+          // NaN/spike on a text stream degrade to garbling the line.
+          line = line.substr(0, line.size() / 2);
+        }
+      }
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      const auto b = line.find_first_not_of(" \t\r\n");
+      if (b == std::string::npos) continue;
+      const auto e = line.find_last_not_of(" \t\r\n");
+      line = line.substr(b, e - b + 1);
+      if (!line.empty()) return true;
+    }
+    return false;
   }
-  return false;
+
+  [[nodiscard]] int line() const { return lineNo_; }
+  [[nodiscard]] const std::string& file() const { return file_; }
+
+  /// "file:line: msg" as an InvalidInput status.
+  [[nodiscard]] Status fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << file_ << ":" << lineNo_ << ": " << msg;
+    logWarn("bookshelf: %s", os.str().c_str());
+    return Status::invalidInput(os.str());
+  }
+
+ private:
+  std::istream& in_;
+  std::string file_;
+  int lineNo_ = 0;
+};
+
+Status ioFail(const std::string& msg) {
+  logWarn("bookshelf: %s", msg.c_str());
+  return Status::ioError(msg);
 }
 
 /// Splits "Key : v1 v2" into tokens with ':' treated as whitespace.
@@ -47,37 +86,46 @@ std::vector<std::string> tokens(const std::string& line) {
   return out;
 }
 
-BookshelfResult fail(const std::string& msg) {
-  logWarn("bookshelf: %s", msg.c_str());
-  return {false, msg};
+/// strtod with a full-consumption check — "12abc" and "abc" both fail.
+bool parseNum(const std::string& tok, double& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size() && std::isfinite(out);
 }
 
-}  // namespace
+bool parseCount(const std::string& tok, long& out) {
+  double d = 0.0;
+  if (!parseNum(tok, d) || d < 0.0 || d != std::floor(d)) return false;
+  out = static_cast<long>(d);
+  return true;
+}
 
-namespace {
-
-BookshelfResult readBookshelfImpl(const std::string& auxPath,
-                                  PlacementDB& db) {
+Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
   std::ifstream aux(auxPath);
-  if (!aux) return fail("cannot open " + auxPath);
+  if (!aux) return ioFail("cannot open " + auxPath);
   std::string nodesFile, netsFile, plFile, sclFile, wtsFile;
   std::string line;
-  while (nextLine(aux, line)) {
-    for (const auto& t : tokens(line)) {
-      auto ends = [&](const char* suffix) {
-        return t.size() > std::strlen(suffix) &&
-               t.compare(t.size() - std::strlen(suffix), std::string::npos,
-                         suffix) == 0;
-      };
-      if (ends(".nodes")) nodesFile = t;
-      if (ends(".nets")) netsFile = t;
-      if (ends(".pl")) plFile = t;
-      if (ends(".scl")) sclFile = t;
-      if (ends(".wts")) wtsFile = t;
+  {
+    LineScanner sc(aux, auxPath);
+    while (sc.next(line)) {
+      for (const auto& t : tokens(line)) {
+        auto ends = [&](const char* suffix) {
+          return t.size() > std::strlen(suffix) &&
+                 t.compare(t.size() - std::strlen(suffix), std::string::npos,
+                           suffix) == 0;
+        };
+        if (ends(".nodes")) nodesFile = t;
+        if (ends(".nets")) netsFile = t;
+        if (ends(".pl")) plFile = t;
+        if (ends(".scl")) sclFile = t;
+        if (ends(".wts")) wtsFile = t;
+      }
     }
   }
   if (nodesFile.empty() || netsFile.empty() || plFile.empty()) {
-    return fail("aux file lists no nodes/nets/pl");
+    logWarn("bookshelf: %s lists no nodes/nets/pl", auxPath.c_str());
+    return Status::invalidInput(auxPath + " lists no nodes/nets/pl");
   }
   const std::string dir = dirOf(auxPath) + "/";
 
@@ -95,49 +143,89 @@ BookshelfResult readBookshelfImpl(const std::string& auxPath,
   // ---- .nodes ----
   {
     std::ifstream in(dir + nodesFile);
-    if (!in) return fail("cannot open " + nodesFile);
-    while (nextLine(in, line)) {
+    if (!in) return ioFail("cannot open " + nodesFile);
+    LineScanner sc(in, nodesFile);
+    long declared = -1;
+    while (sc.next(line)) {
       const auto t = tokens(line);
-      if (t.empty() || t[0] == "UCLA" || t[0] == "NumNodes" ||
-          t[0] == "NumTerminals") {
+      if (t.empty() || t[0] == "UCLA" || t[0] == "NumTerminals") continue;
+      if (t[0] == "NumNodes") {
+        if (t.size() < 2 || !parseCount(t[1], declared)) {
+          return sc.fail("bad NumNodes count");
+        }
         continue;
       }
-      if (t.size() < 3) return fail("bad nodes line: " + line);
+      if (t.size() < 3) return sc.fail("truncated nodes line: " + line);
       Object o;
       o.name = t[0];
-      o.w = std::stod(t[1]);
-      o.h = std::stod(t[2]);
+      if (!parseNum(t[1], o.w) || !parseNum(t[2], o.h)) {
+        return sc.fail("non-numeric node dims: " + line);
+      }
       o.fixed = t.size() > 3 && (t[3] == "terminal" || t[3] == "terminal_NI");
+      if (nameToObj.count(o.name) != 0) {
+        return sc.fail("duplicate node " + o.name);
+      }
       nameToObj[o.name] = static_cast<std::int32_t>(db.objects.size());
       db.objects.push_back(std::move(o));
+    }
+    if (declared >= 0 && declared != static_cast<long>(db.objects.size())) {
+      return sc.fail("NumNodes declares " + std::to_string(declared) +
+                     " but file has " + std::to_string(db.objects.size()) +
+                     " (truncated file?)");
     }
   }
 
   // ---- .nets ----
   {
     std::ifstream in(dir + netsFile);
-    if (!in) return fail("cannot open " + netsFile);
+    if (!in) return ioFail("cannot open " + netsFile);
+    LineScanner sc(in, netsFile);
     Net* cur = nullptr;
     std::size_t remaining = 0;
-    while (nextLine(in, line)) {
+    long declaredNets = -1, declaredPins = -1;
+    std::size_t totalPins = 0;
+    auto netComplete = [&]() -> bool { return cur == nullptr || remaining == 0; };
+    while (sc.next(line)) {
       const auto t = tokens(line);
-      if (t.empty() || t[0] == "UCLA" || t[0] == "NumNets" ||
-          t[0] == "NumPins") {
+      if (t.empty() || t[0] == "UCLA") continue;
+      if (t[0] == "NumNets") {
+        if (t.size() < 2 || !parseCount(t[1], declaredNets)) {
+          return sc.fail("bad NumNets count");
+        }
+        continue;
+      }
+      if (t[0] == "NumPins") {
+        if (t.size() < 2 || !parseCount(t[1], declaredPins)) {
+          return sc.fail("bad NumPins count");
+        }
         continue;
       }
       if (t[0] == "NetDegree") {
+        if (!netComplete()) {
+          return sc.fail("net " + db.nets.back().name + " expects " +
+                         std::to_string(db.nets.back().pins.size() + remaining) +
+                         " pins, got " +
+                         std::to_string(db.nets.back().pins.size()));
+        }
+        long degree = 0;
+        if (t.size() < 2 || !parseCount(t[1], degree)) {
+          return sc.fail("bad NetDegree: " + line);
+        }
+        if (degree == 0) return sc.fail("net with zero pins: " + line);
         Net net;
         net.name = t.size() > 2 ? t[2] : ("net" + std::to_string(db.nets.size()));
-        remaining = static_cast<std::size_t>(std::stoul(t[1]));
+        remaining = static_cast<std::size_t>(degree);
         db.nets.push_back(std::move(net));
         cur = &db.nets.back();
         continue;
       }
       if (cur == nullptr || remaining == 0) {
-        return fail("pin line outside a net: " + line);
+        return sc.fail("pin line outside a net: " + line);
       }
       const auto it = nameToObj.find(t[0]);
-      if (it == nameToObj.end()) return fail("unknown node in net: " + t[0]);
+      if (it == nameToObj.end()) {
+        return sc.fail("unknown node in net: " + t[0]);
+      }
       PinRef pin;
       pin.obj = it->second;
       // "name I : ox oy" — direction token optional, offsets optional.
@@ -149,11 +237,28 @@ BookshelfResult readBookshelfImpl(const std::string& auxPath,
         ++k;
       }
       if (k + 1 < t.size()) {
-        pin.ox = std::stod(t[k]);
-        pin.oy = std::stod(t[k + 1]);
+        if (!parseNum(t[k], pin.ox) || !parseNum(t[k + 1], pin.oy)) {
+          return sc.fail("non-numeric pin offset: " + line);
+        }
       }
       cur->pins.push_back(pin);
+      ++totalPins;
       --remaining;
+    }
+    if (!netComplete()) {
+      return sc.fail("net " + db.nets.back().name + " expects " +
+                     std::to_string(db.nets.back().pins.size() + remaining) +
+                     " pins, got " +
+                     std::to_string(db.nets.back().pins.size()) +
+                     " (truncated file?)");
+    }
+    if (declaredNets >= 0 && declaredNets != static_cast<long>(db.nets.size())) {
+      return sc.fail("NumNets declares " + std::to_string(declaredNets) +
+                     " but file has " + std::to_string(db.nets.size()));
+    }
+    if (declaredPins >= 0 && declaredPins != static_cast<long>(totalPins)) {
+      return sc.fail("NumPins declares " + std::to_string(declaredPins) +
+                     " but file has " + std::to_string(totalPins));
     }
   }
 
@@ -161,17 +266,21 @@ BookshelfResult readBookshelfImpl(const std::string& auxPath,
   if (!wtsFile.empty()) {
     std::ifstream in(dir + wtsFile);
     if (in) {
+      LineScanner sc(in, wtsFile);
       std::unordered_map<std::string, std::size_t> netIdx;
       for (std::size_t i = 0; i < db.nets.size(); ++i) {
         netIdx[db.nets[i].name] = i;
       }
-      while (nextLine(in, line)) {
+      while (sc.next(line)) {
         const auto t = tokens(line);
         if (t.size() >= 2) {
           const auto it = netIdx.find(t[0]);
-          if (it != netIdx.end()) {
-            db.nets[it->second].weight = std::stod(t[1]);
+          if (it == netIdx.end()) continue;
+          double w = 0.0;
+          if (!parseNum(t[1], w)) {
+            return sc.fail("non-numeric net weight: " + line);
           }
+          db.nets[it->second].weight = w;
         }
       }
     }
@@ -180,16 +289,18 @@ BookshelfResult readBookshelfImpl(const std::string& auxPath,
   // ---- .pl ----
   {
     std::ifstream in(dir + plFile);
-    if (!in) return fail("cannot open " + plFile);
-    while (nextLine(in, line)) {
+    if (!in) return ioFail("cannot open " + plFile);
+    LineScanner sc(in, plFile);
+    while (sc.next(line)) {
       const auto t = tokens(line);
       if (t.empty() || t[0] == "UCLA") continue;
       if (t.size() < 3) continue;
       const auto it = nameToObj.find(t[0]);
       if (it == nameToObj.end()) continue;
       auto& o = db.objects[static_cast<std::size_t>(it->second)];
-      o.lx = std::stod(t[1]);
-      o.ly = std::stod(t[2]);
+      if (!parseNum(t[1], o.lx) || !parseNum(t[2], o.ly)) {
+        return sc.fail("non-numeric coordinates: " + line);
+      }
       for (const auto& tok : t) {
         if (tok == "/FIXED" || tok == "FIXED") o.fixed = true;
       }
@@ -201,26 +312,36 @@ BookshelfResult readBookshelfImpl(const std::string& auxPath,
   double rowMinY = rowMinX, rowMaxY = -rowMinX;
   if (!sclFile.empty()) {
     std::ifstream in(dir + sclFile);
-    if (!in) return fail("cannot open " + sclFile);
+    if (!in) return ioFail("cannot open " + sclFile);
+    LineScanner sc(in, sclFile);
     Row row;
     bool inRow = false;
-    while (nextLine(in, line)) {
+    auto rowNum = [&](const std::string& tok, double& out) -> bool {
+      return parseNum(tok, out);
+    };
+    while (sc.next(line)) {
       const auto t = tokens(line);
       if (t.empty()) continue;
       if (t[0] == "CoreRow") {
         row = Row{};
         inRow = true;
       } else if (inRow && t[0] == "Coordinate" && t.size() > 1) {
-        row.ly = std::stod(t[1]);
+        if (!rowNum(t[1], row.ly)) return sc.fail("bad Coordinate: " + line);
       } else if (inRow && t[0] == "Height" && t.size() > 1) {
-        row.height = std::stod(t[1]);
+        if (!rowNum(t[1], row.height)) return sc.fail("bad Height: " + line);
       } else if (inRow && t[0] == "Sitewidth" && t.size() > 1) {
-        row.siteWidth = std::stod(t[1]);
+        if (!rowNum(t[1], row.siteWidth)) {
+          return sc.fail("bad Sitewidth: " + line);
+        }
       } else if (inRow && t[0] == "SubrowOrigin" && t.size() > 1) {
-        row.lx = std::stod(t[1]);
+        if (!rowNum(t[1], row.lx)) return sc.fail("bad SubrowOrigin: " + line);
         for (std::size_t k = 2; k + 1 < t.size(); ++k) {
           if (t[k] == "NumSites") {
-            row.numSites = static_cast<std::int32_t>(std::stol(t[k + 1]));
+            long sites = 0;
+            if (!parseCount(t[k + 1], sites)) {
+              return sc.fail("bad NumSites: " + line);
+            }
+            row.numSites = static_cast<std::int32_t>(sites);
           }
         }
       } else if (t[0] == "End" && inRow) {
@@ -262,35 +383,43 @@ BookshelfResult readBookshelfImpl(const std::string& auxPath,
   }
 
   db.finalize();
-  const std::string issue = db.validate();
-  if (!issue.empty()) return fail("invalid instance: " + issue);
-  return {true, {}};
+  const Status issue = db.validate();
+  if (!issue.ok()) {
+    logWarn("bookshelf: invalid instance: %s", issue.message().c_str());
+    return Status::invalidInput(auxPath + ": invalid instance: " +
+                                issue.message());
+  }
+  return {};
 }
 
 }  // namespace
 
-BookshelfResult readBookshelf(const std::string& auxPath, PlacementDB& db) {
-  // stod/stoul throw on malformed numeric tokens; surface that as a parse
-  // error instead of crashing on a corrupt file.
+Status readBookshelf(const std::string& auxPath, PlacementDB& db) {
+  // The parser itself is exception-free; the catch is a last-resort seam so
+  // a freak allocation failure on a corrupt file surfaces as a status, not
+  // a crash.
   try {
     return readBookshelfImpl(auxPath, db);
   } catch (const std::exception& e) {
-    return fail(std::string("parse error in ") + auxPath + ": " + e.what());
+    logWarn("bookshelf: parse error in %s: %s", auxPath.c_str(), e.what());
+    return Status::invalidInput(std::string("parse error in ") + auxPath +
+                                ": " + e.what());
   }
 }
 
-BookshelfResult writeBookshelf(const std::string& dir, const std::string& base,
-                               const PlacementDB& db) {
+Status writeBookshelf(const std::string& dir, const std::string& base,
+                      const PlacementDB& db) {
   const std::string prefix = dir + "/" + base;
 
   {
     std::ofstream out(prefix + ".aux");
-    if (!out) return fail("cannot write " + prefix + ".aux");
+    if (!out) return ioFail("cannot write " + prefix + ".aux");
     out << "RowBasedPlacement : " << base << ".nodes " << base << ".nets "
         << base << ".wts " << base << ".pl " << base << ".scl\n";
   }
   {
     std::ofstream out(prefix + ".nodes");
+    if (!out) return ioFail("cannot write " + prefix + ".nodes");
     out << std::setprecision(15);
     out << "UCLA nodes 1.0\n\n";
     std::size_t terminals = 0;
@@ -304,6 +433,7 @@ BookshelfResult writeBookshelf(const std::string& dir, const std::string& base,
   }
   {
     std::ofstream out(prefix + ".nets");
+    if (!out) return ioFail("cannot write " + prefix + ".nets");
     out << std::setprecision(15);
     out << "UCLA nets 1.0\n\n";
     std::size_t pins = 0;
@@ -313,16 +443,17 @@ BookshelfResult writeBookshelf(const std::string& dir, const std::string& base,
     for (const auto& n : db.nets) {
       out << "NetDegree : " << n.pins.size() << "  " << n.name << "\n";
       for (const auto& p : n.pins) {
-        const char* dir = p.dir == PinDir::kInput    ? "I"
-                          : p.dir == PinDir::kOutput ? "O"
-                                                     : "B";
+        const char* dir2 = p.dir == PinDir::kInput    ? "I"
+                           : p.dir == PinDir::kOutput ? "O"
+                                                      : "B";
         out << "    " << db.objects[static_cast<std::size_t>(p.obj)].name
-            << " " << dir << " : " << p.ox << " " << p.oy << "\n";
+            << " " << dir2 << " : " << p.ox << " " << p.oy << "\n";
       }
     }
   }
   {
     std::ofstream out(prefix + ".wts");
+    if (!out) return ioFail("cannot write " + prefix + ".wts");
     out << std::setprecision(15);
     out << "UCLA wts 1.0\n\n";
     for (const auto& n : db.nets) {
@@ -331,6 +462,7 @@ BookshelfResult writeBookshelf(const std::string& dir, const std::string& base,
   }
   {
     std::ofstream out(prefix + ".pl");
+    if (!out) return ioFail("cannot write " + prefix + ".pl");
     out << std::setprecision(15);
     out << "UCLA pl 1.0\n\n";
     for (const auto& o : db.objects) {
@@ -340,6 +472,7 @@ BookshelfResult writeBookshelf(const std::string& dir, const std::string& base,
   }
   {
     std::ofstream out(prefix + ".scl");
+    if (!out) return ioFail("cannot write " + prefix + ".scl");
     out << std::setprecision(15);
     out << "UCLA scl 1.0\n\n";
     out << "NumRows : " << db.rows.size() << "\n";
@@ -356,7 +489,7 @@ BookshelfResult writeBookshelf(const std::string& dir, const std::string& base,
       out << "End\n";
     }
   }
-  return {true, {}};
+  return {};
 }
 
 }  // namespace ep

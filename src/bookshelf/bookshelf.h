@@ -10,26 +10,28 @@
 // genuine circuits can be run through this repo unmodified; the bundled
 // experiments use the synthetic generator (see src/gen) which round-trips
 // through this module in the tests.
+//
+// All failures come back as a typed ep::Status — kIo for unopenable files,
+// kInvalidInput for malformed content — with "file:line:" locations on
+// parse errors. Truncated files are detected against the declared
+// NumNodes/NumNets/NumPins/NetDegree counts; a corrupt file never crashes
+// the reader.
 #pragma once
 
 #include <string>
 
 #include "model/netlist.h"
+#include "util/status.h"
 
 namespace ep {
-
-struct BookshelfResult {
-  bool ok = false;
-  std::string error;
-};
 
 /// Reads `<aux>` (path to the .aux file) and fills `db` (finalized).
 /// Object kinds: terminals with row-sized height stay kIo, larger ones are
 /// kMacro; movable objects taller than one row are kMacro.
-BookshelfResult readBookshelf(const std::string& auxPath, PlacementDB& db);
+Status readBookshelf(const std::string& auxPath, PlacementDB& db);
 
 /// Writes db as `<dir>/<base>.{aux,nodes,nets,pl,scl,wts}`.
-BookshelfResult writeBookshelf(const std::string& dir, const std::string& base,
-                               const PlacementDB& db);
+Status writeBookshelf(const std::string& dir, const std::string& base,
+                      const PlacementDB& db);
 
 }  // namespace ep

@@ -106,9 +106,30 @@ FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg) {
   res.finalScaledHpwl = scaledHpwl(db);
   res.legality = checkLegality(db);
   res.totalSeconds = total.seconds();
-  logInfo("flow done: HPWL %.4g (scaled %.4g), legal=%d, %.2fs", res.finalHpwl,
-          res.finalScaledHpwl, res.legality.legal ? 1 : 0, res.totalSeconds);
+  // First failing placement stage wins; later stages ran on its
+  // best-checkpoint placement, so their metrics are still meaningful.
+  if (!res.mgpResult.status.ok()) {
+    res.status = res.mgpResult.status;
+  } else if (!res.cgpResult.status.ok()) {
+    res.status = res.cgpResult.status;
+  }
+  logInfo("flow done: HPWL %.4g (scaled %.4g), legal=%d, status=%s, %.2fs",
+          res.finalHpwl, res.finalScaledHpwl, res.legality.legal ? 1 : 0,
+          statusCodeName(res.status.code()), res.totalSeconds);
   return res;
+}
+
+StatusOr<FlowResult> runEplaceFlowChecked(PlacementDB& db,
+                                          const FlowConfig& cfg) {
+  int repaired = 0;
+  const Status s = db.sanitize(&repaired);
+  if (!s.ok()) return s;
+  if (repaired > 0) {
+    logWarn("flow: sanitize repaired %d object position(s)", repaired);
+  }
+  const Status v = db.validate();
+  if (!v.ok()) return v;
+  return runEplaceFlow(db, cfg);
 }
 
 }  // namespace ep

@@ -22,6 +22,7 @@
 #include "legal/mlg.h"
 #include "model/netlist.h"
 #include "qp/initial_place.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace ep {
@@ -61,11 +62,26 @@ struct FlowResult {
   TimeBreakdown stageSeconds;  ///< "mIP"/"mGP"/"mLG"/"cGP"/"cDP" (Fig. 7)
   TimeBreakdown mgpInner;      ///< "density"/"wirelength"/"other" (Fig. 7)
   double totalSeconds = 0.0;
+  /// OK for a clean run. kNumericalDivergence / kTimeout when a placement
+  /// stage degraded gracefully (the first failing stage wins); the result
+  /// then holds that stage's best-checkpoint placement, finite and inside
+  /// the region, carried through the remaining stages.
+  Status status;
 };
 
 /// Runs the flow on `db` in place and returns every stage's metrics.
 /// Mixed-size behaviour (mLG + cGP) activates automatically when the design
 /// has movable macros. The mGP filler set is reused by cGP per the paper.
+/// Assumes a valid, finalized db (see runEplaceFlowChecked for the
+/// validating entry point); degradation status is in FlowResult::status.
 FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg = {});
+
+/// Validating entry point: sanitizes the instance (clamping stranded fixed
+/// pads, recentering non-finite movables), validates it, then runs the
+/// flow. Returns kInvalidInput without placing anything when the instance
+/// is structurally unusable; otherwise the FlowResult (whose `status`
+/// reports any in-flight degradation, see above).
+StatusOr<FlowResult> runEplaceFlowChecked(PlacementDB& db,
+                                          const FlowConfig& cfg = {});
 
 }  // namespace ep

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "density/electro.h"
+#include "util/fault_injector.h"
 #include "util/log.h"
 #include "util/stats.h"
 #include "wirelength/wl.h"
@@ -130,6 +131,14 @@ struct GlobalPlacer::Engine {
       grad[i] = (gxW[i] + lambda * gxD[i]) / pre;
       grad[nVars + i] = (gyW[i] + lambda * gyD[i]) / pre;
     }
+    // Fault site "nesterov.grad": corrupts the assembled gradient so the
+    // health monitor's rollback-and-recover path can be exercised.
+    auto& inj = FaultInjector::instance();
+    if (inj.active()) {
+      if (const FaultSpec* f = inj.fire("nesterov.grad")) {
+        inj.corrupt(grad, *f);
+      }
+    }
     return wl + lambda * density.energy();
   }
 
@@ -244,6 +253,12 @@ void GlobalPlacer::runFillerOnly(int iterations) {
   const auto v0 = eng.startVector(none);
   opt.initialize(v0);
   for (int k = 0; k < iterations; ++k) opt.step();
+  if (!allFinite(opt.solution())) {
+    // Fillers are an optimizer-internal device; a blown-up prelude must not
+    // poison cGP. Keep the (finite) input distribution instead.
+    logWarn("filler-only placement went non-finite; keeping input positions");
+    return;
+  }
   eng.writeBack(opt.solution(), none);
   logInfo("filler-only placement: %d iterations over %zu fillers", iterations,
           fillers_.size());
@@ -255,6 +270,12 @@ GpResult GlobalPlacer::run(TraceFn trace) {
   if (eng.nVars == 0) return result;
 
   const auto v0 = eng.startVector(movables_);
+  if (!allFinite(v0)) {
+    result.status = Status::invalidInput(
+        "non-finite start positions; run PlacementDB::sanitize() first");
+    logWarn("GP: %s", result.status.message().c_str());
+    return result;
+  }
   const double tau0 = eng.overflow(v0);
   eng.updateGamma(tau0);
   eng.lambda = cfg_.initialLambda.value_or(eng.initialLambda(v0));
@@ -275,6 +296,22 @@ GpResult GlobalPlacer::run(TraceFn trace) {
   const double refDelta =
       std::max(1e-12, cfg_.refHpwlDeltaFrac * std::max(prevHpwl, 1.0));
 
+  // Best-so-far checkpoint for rollback recovery. The start state is a
+  // valid (if poor) fallback: its positions are finite by the scan above
+  // even if an injected fault already poisoned the bootstrap gradients.
+  struct Checkpoint {
+    NesterovOptimizer::Snapshot snap;
+    double lambda;
+    double tau;
+    double hpwl;
+    int iter;
+  };
+  Checkpoint best{opt.snapshot(), eng.lambda, tau0, prevHpwl, 0};
+
+  HealthMonitor monitor(cfg_.health);
+  Timer wall;
+  int recoveries = 0;
+
   int iter = 0;
   for (; iter < cfg_.maxIterations; ++iter) {
     const auto info = opt.step();
@@ -284,6 +321,58 @@ GpResult GlobalPlacer::run(TraceFn trace) {
       ScopedTimer t(breakdown_, "other");
       curHpwl = eng.exactHpwl(opt.solution());
       tau = eng.overflow(opt.solution());
+    }
+
+    const HealthEvent ev = monitor.observe(iter, curHpwl, tau, opt.solution(),
+                                           info.gradNorm, wall.seconds());
+    if (ev == HealthEvent::kTimeout) {
+      result.timedOut = true;
+      result.status = Status::timeout(
+          "stage exceeded its wall-clock budget; best-so-far returned");
+      // The current state passed its last health check only if finite —
+      // otherwise hand back the checkpoint.
+      if (!allFinite(opt.solution())) {
+        opt.restore(best.snap);
+        eng.lambda = best.lambda;
+      }
+      logWarn("GP: watchdog fired at iter %d after %.2fs", iter,
+              wall.seconds());
+      ++iter;
+      break;
+    }
+    if (ev == HealthEvent::kNonFinite || ev == HealthEvent::kDiverged) {
+      if (recoveries >= cfg_.health.maxRecoveries) {
+        // Graceful degradation: return the best checkpoint with a typed
+        // error instead of NaN positions or an infinite retry loop.
+        opt.restore(best.snap);
+        eng.lambda = best.lambda;
+        result.status = Status::numericalDivergence(
+            std::string(healthEventName(ev)) + " at iter " +
+            std::to_string(iter) + "; recovery budget (" +
+            std::to_string(cfg_.health.maxRecoveries) +
+            ") exhausted, returning checkpoint from iter " +
+            std::to_string(best.iter));
+        logWarn("GP: %s", result.status.message().c_str());
+        ++iter;
+        break;
+      }
+      ++recoveries;
+      logWarn(
+          "GP: %s at iter %d (HPWL %.4g, tau %.3f); rollback to iter %d, "
+          "recovery %d/%d",
+          healthEventName(ev), iter, curHpwl, tau, best.iter, recoveries,
+          cfg_.health.maxRecoveries);
+      opt.restore(best.snap);
+      opt.coolRestart(cfg_.health.alphaResetScale);
+      eng.lambda = best.lambda;
+      eng.updateGamma(best.tau);
+      monitor.resetAfterRollback(best.hpwl, best.tau);
+      prevHpwl = best.hpwl;
+      continue;  // this iteration produced no usable metrics
+    }
+
+    {
+      ScopedTimer t(breakdown_, "other");
       eng.updateGamma(tau);
 
       // Penalty schedule: aggressive while HPWL holds, relaxed when it
@@ -295,6 +384,12 @@ GpResult GlobalPlacer::run(TraceFn trace) {
       mu = std::clamp(mu, cfg_.lambdaMultMin, cfg_.lambdaMultMax);
       eng.lambda *= mu;
       prevHpwl = curHpwl;
+    }
+
+    // Refresh the checkpoint on the configured cadence whenever spreading
+    // has not regressed: overflow is the progress metric of the stage.
+    if (monitor.shouldCheckpoint(iter) && tau <= best.tau) {
+      best = Checkpoint{opt.snapshot(), eng.lambda, tau, curHpwl, iter};
     }
 
     if (trace) {
@@ -315,13 +410,17 @@ GpResult GlobalPlacer::run(TraceFn trace) {
   eng.writeBack(opt.solution(), movables_);
   lambda_ = eng.lambda;
   result.iterations = iter;
+  result.recoveries = recoveries;
   result.finalHpwl = eng.exactHpwl(opt.solution());
   result.finalOverflow = eng.overflow(opt.solution());
   result.finalLambda = eng.lambda;
   result.gradEvals = opt.evalCount();
   result.backtracks = opt.backtrackCount();
-  logInfo("GP: %d iters, HPWL %.4g, overflow %.3f, converged=%d", iter,
-          result.finalHpwl, result.finalOverflow, result.converged ? 1 : 0);
+  logInfo("GP: %d iters, HPWL %.4g, overflow %.3f, converged=%d, "
+          "recoveries=%d, status=%s",
+          iter, result.finalHpwl, result.finalOverflow,
+          result.converged ? 1 : 0, recoveries,
+          statusCodeName(result.status.code()));
   return result;
 }
 

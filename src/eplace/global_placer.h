@@ -23,7 +23,9 @@
 
 #include "eplace/filler.h"
 #include "model/netlist.h"
+#include "opt/health.h"
 #include "opt/nesterov.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace ep {
@@ -46,6 +48,9 @@ struct GpConfig {
   std::optional<double> initialLambda;
   std::uint64_t fillerSeed = 7;
   NesterovConfig nesterov;
+  /// Numerical health monitoring, checkpoint/rollback recovery and the
+  /// per-stage wall-clock watchdog (docs/ROBUSTNESS.md).
+  HealthConfig health;
 };
 
 /// Per-iteration trace record (drives Fig. 2 / Fig. 3 benches).
@@ -68,6 +73,13 @@ struct GpResult {
   bool converged = false;  ///< reached target overflow within the cap
   long gradEvals = 0;
   long backtracks = 0;
+  /// OK on a normal run (including graceful target miss at the iteration
+  /// cap); kNumericalDivergence when the recovery budget was exhausted and
+  /// the best checkpoint was returned; kTimeout when the stage watchdog
+  /// fired (best-so-far state returned).
+  Status status;
+  int recoveries = 0;      ///< rollback-and-recover events that succeeded
+  bool timedOut = false;   ///< stage wall-clock budget expired
 };
 
 class GlobalPlacer {

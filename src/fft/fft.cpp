@@ -1,7 +1,10 @@
 #include "fft/fft.h"
 
 #include <cassert>
+#include <limits>
 #include <numbers>
+
+#include "util/fault_injector.h"
 
 namespace ep {
 
@@ -57,7 +60,21 @@ void Fft::transform(std::span<Complex> data, bool invert) const {
   }
 }
 
-void Fft::forward(std::span<Complex> data) const { transform(data, false); }
+void Fft::forward(std::span<Complex> data) const {
+  transform(data, false);
+  // Fault site "fft.forward": corrupts one spectral coefficient so the
+  // recovery paths downstream of the Poisson solver can be exercised.
+  auto& inj = FaultInjector::instance();
+  if (inj.active() && !data.empty()) {
+    if (const FaultSpec* f = inj.fire("fft.forward")) {
+      const std::size_t mid = data.size() / 2;
+      data[mid] = f->kind == FaultKind::kSpike
+                      ? data[mid] * f->magnitude
+                      : Complex{std::numeric_limits<double>::quiet_NaN(),
+                                std::numeric_limits<double>::quiet_NaN()};
+    }
+  }
+}
 void Fft::inverse(std::span<Complex> data) const { transform(data, true); }
 
 }  // namespace ep

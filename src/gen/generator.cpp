@@ -291,12 +291,12 @@ PlacementDB generateCircuit(const GenSpec& spec) {
   }
 
   db.finalize();
-  const std::string issue = db.validate();
-  if (!issue.empty()) {
+  const Status issue = db.validate();
+  if (!issue.ok()) {
     logError("generateCircuit(%s): invalid instance: %s", spec.name.c_str(),
-             issue.c_str());
+             issue.message().c_str());
   }
-  assert(issue.empty());
+  assert(issue.ok());
   return db;
 }
 

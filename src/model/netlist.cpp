@@ -70,47 +70,99 @@ double PlacementDB::freeArea() const {
   return region.area() - fixedAreaInRegion();
 }
 
-std::string PlacementDB::validate() const {
+Status PlacementDB::validate() const {
+  auto bad = [](const std::string& msg) { return Status::invalidInput(msg); };
   std::ostringstream err;
-  if (region.empty()) return "region is empty";
-  if (!finalized_) return "finalize() has not been called";
+  if (region.empty()) return bad("region is empty");
+  if (!finalized_) return bad("finalize() has not been called");
   for (std::size_t i = 0; i < objects.size(); ++i) {
     const auto& o = objects[i];
-    if (!(o.w > 0.0) || !(o.h > 0.0)) {
-      err << "object " << o.name << " has non-positive dims";
-      return err.str();
+    if (!std::isfinite(o.w) || !std::isfinite(o.h) || o.w < 0.0 || o.h < 0.0) {
+      err << "object " << o.name << " has invalid dims " << o.w << " x " << o.h;
+      return bad(err.str());
+    }
+    // Fixed point pads (zero area) are legitimate; zero-area movables are
+    // not — they carry no density charge and cannot be legalized.
+    if (!o.fixed && !(o.w > 0.0 && o.h > 0.0)) {
+      err << "movable object " << o.name << " has zero area";
+      return bad(err.str());
     }
     if (!std::isfinite(o.lx) || !std::isfinite(o.ly)) {
       err << "object " << o.name << " has non-finite position";
-      return err.str();
+      return bad(err.str());
     }
   }
   for (std::size_t n = 0; n < nets.size(); ++n) {
     if (nets[n].pins.empty()) {
       err << "net " << nets[n].name << " has no pins";
-      return err.str();
+      return bad(err.str());
     }
     for (const auto& pin : nets[n].pins) {
       if (pin.obj < 0 ||
           static_cast<std::size_t>(pin.obj) >= objects.size()) {
         err << "net " << nets[n].name << " references invalid object "
             << pin.obj;
-        return err.str();
+        return bad(err.str());
+      }
+      if (!std::isfinite(pin.ox) || !std::isfinite(pin.oy)) {
+        err << "net " << nets[n].name << " has a non-finite pin offset";
+        return bad(err.str());
       }
     }
-    if (nets[n].weight <= 0.0) {
+    if (nets[n].weight <= 0.0 || !std::isfinite(nets[n].weight)) {
       err << "net " << nets[n].name << " has non-positive weight";
-      return err.str();
+      return bad(err.str());
     }
   }
   for (const auto& r : rows) {
     if (r.height <= 0.0 || r.siteWidth <= 0.0 || r.numSites <= 0) {
-      return "row with non-positive geometry";
+      return bad("row with non-positive geometry");
     }
   }
-  if (targetDensity <= 0.0 || targetDensity > 1.0) {
-    return "target density out of (0, 1]";
+  if (targetDensity <= 0.0 || targetDensity > 1.0 ||
+      !std::isfinite(targetDensity)) {
+    return bad("target density out of (0, 1]");
   }
+  return {};
+}
+
+Status PlacementDB::sanitize(int* repaired) {
+  int fixes = 0;
+  if (region.empty()) return Status::invalidInput("region is empty");
+  const double diag = std::hypot(region.width(), region.height());
+  const Point mid{(region.lx + region.hx) * 0.5, (region.ly + region.hy) * 0.5};
+  for (auto& o : objects) {
+    if (!std::isfinite(o.w) || !std::isfinite(o.h) || o.w < 0.0 || o.h < 0.0) {
+      return Status::invalidInput("object " + o.name + " has invalid dims");
+    }
+    if (!o.fixed && !(o.w > 0.0 && o.h > 0.0)) {
+      return Status::invalidInput("movable object " + o.name +
+                                  " has zero area");
+    }
+    if (!o.fixed && (!std::isfinite(o.lx) || !std::isfinite(o.ly))) {
+      o.setCenter(mid.x, mid.y);  // placement recomputes it anyway
+      ++fixes;
+      continue;
+    }
+    if (o.fixed && std::isfinite(o.lx) && std::isfinite(o.ly)) {
+      // A pad more than one region diagonal away from the core is corrupt
+      // input, not periphery IO: clamp its center onto the region.
+      const Point c = o.center();
+      const double dx =
+          std::max({region.lx - c.x, c.x - region.hx, 0.0});
+      const double dy =
+          std::max({region.ly - c.y, c.y - region.hy, 0.0});
+      if (std::hypot(dx, dy) > diag) {
+        o.setCenter(std::clamp(c.x, region.lx, region.hx),
+                    std::clamp(c.y, region.ly, region.hy));
+        ++fixes;
+      }
+    } else if (o.fixed) {
+      return Status::invalidInput("fixed object " + o.name +
+                                  " has non-finite position");
+    }
+  }
+  if (repaired != nullptr) *repaired = fixes;
   return {};
 }
 

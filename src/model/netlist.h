@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/geometry.h"
+#include "util/status.h"
 
 namespace ep {
 
@@ -111,10 +112,26 @@ class PlacementDB {
     return {c.x + p.ox, c.y + p.oy};
   }
 
-  /// Validate structural invariants (pin indices in range, positive dims,
-  /// non-empty region, finalized connectivity). Returns an empty string on
-  /// success or a description of the first violation.
-  [[nodiscard]] std::string validate() const;
+  /// Validate structural invariants (pin indices in range, positive movable
+  /// dims, finite geometry, non-empty region, finalized connectivity).
+  /// Returns OK or an InvalidInput status describing the first violation.
+  /// Fixed objects may have zero dims (ISPD terminal_NI pads are points);
+  /// movable objects must have positive area — the density model divides
+  /// by it.
+  [[nodiscard]] Status validate() const;
+
+  /// Repair what is safely repairable before placement starts, or reject
+  /// with InvalidInput what is not:
+  ///  * fixed pads stranded absurdly far outside the region (farther than
+  ///    one region diagonal) are clamped onto the region boundary — the
+  ///    usual signature of corrupt coordinates; near-boundary IO pads are
+  ///    left alone;
+  ///  * movable objects with non-finite positions are recentered (global
+  ///    placement overwrites them anyway);
+  ///  * zero/negative-area movable objects are rejected.
+  /// Returns the number of clamped/recentered objects via `repaired` when
+  /// non-null. Call before validate()+mGP; runEplaceFlowChecked() does.
+  Status sanitize(int* repaired = nullptr);
 
  private:
   std::vector<std::int32_t> movable_;

@@ -1,0 +1,78 @@
+#include "opt/health.h"
+
+#include <cmath>
+
+namespace ep {
+
+const char* healthEventName(HealthEvent e) {
+  switch (e) {
+    case HealthEvent::kOk:
+      return "ok";
+    case HealthEvent::kNonFinite:
+      return "non-finite";
+    case HealthEvent::kDiverged:
+      return "diverged";
+    case HealthEvent::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+bool allFinite(std::span<const double> v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+HealthMonitor::HealthMonitor(HealthConfig cfg) : cfg_(cfg) {}
+
+bool HealthMonitor::shouldCheckpoint(int iter) const {
+  if (!cfg_.enabled) return false;
+  const int every = cfg_.checkpointEvery > 0 ? cfg_.checkpointEvery : 1;
+  return iter % every == 0;
+}
+
+void HealthMonitor::resetAfterRollback(double hpwl, double overflow) {
+  smoothedHpwl_ = hpwl;
+  // Keep bestOverflow_: the rollback target was at least that good, and a
+  // repeat offender must not ratchet the divergence threshold upward.
+  if (bestOverflow_ < 0.0 || overflow < bestOverflow_) bestOverflow_ = overflow;
+}
+
+HealthEvent HealthMonitor::observe(int iter, double hpwl, double overflow,
+                                   std::span<const double> positions,
+                                   double gradNorm, double elapsedSeconds) {
+  if (!cfg_.enabled) return HealthEvent::kOk;
+
+  // The watchdog outranks everything: even a healthy run must stop cleanly
+  // when its budget expires.
+  if (cfg_.timeBudgetSeconds > 0.0 && elapsedSeconds > cfg_.timeBudgetSeconds) {
+    return HealthEvent::kTimeout;
+  }
+
+  if (!std::isfinite(hpwl) || !std::isfinite(overflow) ||
+      !std::isfinite(gradNorm) || !allFinite(positions)) {
+    return HealthEvent::kNonFinite;
+  }
+
+  const bool warm = iter >= cfg_.warmupIterations;
+  if (warm && smoothedHpwl_ > 0.0 &&
+      hpwl > cfg_.hpwlBlowupRatio * smoothedHpwl_) {
+    return HealthEvent::kDiverged;
+  }
+  if (warm && bestOverflow_ >= 0.0 &&
+      overflow > bestOverflow_ + cfg_.overflowBlowupMargin) {
+    return HealthEvent::kDiverged;
+  }
+
+  // Healthy: fold the sample into the smoothed statistics.
+  smoothedHpwl_ = smoothedHpwl_ < 0.0
+                      ? hpwl
+                      : (1.0 - cfg_.hpwlSmoothing) * smoothedHpwl_ +
+                            cfg_.hpwlSmoothing * hpwl;
+  if (bestOverflow_ < 0.0 || overflow < bestOverflow_) bestOverflow_ = overflow;
+  return HealthEvent::kOk;
+}
+
+}  // namespace ep

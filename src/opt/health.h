@@ -1,0 +1,81 @@
+// Numerical health monitoring for the Nesterov placement loop.
+//
+// The Lipschitz-steplength loop is value-free: nothing in Algorithm 1
+// notices when a bad steplength estimate or a corrupted gradient sends the
+// iterate to NaN or flings every cell to the region boundary. The monitor
+// watches the cheap per-iteration signals — position/gradient finiteness,
+// a smoothed HPWL blow-up ratio, density-overflow regression past the best
+// level seen — plus the wall clock, and classifies each iteration so the
+// caller (GlobalPlacer) can roll back to a checkpoint or stop gracefully.
+// Thresholds and the recovery policy are documented in docs/ROBUSTNESS.md.
+#pragma once
+
+#include <span>
+
+namespace ep {
+
+struct HealthConfig {
+  bool enabled = true;
+  /// Iterations between checkpoint refresh opportunities (the caller owns
+  /// the actual snapshot; shouldCheckpoint() just gates the cadence).
+  int checkpointEvery = 25;
+  /// Rollback attempts before giving up and returning the best checkpoint.
+  int maxRecoveries = 3;
+  /// Instantaneous HPWL above this multiple of its own exponential moving
+  /// average counts as divergence (normal spreading moves HPWL a few
+  /// percent per iteration; a 4x jump is an instability).
+  double hpwlBlowupRatio = 4.0;
+  /// Overflow this far above the best overflow seen counts as divergence
+  /// (tau decreases as spreading progresses; a large regression means the
+  /// layout exploded). Absolute tau units.
+  double overflowBlowupMargin = 0.3;
+  /// Divergence checks only engage after this many iterations — the first
+  /// steps legitimately reshuffle the layout.
+  int warmupIterations = 10;
+  /// EMA weight of the newest HPWL sample.
+  double hpwlSmoothing = 0.25;
+  /// Steplength multiplier applied on rollback (cool restart).
+  double alphaResetScale = 0.1;
+  /// Wall-clock watchdog for one placement stage; 0 disables it.
+  double timeBudgetSeconds = 0.0;
+};
+
+enum class HealthEvent {
+  kOk = 0,
+  kNonFinite,  ///< NaN/Inf in positions, HPWL, overflow or gradient norm
+  kDiverged,   ///< finite but blowing up per the ratio/margin thresholds
+  kTimeout,    ///< stage wall-clock budget exhausted
+};
+
+const char* healthEventName(HealthEvent e);
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig cfg);
+
+  /// Classifies one iteration. `positions` is the full variable vector of
+  /// the optimizer (scanned for NaN/Inf); `elapsedSeconds` is stage time.
+  HealthEvent observe(int iter, double hpwl, double overflow,
+                      std::span<const double> positions, double gradNorm,
+                      double elapsedSeconds);
+
+  /// True on iterations where the caller should refresh its checkpoint.
+  [[nodiscard]] bool shouldCheckpoint(int iter) const;
+
+  /// Re-anchors the smoothed statistics after the caller rolled back to a
+  /// checkpoint taken at (hpwl, overflow).
+  void resetAfterRollback(double hpwl, double overflow);
+
+  [[nodiscard]] double smoothedHpwl() const { return smoothedHpwl_; }
+  [[nodiscard]] double bestOverflow() const { return bestOverflow_; }
+
+ private:
+  HealthConfig cfg_;
+  double smoothedHpwl_ = -1.0;  // <0 = unseeded
+  double bestOverflow_ = -1.0;
+};
+
+/// True when every element of `v` is finite.
+bool allFinite(std::span<const double> v);
+
+}  // namespace ep

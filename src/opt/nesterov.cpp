@@ -48,6 +48,36 @@ void NesterovOptimizer::initialize(std::span<const double> v0) {
   iter_ = 0;
 }
 
+NesterovOptimizer::Snapshot NesterovOptimizer::snapshot() const {
+  return {u_, cur_, prev_, curGrad_, prevGrad_, a_, lastAlpha_, iter_};
+}
+
+void NesterovOptimizer::restore(const Snapshot& s) {
+  assert(s.u.size() == dim_);
+  u_ = s.u;
+  cur_ = s.cur;
+  prev_ = s.prev;
+  curGrad_ = s.curGrad;
+  prevGrad_ = s.prevGrad;
+  a_ = s.a;
+  lastAlpha_ = s.lastAlpha;
+  iter_ = s.iter;
+}
+
+void NesterovOptimizer::coolRestart(double alphaScale) {
+  a_ = 1.0;
+  if (std::isfinite(lastAlpha_) && lastAlpha_ > 0.0) {
+    lastAlpha_ *= alphaScale;
+  } else {
+    lastAlpha_ = cfg_.bootstrapMove;
+  }
+  // Collapse the fictitious previous pair onto the current iterate so the
+  // next Lipschitz prediction falls back to lastAlpha_ instead of a ratio
+  // polluted by whatever state preceded the rollback.
+  prev_ = cur_;
+  prevGrad_ = curGrad_;
+}
+
 NesterovOptimizer::StepInfo NesterovOptimizer::step() {
   StepInfo info;
 
@@ -55,6 +85,13 @@ NesterovOptimizer::StepInfo NesterovOptimizer::step() {
   const double dg = dist2(curGrad_, prevGrad_);
   double alpha = (dg > 0.0 && dv > 0.0) ? dv / dg
                  : (lastAlpha_ > 0.0 ? lastAlpha_ : cfg_.bootstrapMove);
+  // Guardrail: a NaN/Inf gradient pair poisons the Lipschitz ratio; fall
+  // back to the last accepted steplength rather than propagating NaN into
+  // every coordinate.
+  if (!std::isfinite(alpha) || alpha <= 0.0) {
+    alpha = (std::isfinite(lastAlpha_) && lastAlpha_ > 0.0) ? lastAlpha_
+                                                            : cfg_.bootstrapMove;
+  }
 
   const double aNext = (1.0 + std::sqrt(4.0 * a_ * a_ + 1.0)) * 0.5;
   const double coef = cfg_.enableMomentum ? (a_ - 1.0) / aNext : 0.0;
@@ -83,6 +120,10 @@ NesterovOptimizer::StepInfo NesterovOptimizer::step() {
       break;
     }
     const double alphaRef = ddv / ddg;
+    if (!std::isfinite(alphaRef)) {  // poisoned gradient: nothing to refine
+      info.backtracks = bt;
+      break;
+    }
     // Backtrack only when the reference says the step was a genuine
     // overestimate; a reference at or above the current step cannot shrink
     // it (re-taking the same step would loop forever on e.g. an exact

@@ -71,6 +71,25 @@ class NesterovOptimizer {
   /// One accepted iteration of Algorithm 1.
   StepInfo step();
 
+  /// Full optimizer state for checkpoint/rollback recovery: both iterates,
+  /// the fictitious previous pair, the cached gradients and the momentum /
+  /// steplength scalars. Restoring a snapshot resumes exactly where it was
+  /// taken.
+  struct Snapshot {
+    std::vector<double> u, cur, prev;
+    std::vector<double> curGrad, prevGrad;
+    double a = 1.0;
+    double lastAlpha = 0.0;
+    int iter = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
+  /// Post-rollback cool restart: drops the accumulated momentum (a_k back
+  /// to 1) and scales the remembered steplength down so the re-run leaves
+  /// the checkpoint cautiously instead of re-taking the diverging step.
+  void coolRestart(double alphaScale);
+
   /// Current output solution u_k.
   [[nodiscard]] std::span<const double> solution() const { return u_; }
   /// Current lookahead iterate v_k (where gradients are evaluated).

@@ -8,7 +8,7 @@ namespace ep {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : out_(path), columns_(header.size()) {
+    : out_(path), path_(path), columns_(header.size()) {
   if (!out_) {
     logWarn("CsvWriter: cannot open %s", path.c_str());
     return;
@@ -16,8 +16,17 @@ CsvWriter::CsvWriter(const std::string& path,
   row(header);
 }
 
+bool CsvWriter::writable() {
+  if (out_) return true;
+  if (!warnedDrop_) {
+    warnedDrop_ = true;
+    logWarn("CsvWriter: %s is not writable, dropping all rows", path_.c_str());
+  }
+  return false;
+}
+
 void CsvWriter::row(const std::vector<double>& cells) {
-  if (!out_) return;
+  if (!writable()) return;
   if (cells.size() != columns_) {
     logWarn("CsvWriter: row has %zu cells, header has %zu", cells.size(),
             columns_);
@@ -31,7 +40,7 @@ void CsvWriter::row(const std::vector<double>& cells) {
 }
 
 void CsvWriter::row(const std::vector<std::string>& cells) {
-  if (!out_) return;
+  if (!writable()) return;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     out_ << (i ? "," : "") << cells[i];
   }

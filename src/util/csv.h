@@ -16,13 +16,19 @@ class CsvWriter {
 
   [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
 
-  /// Writes one row; numeric cells are formatted with %.6g.
+  /// Writes one row; numeric cells are formatted with %.6g. Rows written
+  /// while the stream is bad are dropped, with a single warning naming the
+  /// path (not one per row — traces can be hundreds of rows long).
   void row(const std::vector<double>& cells);
   void row(const std::vector<std::string>& cells);
 
  private:
+  bool writable();
+
   std::ofstream out_;
+  std::string path_;
   std::size_t columns_ = 0;
+  bool warnedDrop_ = false;
 };
 
 }  // namespace ep

@@ -1,0 +1,60 @@
+#include "util/fault_injector.h"
+
+#include <limits>
+
+#include "util/log.h"
+
+namespace ep {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector inj;
+  return inj;
+}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  sites_[site] = Armed{spec, 0, 0};
+}
+
+void FaultInjector::disarm(const std::string& site) { sites_.erase(site); }
+
+void FaultInjector::reset() {
+  sites_.clear();
+  rng_.reseed(0xfa17ED5EEDULL);
+}
+
+void FaultInjector::reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
+const FaultSpec* FaultInjector::fire(const std::string& site) {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return nullptr;
+  Armed& a = it->second;
+  const long tick = a.tick++;
+  if (tick < a.spec.atTick) return nullptr;
+  if (a.spec.count >= 0 && a.fired >= a.spec.count) return nullptr;
+  ++a.fired;
+  logDebug("fault injector: %s fires at pass %ld", site.c_str(), tick);
+  return &a.spec;
+}
+
+void FaultInjector::corrupt(std::span<double> data, const FaultSpec& spec) {
+  if (data.empty()) return;
+  const std::size_t idx =
+      static_cast<std::size_t>(rng_.below(static_cast<std::uint64_t>(data.size())));
+  switch (spec.kind) {
+    case FaultKind::kNaN:
+      data[idx] = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case FaultKind::kSpike:
+      data[idx] = (data[idx] == 0.0 ? 1.0 : data[idx]) * spec.magnitude;
+      break;
+    case FaultKind::kTruncate:
+      break;  // stream-site semantics; nothing to corrupt in a buffer
+  }
+}
+
+long FaultInjector::fireCount(const std::string& site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace ep

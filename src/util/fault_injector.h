@@ -1,0 +1,71 @@
+// Deterministic fault injection for robustness tests and benches.
+//
+// Production code is instrumented at a few named *sites*; when a site is
+// armed, the Nth pass through it corrupts data in a seeded, reproducible
+// way. Sites currently wired in:
+//   "nesterov.grad"   gradient buffer of the global placer (NaN / spike)
+//   "fft.forward"     forward FFT output (NaN / spike)
+//   "bookshelf.line"  Bookshelf line scanner (truncate = premature EOF)
+// With no armed sites the hot-path cost is one branch on a bool, so the
+// instrumentation stays in release builds. The injector is process-global
+// and not thread-safe — arm/reset only from single-threaded test setup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "util/rng.h"
+
+namespace ep {
+
+enum class FaultKind : std::uint8_t {
+  kNaN,       ///< overwrite one entry with a quiet NaN
+  kSpike,     ///< multiply one entry by `magnitude`
+  kTruncate,  ///< report EOF / cut the stream short (stream sites only)
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNaN;
+  long atTick = 0;         ///< first site pass (0-based) that fires
+  int count = 1;           ///< number of firing passes; -1 = every pass on
+  double magnitude = 1e9;  ///< spike multiplier
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  void arm(const std::string& site, FaultSpec spec);
+  void disarm(const std::string& site);
+  /// Disarms every site and resets tick/fire counters and the RNG.
+  void reset();
+  void reseed(std::uint64_t seed);
+
+  /// Cheap hot-path guard: true when any site is armed.
+  [[nodiscard]] bool active() const { return !sites_.empty(); }
+
+  /// Advances `site`'s pass counter; returns the spec if this pass fires,
+  /// nullptr otherwise (including when the site is not armed).
+  const FaultSpec* fire(const std::string& site);
+
+  /// Corrupts one seeded-random entry of `data` per the spec (kNaN/kSpike).
+  void corrupt(std::span<double> data, const FaultSpec& spec);
+
+  /// Total number of times `site` has fired since arm/reset.
+  [[nodiscard]] long fireCount(const std::string& site) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Armed {
+    FaultSpec spec;
+    long tick = 0;   // passes seen
+    long fired = 0;  // passes that fired
+  };
+  std::map<std::string, Armed> sites_;
+  Rng rng_{0xfa17ED5EEDULL};
+};
+
+}  // namespace ep

@@ -1,0 +1,31 @@
+#include "util/status.h"
+
+namespace ep {
+
+const char* statusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kInvalidInput:
+      return "InvalidInput";
+    case StatusCode::kNumericalDivergence:
+      return "NumericalDivergence";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kIo:
+      return "Io";
+  }
+  return "Unknown";
+}
+
+std::string Status::toString() const {
+  if (ok()) return "Ok";
+  std::string s = statusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace ep

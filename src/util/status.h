@@ -1,0 +1,94 @@
+// Structured error layer for the placement flow.
+//
+// Library entry points that can fail (parsing, validation, the flow itself)
+// return ep::Status or ep::StatusOr<T> instead of throwing or returning bare
+// strings, so callers can branch on a stable error-code taxonomy:
+//   kInvalidInput          malformed instance or file content
+//   kNumericalDivergence   the optimizer blew up and recovery was exhausted
+//   kTimeout               a wall-clock or iteration budget expired
+//   kIo                    a file could not be opened / written
+// The CLI maps each code to a distinct process exit code (see
+// docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ep {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidInput,
+  kNumericalDivergence,
+  kTimeout,
+  kIo,
+};
+
+/// Stable human-readable name of a code ("Ok", "InvalidInput", ...).
+const char* statusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  ///< OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status okStatus() { return {}; }
+  static Status invalidInput(std::string msg) {
+    return {StatusCode::kInvalidInput, std::move(msg)};
+  }
+  static Status numericalDivergence(std::string msg) {
+    return {StatusCode::kNumericalDivergence, std::move(msg)};
+  }
+  static Status timeout(std::string msg) {
+    return {StatusCode::kTimeout, std::move(msg)};
+  }
+  static Status ioError(std::string msg) {
+    return {StatusCode::kIo, std::move(msg)};
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  /// "InvalidInput: nodes.nodes:12: bad token" (or "Ok").
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a non-OK Status. Accessing the value of a failed
+/// StatusOr is a programming error (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(implicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() {
+    assert(value_.has_value());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const {
+    assert(value_.has_value());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ep

@@ -27,10 +27,10 @@ TEST_F(BookshelfTest, RoundTripPreservesInstance) {
   spec.seed = 5;
   const PlacementDB orig = generateCircuit(spec);
 
-  ASSERT_TRUE(writeBookshelf(dir_, "rt", orig).ok);
+  ASSERT_TRUE(writeBookshelf(dir_, "rt", orig).ok());
   PlacementDB back;
   const auto res = readBookshelf(dir_ + "/rt.aux", back);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.message();
 
   ASSERT_EQ(back.objects.size(), orig.objects.size());
   ASSERT_EQ(back.nets.size(), orig.nets.size());
@@ -68,9 +68,9 @@ TEST_F(BookshelfTest, RoundTripPreservesWeights) {
   PlacementDB orig = generateCircuit(spec);
   orig.nets[0].weight = 3.5;
   orig.nets[1].weight = 0.25;
-  ASSERT_TRUE(writeBookshelf(dir_, "w", orig).ok);
+  ASSERT_TRUE(writeBookshelf(dir_, "w", orig).ok());
   PlacementDB back;
-  ASSERT_TRUE(readBookshelf(dir_ + "/w.aux", back).ok);
+  ASSERT_TRUE(readBookshelf(dir_ + "/w.aux", back).ok());
   EXPECT_DOUBLE_EQ(back.nets[0].weight, 3.5);
   EXPECT_DOUBLE_EQ(back.nets[1].weight, 0.25);
   EXPECT_DOUBLE_EQ(back.nets[2].weight, 1.0);
@@ -79,8 +79,8 @@ TEST_F(BookshelfTest, RoundTripPreservesWeights) {
 TEST_F(BookshelfTest, MissingAuxFails) {
   PlacementDB db;
   const auto res = readBookshelf(dir_ + "/nonexistent.aux", db);
-  EXPECT_FALSE(res.ok);
-  EXPECT_FALSE(res.error.empty());
+  EXPECT_FALSE(res.ok());
+  EXPECT_FALSE(res.message().empty());
 }
 
 TEST_F(BookshelfTest, MalformedAuxFails) {
@@ -89,7 +89,7 @@ TEST_F(BookshelfTest, MalformedAuxFails) {
     out << "RowBasedPlacement : nothing useful\n";
   }
   PlacementDB db;
-  EXPECT_FALSE(readBookshelf(dir_ + "/bad.aux", db).ok);
+  EXPECT_FALSE(readBookshelf(dir_ + "/bad.aux", db).ok());
 }
 
 TEST_F(BookshelfTest, ParsesHandWrittenFiles) {
@@ -130,7 +130,7 @@ TEST_F(BookshelfTest, ParsesHandWrittenFiles) {
   }
   PlacementDB db;
   const auto res = readBookshelf(dir_ + "/mini.aux", db);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.message();
   ASSERT_EQ(db.objects.size(), 3u);
   EXPECT_EQ(db.objects[0].name, "a");
   EXPECT_DOUBLE_EQ(db.objects[0].w, 2.0);
@@ -148,7 +148,7 @@ TEST_F(BookshelfTest, WriterProducesAllFiles) {
   GenSpec spec;
   spec.numCells = 20;
   const PlacementDB db = generateCircuit(spec);
-  ASSERT_TRUE(writeBookshelf(dir_, "files", db).ok);
+  ASSERT_TRUE(writeBookshelf(dir_, "files", db).ok());
   for (const char* ext : {".aux", ".nodes", ".nets", ".pl", ".scl", ".wts"}) {
     EXPECT_TRUE(std::filesystem::exists(dir_ + "/files" + ext)) << ext;
   }

@@ -15,7 +15,7 @@ TEST(Generator, ProducesValidInstance) {
   spec.numFixedMacros = 3;
   spec.seed = 9;
   const PlacementDB db = generateCircuit(spec);
-  EXPECT_EQ(db.validate(), "");
+  EXPECT_TRUE(db.validate().ok());
   EXPECT_FALSE(db.rows.empty());
   EXPECT_FALSE(db.nets.empty());
 }

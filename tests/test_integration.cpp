@@ -67,10 +67,10 @@ TEST(Integration, BookshelfRoundTripThroughFlow) {
   PlacementDB db = generateCircuit(spec);
   runEplaceFlow(db);
   const double placedHpwl = hpwl(db);
-  ASSERT_TRUE(writeBookshelf(dir, "placed", db).ok);
+  ASSERT_TRUE(writeBookshelf(dir, "placed", db).ok());
 
   PlacementDB back;
-  ASSERT_TRUE(readBookshelf(dir + "/placed.aux", back).ok);
+  ASSERT_TRUE(readBookshelf(dir + "/placed.aux", back).ok());
   back.targetDensity = db.targetDensity;
   EXPECT_NEAR(hpwl(back), placedHpwl, 1e-6 * placedHpwl);
   EXPECT_TRUE(checkLegality(back).legal);
@@ -83,10 +83,10 @@ TEST(Integration, PlaceAnExternalBookshelfDesign) {
   std::filesystem::create_directories(dir);
   GenSpec spec = shrunk(suiteSpec("ispd05_adaptec1s"));
   const PlacementDB orig = generateCircuit(spec);
-  ASSERT_TRUE(writeBookshelf(dir, "ext", orig).ok);
+  ASSERT_TRUE(writeBookshelf(dir, "ext", orig).ok());
 
   PlacementDB db;
-  ASSERT_TRUE(readBookshelf(dir + "/ext.aux", db).ok);
+  ASSERT_TRUE(readBookshelf(dir + "/ext.aux", db).ok());
   const FlowResult res = runEplaceFlow(db);
   EXPECT_TRUE(res.legality.legal) << res.legality.firstIssue;
 }

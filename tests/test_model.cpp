@@ -89,51 +89,51 @@ TEST(Model, PinPositions) {
   EXPECT_DOUBLE_EQ(p.y, 60.0);
 }
 
-TEST(Model, ValidatePasses) { EXPECT_EQ(smallDb().validate(), ""); }
+TEST(Model, ValidatePasses) { EXPECT_TRUE(smallDb().validate().ok()); }
 
 TEST(Model, ValidateCatchesBadPin) {
   auto db = smallDb();
   // Corrupt a pin after finalize; validate() must flag it (and must be run
   // before any re-finalize, which assumes valid indices).
   db.nets[0].pins[0].obj = 99;
-  EXPECT_NE(db.validate(), "");
+  EXPECT_FALSE(db.validate().ok());
 }
 
 TEST(Model, ValidateCatchesEmptyRegion) {
   auto db = smallDb();
   db.region = {0, 0, 0, 0};
-  EXPECT_NE(db.validate(), "");
+  EXPECT_FALSE(db.validate().ok());
 }
 
 TEST(Model, ValidateCatchesNonPositiveDims) {
   auto db = smallDb();
   db.objects[0].w = 0.0;
-  EXPECT_NE(db.validate(), "");
+  EXPECT_FALSE(db.validate().ok());
 }
 
 TEST(Model, ValidateCatchesEmptyNet) {
   auto db = smallDb();
   db.nets.push_back(Net{"empty", {}, 1.0});
   db.finalize();
-  EXPECT_NE(db.validate(), "");
+  EXPECT_FALSE(db.validate().ok());
 }
 
 TEST(Model, ValidateCatchesBadWeight) {
   auto db = smallDb();
   db.nets[0].weight = 0.0;
-  EXPECT_NE(db.validate(), "");
+  EXPECT_FALSE(db.validate().ok());
 }
 
 TEST(Model, ValidateCatchesBadDensity) {
   auto db = smallDb();
   db.targetDensity = 1.5;
-  EXPECT_NE(db.validate(), "");
+  EXPECT_FALSE(db.validate().ok());
 }
 
 TEST(Model, ValidateCatchesUnfinalized) {
   PlacementDB db;
   db.region = {0, 0, 1, 1};
-  EXPECT_NE(db.validate(), "");
+  EXPECT_FALSE(db.validate().ok());
 }
 
 TEST(Model, RowGeometry) {

@@ -302,7 +302,7 @@ TEST_P(AllSuites, EveryCircuitIsValidAndSized) {
   small.numCells = std::min<std::size_t>(spec.numCells, 400);
   small.numMovableMacros = std::min<std::size_t>(spec.numMovableMacros, 6);
   const PlacementDB db = generateCircuit(small);
-  EXPECT_EQ(db.validate(), "") << spec.name;
+  EXPECT_TRUE(db.validate().ok()) << spec.name;
   EXPECT_GE(db.freeArea() * db.targetDensity,
             db.totalMovableArea() * 0.99)
       << spec.name << ": movable area exceeds density budget";

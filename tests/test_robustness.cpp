@@ -14,6 +14,7 @@
 #include "legal/legalize.h"
 #include "legal/mlg.h"
 #include "qp/initial_place.h"
+#include "util/fault_injector.h"
 #include "wirelength/wl.h"
 
 namespace ep {
@@ -172,7 +173,7 @@ class BookshelfCorruption : public ::testing::Test {
     spec.numCells = 30;
     spec.seed = 3;
     db_ = generateCircuit(spec);
-    ASSERT_TRUE(writeBookshelf(dir_, "c", db_).ok);
+    ASSERT_TRUE(writeBookshelf(dir_, "c", db_).ok());
   }
   std::string dir_;
   PlacementDB db_;
@@ -182,7 +183,7 @@ TEST_F(BookshelfCorruption, MissingNodesFile) {
   std::filesystem::remove(dir_ + "/c.nodes");
   PlacementDB db;
   const auto res = readBookshelf(dir_ + "/c.aux", db);
-  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.ok());
 }
 
 TEST_F(BookshelfCorruption, UnknownNodeInNets) {
@@ -191,8 +192,8 @@ TEST_F(BookshelfCorruption, UnknownNodeInNets) {
   out.close();
   PlacementDB db;
   const auto res = readBookshelf(dir_ + "/c.aux", db);
-  EXPECT_FALSE(res.ok);
-  EXPECT_NE(res.error.find("ghost"), std::string::npos);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.message().find("ghost"), std::string::npos);
 }
 
 TEST_F(BookshelfCorruption, PinLineOutsideNet) {
@@ -201,7 +202,7 @@ TEST_F(BookshelfCorruption, PinLineOutsideNet) {
     out << "UCLA nets 1.0\nNumNets : 1\nNumPins : 1\n  c0 B : 0 0\n";
   }
   PlacementDB db;
-  EXPECT_FALSE(readBookshelf(dir_ + "/c.aux", db).ok);
+  EXPECT_FALSE(readBookshelf(dir_ + "/c.aux", db).ok());
 }
 
 TEST_F(BookshelfCorruption, TruncatedNodesLine) {
@@ -210,10 +211,10 @@ TEST_F(BookshelfCorruption, TruncatedNodesLine) {
     out << "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n  lonely\n";
   }
   PlacementDB db;
-  EXPECT_FALSE(readBookshelf(dir_ + "/c.aux", db).ok);
+  EXPECT_FALSE(readBookshelf(dir_ + "/c.aux", db).ok());
 }
 
-TEST_F(BookshelfCorruption, NonNumericTokensReportedNotCrash) {
+TEST_F(BookshelfCorruption, NonNumericTokensReportedWithLineNumber) {
   {
     std::ofstream out(dir_ + "/c.nodes");
     out << "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n"
@@ -221,8 +222,88 @@ TEST_F(BookshelfCorruption, NonNumericTokensReportedNotCrash) {
   }
   PlacementDB db;
   const auto res = readBookshelf(dir_ + "/c.aux", db);
-  EXPECT_FALSE(res.ok);
-  EXPECT_NE(res.error.find("parse error"), std::string::npos);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.code(), StatusCode::kInvalidInput);
+  EXPECT_NE(res.message().find("non-numeric node dims"), std::string::npos);
+  EXPECT_NE(res.message().find("c.nodes:4:"), std::string::npos)
+      << res.message();
+}
+
+TEST_F(BookshelfCorruption, TruncatedNodesCountMismatch) {
+  // NumNodes promises 5 rows but the file ends after 2 — the classic
+  // half-copied benchmark. Must be caught, not read as a 2-cell design.
+  {
+    std::ofstream out(dir_ + "/c.nodes");
+    out << "UCLA nodes 1.0\nNumNodes : 5\nNumTerminals : 0\n"
+        << "  a 1 1\n  b 1 1\n";
+  }
+  PlacementDB db;
+  const auto res = readBookshelf(dir_ + "/c.aux", db);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.message().find("truncated file?"), std::string::npos)
+      << res.message();
+}
+
+TEST_F(BookshelfCorruption, NetPinCountMismatch) {
+  {
+    std::ofstream out(dir_ + "/c.nets");
+    out << "UCLA nets 1.0\nNumNets : 1\nNumPins : 3\n"
+        << "NetDegree : 3 n0\n  c0 B : 0 0\n  c1 B : 0 0\n";
+  }
+  PlacementDB db;
+  const auto res = readBookshelf(dir_ + "/c.aux", db);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.message().find("expects 3 pins, got 2"), std::string::npos)
+      << res.message();
+}
+
+TEST_F(BookshelfCorruption, NumPinsTotalMismatch) {
+  {
+    std::ofstream out(dir_ + "/c.nets");
+    out << "UCLA nets 1.0\nNumNets : 1\nNumPins : 5\n"
+        << "NetDegree : 2 n0\n  c0 B : 0 0\n  c1 B : 0 0\n";
+  }
+  PlacementDB db;
+  const auto res = readBookshelf(dir_ + "/c.aux", db);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.message().find("NumPins declares 5"), std::string::npos)
+      << res.message();
+}
+
+TEST_F(BookshelfCorruption, EmptyNetRejected) {
+  {
+    std::ofstream out(dir_ + "/c.nets");
+    out << "UCLA nets 1.0\nNumNets : 1\nNumPins : 0\nNetDegree : 0 n0\n";
+  }
+  PlacementDB db;
+  const auto res = readBookshelf(dir_ + "/c.aux", db);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.message().find("zero pins"), std::string::npos)
+      << res.message();
+}
+
+TEST_F(BookshelfCorruption, NonNumericPlCoordinates) {
+  {
+    std::ofstream out(dir_ + "/c.pl");
+    out << "UCLA pl 1.0\nc0 here there : N\n";
+  }
+  PlacementDB db;
+  const auto res = readBookshelf(dir_ + "/c.aux", db);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.message().find("non-numeric coordinates"), std::string::npos);
+  EXPECT_NE(res.message().find("c.pl:2:"), std::string::npos) << res.message();
+}
+
+TEST_F(BookshelfCorruption, InjectedMidFileTruncationNeverCrashes) {
+  // The "bookshelf.line" fault site simulates the stream dying mid-read;
+  // the parser must fail with a typed error, not crash or return garbage.
+  FaultInjector::instance().arm("bookshelf.line",
+                                {FaultKind::kTruncate, /*atTick=*/5, 1});
+  PlacementDB db;
+  const auto res = readBookshelf(dir_ + "/c.aux", db);
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.code(), StatusCode::kInvalidInput);
 }
 
 TEST_F(BookshelfCorruption, ExtraWhitespaceAndCommentsAreFine) {
@@ -233,7 +314,7 @@ TEST_F(BookshelfCorruption, ExtraWhitespaceAndCommentsAreFine) {
            "c.scl  \n";
   }
   PlacementDB db;
-  EXPECT_TRUE(readBookshelf(dir_ + "/c.aux", db).ok);
+  EXPECT_TRUE(readBookshelf(dir_ + "/c.aux", db).ok());
   EXPECT_EQ(db.objects.size(), db_.objects.size());
 }
 
