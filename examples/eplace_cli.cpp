@@ -8,6 +8,16 @@
 //     --checkpoint-every <n> rollback checkpoint cadence in GP iterations
 //     --time-budget <sec>    wall-clock watchdog per placement stage
 //     --max-recoveries <n>   rollback attempts before graceful degradation
+//     --supervised           run under the FlowSupervisor (per-stage retry,
+//                            fallback and invariant gates)
+//     --snapshot-dir <dir>   write durable snapshots there (implies
+//                            --supervised)
+//     --save-every <n>       GP iterations between mid-stage snapshots
+//                            (0 = stage boundaries only)
+//     --resume <dir>         resume from the newest valid snapshot in <dir>
+//                            (implies --supervised)
+//     --stage-budget <sec>   per-stage wall budget for the supervisor
+//     --stage-attempts <n>   per-stage retry cap for the supervisor
 //     --inject <site=kind@tick[xN]>  arm the fault injector, e.g.
 //                            nesterov.grad=nan@40, fft.forward=spike@3,
 //                            bookshelf.line=trunc@10x-1 (N=-1: every pass)
@@ -28,6 +38,7 @@
 
 #include "bookshelf/bookshelf.h"
 #include "eplace/flow.h"
+#include "eplace/supervisor.h"
 #include "eval/metrics.h"
 #include "eval/plot.h"
 #include "gen/generator.h"
@@ -86,12 +97,17 @@ bool armInjection(const std::string& arg) {
 }
 
 int place(ep::PlacementDB& db, const ep::FlowConfig& cfg,
-          const std::string& outDir, const std::string& plotPath) {
-  const ep::StatusOr<ep::FlowResult> run = ep::runEplaceFlowChecked(db, cfg);
+          const std::string& outDir, const std::string& plotPath,
+          bool supervised, const ep::SupervisorConfig& sup) {
+  ep::SupervisorReport report;
+  const ep::StatusOr<ep::FlowResult> run =
+      supervised ? ep::runSupervisedFlow(db, cfg, sup, &report)
+                 : ep::runEplaceFlowChecked(db, cfg);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().toString().c_str());
     return exitCodeFor(run.status().code());
   }
+  if (supervised) std::printf("%s\n", report.summary().c_str());
   const ep::FlowResult& res = *run;
   std::printf("%s: HPWL %.6g (scaled %.6g), overflow %.4f, legal=%s, %.2fs\n",
               db.name.c_str(), res.finalHpwl, res.finalScaledHpwl,
@@ -125,6 +141,8 @@ int main(int argc, char** argv) {
   std::string aux, outDir, plotPath;
   double density = 0.0;
   ep::FlowConfig cfg;
+  ep::SupervisorConfig sup;
+  bool supervised = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
@@ -141,6 +159,32 @@ int main(int argc, char** argv) {
       cfg.gp.health.timeBudgetSeconds = std::atof(argv[++i]);
     } else if (a == "--max-recoveries" && i + 1 < argc) {
       cfg.gp.health.maxRecoveries = std::atoi(argv[++i]);
+    } else if (a == "--supervised") {
+      supervised = true;
+    } else if (a == "--snapshot-dir" && i + 1 < argc) {
+      sup.snapshotDir = argv[++i];
+      supervised = true;
+    } else if (a == "--save-every" && i + 1 < argc) {
+      sup.saveEvery = std::atoi(argv[++i]);
+      supervised = true;
+    } else if (a == "--resume" && i + 1 < argc) {
+      sup.resumeDir = argv[++i];
+      supervised = true;
+    } else if (a == "--stage-budget" && i + 1 < argc) {
+      const double budget = std::atof(argv[++i]);
+      sup.mip.timeBudgetSeconds = budget;
+      sup.mgp.timeBudgetSeconds = budget;
+      sup.mlg.timeBudgetSeconds = budget;
+      sup.cgp.timeBudgetSeconds = budget;
+      sup.cdp.timeBudgetSeconds = budget;
+      supervised = true;
+    } else if (a == "--stage-attempts" && i + 1 < argc) {
+      const int attempts = std::atoi(argv[++i]);
+      sup.mgp.maxAttempts = attempts;
+      sup.mlg.maxAttempts = attempts;
+      sup.cgp.maxAttempts = attempts;
+      sup.cdp.maxAttempts = attempts;
+      supervised = true;
     } else if (a == "--inject" && i + 1 < argc) {
       if (!armInjection(argv[++i])) {
         std::fprintf(stderr, "bad --inject spec %s\n", argv[i]);
@@ -154,6 +198,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return 1;
     }
+  }
+  // `--save-every` without an explicit directory checkpoints into the resume
+  // directory (kill/resume loops keep one directory) or "./snapshots".
+  if (sup.saveEvery > 0 && sup.snapshotDir.empty()) {
+    sup.snapshotDir = sup.resumeDir.empty() ? "snapshots" : sup.resumeDir;
   }
 
   ep::PlacementDB db;
@@ -188,5 +237,5 @@ int main(int argc, char** argv) {
               db.name.c_str(), db.objects.size(), db.numMovable(),
               db.nets.size(), db.region.width(), db.region.height(),
               db.targetDensity);
-  return place(db, cfg, outDir, plotPath);
+  return place(db, cfg, outDir, plotPath, supervised, sup);
 }

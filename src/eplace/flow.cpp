@@ -7,116 +7,139 @@
 
 namespace ep {
 
-namespace {
-
-StageMetrics stageSnapshot(const PlacementDB& db, double seconds, int iters) {
+StageMetrics flowStageMetrics(const PlacementDB& db, double seconds,
+                              int iterations) {
   StageMetrics m;
   m.hpwl = hpwl(db);
   m.overflow = densityOverflow(db).overflow;
   m.seconds = seconds;
-  m.iterations = iters;
+  m.iterations = iterations;
   m.ran = true;
   return m;
 }
 
+namespace {
+
+StageMetrics stageSnapshot(const PlacementDB& db, double seconds, int iters) {
+  return flowStageMetrics(db, seconds, iters);
+}
+
 }  // namespace
 
-FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg) {
-  FlowResult res;
-  Timer total;
+void flowStageMip(PlacementDB& db, FlowState& st) {
+  Timer t;
+  const auto ip = quadraticInitialPlace(db, st.cfg.ip);
+  st.res.stageSeconds.add("mIP", t.seconds());
+  st.res.mip = stageSnapshot(db, t.seconds(), st.cfg.ip.outerIterations);
+}
 
-  // ---- mIP ----
-  {
-    Timer t;
-    const auto ip = quadraticInitialPlace(db, cfg.ip);
-    res.stageSeconds.add("mIP", t.seconds());
-    res.mip = stageSnapshot(db, t.seconds(), cfg.ip.outerIterations);
-  }
-
-  const bool mixedSize = db.numMovableMacros() > 0;
-
-  // ---- mGP ----
-  FillerSet fillersFromMgp;
-  {
-    Timer t;
-    GlobalPlacer mgp(db, db.movable(), cfg.gp);
+void flowStageMgp(PlacementDB& db, FlowState& st, const GpRunControl& ctl) {
+  Timer t;
+  GlobalPlacer mgp(db, db.movable(), st.cfg.gp);
+  if (ctl.resume != nullptr && st.fillers.size() > 0) {
+    // Resumed mid-mGP: the checkpoint carries the filler set (positions are
+    // inside the optimizer state; dims/count must match the engine).
+    mgp.setFillers(st.fillers);
+  } else {
     mgp.makeFillersFromDb();
-    GlobalPlacer::TraceFn trace;
-    if (cfg.gpTrace) {
-      trace = [&cfg](const GpIterTrace& it) { cfg.gpTrace("mGP", it); };
-    }
-    res.mgpResult = mgp.run(trace);
-    fillersFromMgp = mgp.fillers();
-    res.mgpInner = mgp.breakdown();
-    const double stageTotal = t.seconds();
-    res.mgpInner.add("other", stageTotal - res.mgpInner.get("density") -
-                                  res.mgpInner.get("wirelength") -
-                                  res.mgpInner.get("other"));
-    res.stageSeconds.add("mGP", stageTotal);
-    res.mgp = stageSnapshot(db, stageTotal, res.mgpResult.iterations);
+    // Publish the set before run(): mid-stage save hooks serialize
+    // st.fillers, and a resume needs matching filler dims/count.
+    st.fillers = mgp.fillers();
   }
-
-  if (mixedSize) {
-    // ---- mLG ---- (fillers removed, standard cells fixed implicitly: the
-    // annealer only moves macros)
-    {
-      Timer t;
-      res.mlgResult = legalizeMacros(db, cfg.mlg);
-      res.stageSeconds.add("mLG", t.seconds());
-      res.mlg = stageSnapshot(db, t.seconds(), res.mlgResult.outerIterations);
-    }
-
-    // Freeze macros for the remainder of the flow.
-    for (auto& o : db.objects) {
-      if (o.kind == ObjKind::kMacro) o.fixed = true;
-    }
-    db.finalize();
-
-    // ---- cGP ----
-    {
-      Timer t;
-      GpConfig gpc = cfg.gp;
-      const int m =
-          std::max(1, res.mgpResult.iterations / std::max(1, cfg.cgpBufferDivisor));
-      gpc.initialLambda = res.mgpResult.finalLambda *
-                          std::pow(gpc.lambdaMultMax, -static_cast<double>(m));
-      GlobalPlacer cgp(db, db.movable(), gpc);
-      cgp.setFillers(fillersFromMgp);
-      if (cfg.enableFillerOnly) cgp.runFillerOnly(cfg.fillerOnlyIterations);
-      GlobalPlacer::TraceFn trace;
-      if (cfg.gpTrace) {
-        trace = [&cfg](const GpIterTrace& it) { cfg.gpTrace("cGP", it); };
-      }
-      res.cgpResult = cgp.run(trace);
-      res.stageSeconds.add("cGP", t.seconds());
-      res.cgp = stageSnapshot(db, t.seconds(), res.cgpResult.iterations);
-    }
+  GlobalPlacer::TraceFn trace;
+  if (st.cfg.gpTrace) {
+    trace = [&st](const GpIterTrace& it) { st.cfg.gpTrace("mGP", it); };
   }
+  st.res.mgpResult = mgp.run(trace, ctl);
+  st.fillers = mgp.fillers();
+  st.res.mgpInner = mgp.breakdown();
+  const double stageTotal = t.seconds();
+  st.res.mgpInner.add("other", stageTotal - st.res.mgpInner.get("density") -
+                                   st.res.mgpInner.get("wirelength") -
+                                   st.res.mgpInner.get("other"));
+  st.res.stageSeconds.add("mGP", stageTotal);
+  st.res.mgp = stageSnapshot(db, stageTotal, st.res.mgpResult.iterations);
+}
 
-  // ---- cDP ----
-  if (cfg.runDetail) {
-    Timer t;
-    res.legalizeResult = legalizeCells(db);
-    res.detailResult = detailPlace(db, cfg.detail);
-    res.stageSeconds.add("cDP", t.seconds());
-    res.cdp = stageSnapshot(db, t.seconds(), res.detailResult.passes);
+void flowStageMlg(PlacementDB& db, FlowState& st) {
+  Timer t;
+  st.res.mlgResult = legalizeMacros(db, st.cfg.mlg);
+  st.res.stageSeconds.add("mLG", t.seconds());
+  st.res.mlg = stageSnapshot(db, t.seconds(), st.res.mlgResult.outerIterations);
+}
+
+void flowFreezeMacros(PlacementDB& db) {
+  for (auto& o : db.objects) {
+    if (o.kind == ObjKind::kMacro) o.fixed = true;
   }
+  db.finalize();
+}
 
+void flowStageCgp(PlacementDB& db, FlowState& st, const GpRunControl& ctl) {
+  Timer t;
+  GpConfig gpc = st.cfg.gp;
+  const int m = std::max(1, st.res.mgpResult.iterations /
+                                std::max(1, st.cfg.cgpBufferDivisor));
+  gpc.initialLambda = st.res.mgpResult.finalLambda *
+                      std::pow(gpc.lambdaMultMax, -static_cast<double>(m));
+  GlobalPlacer cgp(db, db.movable(), gpc);
+  cgp.setFillers(st.fillers);
+  if (st.cfg.enableFillerOnly && ctl.resume == nullptr) {
+    cgp.runFillerOnly(st.cfg.fillerOnlyIterations);
+  }
+  GlobalPlacer::TraceFn trace;
+  if (st.cfg.gpTrace) {
+    trace = [&st](const GpIterTrace& it) { st.cfg.gpTrace("cGP", it); };
+  }
+  st.res.cgpResult = cgp.run(trace, ctl);
+  st.fillers = cgp.fillers();
+  st.res.stageSeconds.add("cGP", t.seconds());
+  st.res.cgp = stageSnapshot(db, t.seconds(), st.res.cgpResult.iterations);
+}
+
+void flowStageCdp(PlacementDB& db, FlowState& st) {
+  Timer t;
+  st.res.legalizeResult = legalizeCells(db);
+  st.res.detailResult = detailPlace(db, st.cfg.detail);
+  st.res.stageSeconds.add("cDP", t.seconds());
+  st.res.cdp = stageSnapshot(db, t.seconds(), st.res.detailResult.passes);
+}
+
+void flowFinish(PlacementDB& db, FlowState& st) {
+  FlowResult& res = st.res;
   res.finalHpwl = hpwl(db);
   res.finalScaledHpwl = scaledHpwl(db);
   res.legality = checkLegality(db);
-  res.totalSeconds = total.seconds();
+  res.totalSeconds = st.total.seconds();
   // First failing placement stage wins; later stages ran on its
   // best-checkpoint placement, so their metrics are still meaningful.
-  if (!res.mgpResult.status.ok()) {
-    res.status = res.mgpResult.status;
-  } else if (!res.cgpResult.status.ok()) {
-    res.status = res.cgpResult.status;
+  if (res.status.ok()) {
+    if (!res.mgpResult.status.ok()) {
+      res.status = res.mgpResult.status;
+    } else if (!res.cgpResult.status.ok()) {
+      res.status = res.cgpResult.status;
+    }
   }
   logInfo("flow done: HPWL %.4g (scaled %.4g), legal=%d, status=%s, %.2fs",
           res.finalHpwl, res.finalScaledHpwl, res.legality.legal ? 1 : 0,
           statusCodeName(res.status.code()), res.totalSeconds);
-  return res;
+}
+
+FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg) {
+  FlowState st;
+  st.cfg = cfg;
+
+  flowStageMip(db, st);
+  st.mixedSize = db.numMovableMacros() > 0;
+  flowStageMgp(db, st);
+  if (st.mixedSize) {
+    flowStageMlg(db, st);
+    flowFreezeMacros(db);
+    flowStageCgp(db, st);
+  }
+  if (cfg.runDetail) flowStageCdp(db, st);
+  flowFinish(db, st);
+  return st.res;
 }
 
 StatusOr<FlowResult> runEplaceFlowChecked(PlacementDB& db,

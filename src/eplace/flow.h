@@ -84,4 +84,36 @@ FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg = {});
 StatusOr<FlowResult> runEplaceFlowChecked(PlacementDB& db,
                                           const FlowConfig& cfg = {});
 
+// ---------------------------------------------------------------------------
+// Stage-level decomposition. runEplaceFlow drives these in order; the
+// FlowSupervisor (eplace/supervisor.h) drives the same functions but wraps
+// each call with wall-clock budgets, bounded retries, fallbacks, and
+// inter-stage invariant gates, and threads GpRunControl through the GP
+// stages for durable checkpoint/resume. Keeping one implementation per
+// stage guarantees the supervised flow cannot drift from the plain one.
+// ---------------------------------------------------------------------------
+
+/// Mutable state threaded through the stage functions.
+struct FlowState {
+  FlowConfig cfg;
+  FlowResult res;
+  FillerSet fillers;  ///< mGP filler set, reused by cGP (Sec. VI-B)
+  bool mixedSize = false;
+  Timer total;
+};
+
+/// Metrics snapshot of the current DB state, as recorded per stage.
+StageMetrics flowStageMetrics(const PlacementDB& db, double seconds,
+                              int iterations);
+
+void flowStageMip(PlacementDB& db, FlowState& st);
+void flowStageMgp(PlacementDB& db, FlowState& st, const GpRunControl& ctl = {});
+void flowStageMlg(PlacementDB& db, FlowState& st);
+/// Freezes movable macros (mLG's output) for the rest of the flow.
+void flowFreezeMacros(PlacementDB& db);
+void flowStageCgp(PlacementDB& db, FlowState& st, const GpRunControl& ctl = {});
+void flowStageCdp(PlacementDB& db, FlowState& st);
+/// Final metrics / legality / status aggregation plus the summary log line.
+void flowFinish(PlacementDB& db, FlowState& st);
+
 }  // namespace ep

@@ -264,21 +264,10 @@ void GlobalPlacer::runFillerOnly(int iterations) {
           fillers_.size());
 }
 
-GpResult GlobalPlacer::run(TraceFn trace) {
+GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
   GpResult result;
   Engine eng(db_, movables_, cfg_, fillers_, breakdown_);
   if (eng.nVars == 0) return result;
-
-  const auto v0 = eng.startVector(movables_);
-  if (!allFinite(v0)) {
-    result.status = Status::invalidInput(
-        "non-finite start positions; run PlacementDB::sanitize() first");
-    logWarn("GP: %s", result.status.message().c_str());
-    return result;
-  }
-  const double tau0 = eng.overflow(v0);
-  eng.updateGamma(tau0);
-  eng.lambda = cfg_.initialLambda.value_or(eng.initialLambda(v0));
 
   NesterovConfig ncfg = cfg_.nesterov;
   ncfg.enableBacktracking = cfg_.enableBacktracking;
@@ -290,11 +279,57 @@ GpResult GlobalPlacer::run(TraceFn trace) {
         return eng.evalGrad(v, g);
       },
       ncfg, [&eng](std::span<double> v) { eng.project(v); });
-  opt.initialize(v0);
 
-  double prevHpwl = eng.exactHpwl(v0);
+  HealthMonitor monitor(cfg_.health);
+  double prevHpwl = 0.0;
+  double refHpwl = 0.0;
+  double startTau = 0.0;
+  int startIter = 0;
+  if (ctl.resume != nullptr) {
+    // Warm start from a saved checkpoint: restore the optimizer and the
+    // schedule scalars and continue the exact trajectory.
+    const GpCheckpointState& rs = *ctl.resume;
+    if (rs.opt.u.size() != 2 * eng.nVars) {
+      result.status = Status::invalidInput(
+          "checkpoint dimension " + std::to_string(rs.opt.u.size()) +
+          " does not match engine dimension " +
+          std::to_string(2 * eng.nVars));
+      logWarn("GP: %s", result.status.message().c_str());
+      return result;
+    }
+    if (!allFinite(rs.opt.u) || !allFinite(rs.opt.cur)) {
+      result.status =
+          Status::invalidInput("checkpoint holds non-finite positions");
+      logWarn("GP: %s", result.status.message().c_str());
+      return result;
+    }
+    opt.restore(rs.opt);
+    eng.lambda = rs.lambda;
+    eng.updateGamma(rs.tau);
+    prevHpwl = rs.prevHpwl;
+    refHpwl = rs.refHpwl;
+    startTau = rs.tau;
+    startIter = rs.iter;
+    monitor.resetAfterRollback(prevHpwl, rs.tau);
+    logInfo("GP: resuming from checkpoint at iter %d (HPWL %.4g, tau %.3f)",
+            startIter, prevHpwl, rs.tau);
+  } else {
+    const auto v0 = eng.startVector(movables_);
+    if (!allFinite(v0)) {
+      result.status = Status::invalidInput(
+          "non-finite start positions; run PlacementDB::sanitize() first");
+      logWarn("GP: %s", result.status.message().c_str());
+      return result;
+    }
+    startTau = eng.overflow(v0);
+    eng.updateGamma(startTau);
+    eng.lambda = cfg_.initialLambda.value_or(eng.initialLambda(v0));
+    opt.initialize(v0);
+    prevHpwl = eng.exactHpwl(v0);
+    refHpwl = prevHpwl;
+  }
   const double refDelta =
-      std::max(1e-12, cfg_.refHpwlDeltaFrac * std::max(prevHpwl, 1.0));
+      std::max(1e-12, cfg_.refHpwlDeltaFrac * std::max(refHpwl, 1.0));
 
   // Best-so-far checkpoint for rollback recovery. The start state is a
   // valid (if poor) fallback: its positions are finite by the scan above
@@ -306,13 +341,12 @@ GpResult GlobalPlacer::run(TraceFn trace) {
     double hpwl;
     int iter;
   };
-  Checkpoint best{opt.snapshot(), eng.lambda, tau0, prevHpwl, 0};
+  Checkpoint best{opt.snapshot(), eng.lambda, startTau, prevHpwl, startIter};
 
-  HealthMonitor monitor(cfg_.health);
   Timer wall;
   int recoveries = 0;
 
-  int iter = 0;
+  int iter = startIter;
   for (; iter < cfg_.maxIterations; ++iter) {
     const auto info = opt.step();
 
@@ -390,6 +424,13 @@ GpResult GlobalPlacer::run(TraceFn trace) {
     // has not regressed: overflow is the progress metric of the stage.
     if (monitor.shouldCheckpoint(iter) && tau <= best.tau) {
       best = Checkpoint{opt.snapshot(), eng.lambda, tau, curHpwl, iter};
+    }
+
+    // Durable-checkpoint hook: hand out the state a resumed run needs to
+    // continue from iteration iter+1 bit-exactly.
+    if (ctl.saveEvery > 0 && ctl.save && (iter + 1) % ctl.saveEvery == 0) {
+      ctl.save(GpCheckpointState{opt.snapshot(), eng.lambda, tau, prevHpwl,
+                                 refHpwl, iter + 1});
     }
 
     if (trace) {

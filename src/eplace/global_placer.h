@@ -82,6 +82,32 @@ struct GpResult {
   bool timedOut = false;   ///< stage wall-clock budget expired
 };
 
+/// Mid-stage checkpoint of a GP run: the optimizer snapshot plus the
+/// schedule scalars (lambda, the HPWL samples driving mu, the overflow
+/// anchoring gamma). Restoring one and rerunning continues the exact
+/// iteration trajectory — this is what the FlowSupervisor serializes into
+/// durable snapshots (util/snapshot, docs/ROBUSTNESS.md).
+struct GpCheckpointState {
+  NesterovOptimizer::Snapshot opt;
+  double lambda = 0.0;
+  double tau = 0.0;       ///< overflow at the checkpoint (gamma schedule)
+  double prevHpwl = 0.0;  ///< last HPWL sample (mu schedule)
+  double refHpwl = 0.0;   ///< stage-start HPWL anchoring refHpwlDeltaFrac
+  int iter = 0;           ///< next iteration index to run
+};
+
+/// Optional checkpoint plumbing for run(): a periodic save callback and/or
+/// a state to resume from instead of a cold initialize. Default-constructed
+/// control is a no-op, so existing callers are unaffected.
+struct GpRunControl {
+  int saveEvery = 0;  ///< iterations between save() calls; 0 = never
+  std::function<void(const GpCheckpointState&)> save;
+  /// When set, the run restores this state (dimensions must match the
+  /// engine: same movable set and filler count) and continues from
+  /// `resume->iter` bit-exactly.
+  const GpCheckpointState* resume = nullptr;
+};
+
 class GlobalPlacer {
  public:
   using TraceFn = std::function<void(const GpIterTrace&)>;
@@ -104,7 +130,8 @@ class GlobalPlacer {
   void runFillerOnly(int iterations);
 
   /// Run the Nesterov loop until the overflow target or iteration cap.
-  GpResult run(TraceFn trace = {});
+  /// `ctl` optionally saves periodic checkpoints and/or resumes from one.
+  GpResult run(TraceFn trace = {}, const GpRunControl& ctl = {});
 
   [[nodiscard]] double lambda() const { return lambda_; }
   /// Stage-internal runtime split (Fig. 7: density vs wirelength vs other).

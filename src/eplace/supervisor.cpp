@@ -1,0 +1,767 @@
+#include "eplace/supervisor.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/snapshot.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+
+const char* flowStageName(FlowStage s) {
+  switch (s) {
+    case FlowStage::kMip: return "mIP";
+    case FlowStage::kMgp: return "mGP";
+    case FlowStage::kMlg: return "mLG";
+    case FlowStage::kCgp: return "cGP";
+    case FlowStage::kCdp: return "cDP";
+    case FlowStage::kDone: return "done";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kSnapPrefix = "snap_";
+constexpr const char* kSnapSuffix = ".epsnap";
+
+std::string snapFileName(int seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%06d%s", kSnapPrefix, seq, kSnapSuffix);
+  return buf;
+}
+
+/// Sequence number encoded in a snapshot file name, or -1.
+int snapSeqOf(const std::string& name) {
+  const std::size_t plen = std::string(kSnapPrefix).size();
+  const std::size_t slen = std::string(kSnapSuffix).size();
+  if (name.size() <= plen + slen) return -1;
+  if (name.compare(0, plen, kSnapPrefix) != 0) return -1;
+  if (name.compare(name.size() - slen, slen, kSnapSuffix) != 0) return -1;
+  int seq = 0;
+  for (std::size_t i = plen; i < name.size() - slen; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return -1;
+    seq = seq * 10 + (c - '0');
+  }
+  return seq;
+}
+
+/// Snapshot files in `dir`, sorted by ascending sequence number.
+std::vector<std::string> listSnapshotFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return files;
+  while (const dirent* e = ::readdir(d)) {
+    if (snapSeqOf(e->d_name) >= 0) files.emplace_back(e->d_name);
+  }
+  ::closedir(d);
+  std::sort(files.begin(), files.end(), [](const auto& a, const auto& b) {
+    return snapSeqOf(a) < snapSeqOf(b);
+  });
+  return files;
+}
+
+void makeDirs(const std::string& path) {
+  std::string cur;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!cur.empty() && cur != "/") ::mkdir(cur.c_str(), 0755);
+    }
+    if (i < path.size()) cur += path[i];
+  }
+}
+
+std::vector<double> capturePositions(const PlacementDB& db) {
+  std::vector<double> pos;
+  pos.reserve(db.objects.size() * 2);
+  for (const auto& o : db.objects) {
+    pos.push_back(o.lx);
+    pos.push_back(o.ly);
+  }
+  return pos;
+}
+
+void restorePositions(PlacementDB& db, const std::vector<double>& pos) {
+  for (std::size_t i = 0; i < db.objects.size(); ++i) {
+    db.objects[i].lx = pos[2 * i];
+    db.objects[i].ly = pos[2 * i + 1];
+  }
+}
+
+/// Invariant gate shared by every stage: all movables finite and inside the
+/// core region (both GP phases and mIP clamp into the region, so any
+/// violation means corruption, not normal slack).
+bool movablesFiniteInCore(const PlacementDB& db) {
+  const double tol =
+      1e-6 * std::max(1.0, std::max(db.region.width(), db.region.height()));
+  const Rect bounds = db.region.expanded(tol);
+  for (auto i : db.movable()) {
+    const auto& o = db.objects[static_cast<std::size_t>(i)];
+    if (!std::isfinite(o.lx) || !std::isfinite(o.ly)) return false;
+    if (!bounds.contains(o.rect())) return false;
+  }
+  return true;
+}
+
+void appendNote(StageReport& rep, const std::string& note) {
+  if (!rep.note.empty()) rep.note += "; ";
+  rep.note += note;
+}
+
+// --- snapshot payload codec ------------------------------------------------
+
+void putMetrics(ByteWriter& w, const StageMetrics& m) {
+  w.f64(m.hpwl);
+  w.f64(m.overflow);
+  w.f64(m.seconds);
+  w.i32(m.iterations);
+  w.u8(m.ran ? 1 : 0);
+}
+
+StageMetrics getMetrics(ByteReader& r) {
+  StageMetrics m;
+  m.hpwl = r.f64();
+  m.overflow = r.f64();
+  m.seconds = r.f64();
+  m.iterations = r.i32();
+  m.ran = r.u8() != 0;
+  return m;
+}
+
+/// Everything a resumed run needs to continue from where a snapshot was
+/// taken: the stage cursor, positions, the reused filler set, the
+/// supervisor's jitter RNG stream, restored per-stage metrics, and (for
+/// mid-GP snapshots) the full optimizer checkpoint.
+struct ResumeData {
+  FlowStage next = FlowStage::kMip;
+  bool mixedSize = false;
+  bool macrosFrozen = false;
+  int mgpIterations = 0;
+  double mgpFinalLambda = 0.0;
+  StatusCode mgpStatus = StatusCode::kOk;
+  StatusCode cgpStatus = StatusCode::kOk;
+  StageMetrics mip, mgp, mlg, cgp, cdp;
+  std::vector<double> positions;
+  FillerSet fillers;
+  std::uint64_t rng[4] = {};
+  bool hasGp = false;
+  GpCheckpointState gp;
+};
+
+SnapshotData buildSnapshot(const PlacementDB& db, const FlowState& st,
+                           FlowStage next, bool macrosFrozen,
+                           const Rng& jitter, const GpCheckpointState* gp) {
+  SnapshotData snap;
+  {
+    ByteWriter w;
+    w.str(db.name);
+    w.u64(db.objects.size());
+    w.u64(db.nets.size());
+    w.u8(static_cast<std::uint8_t>(next));
+    w.u8(st.mixedSize ? 1 : 0);
+    w.u8(macrosFrozen ? 1 : 0);
+    w.i32(st.res.mgpResult.iterations);
+    w.f64(st.res.mgpResult.finalLambda);
+    w.u8(static_cast<std::uint8_t>(st.res.mgpResult.status.code()));
+    w.u8(static_cast<std::uint8_t>(st.res.cgpResult.status.code()));
+    putMetrics(w, st.res.mip);
+    putMetrics(w, st.res.mgp);
+    putMetrics(w, st.res.mlg);
+    putMetrics(w, st.res.cgp);
+    putMetrics(w, st.res.cdp);
+    snap.add("meta", w.take());
+  }
+  {
+    ByteWriter w;
+    w.doubles(capturePositions(db));
+    snap.add("positions", w.take());
+  }
+  {
+    ByteWriter w;
+    w.f64(st.fillers.w);
+    w.f64(st.fillers.h);
+    w.doubles(st.fillers.cx);
+    w.doubles(st.fillers.cy);
+    snap.add("fillers", w.take());
+  }
+  {
+    ByteWriter w;
+    std::uint64_t s[4];
+    jitter.saveState(s);
+    for (const auto word : s) w.u64(word);
+    snap.add("rng", w.take());
+  }
+  if (gp != nullptr) {
+    ByteWriter w;
+    w.doubles(gp->opt.u);
+    w.doubles(gp->opt.cur);
+    w.doubles(gp->opt.prev);
+    w.doubles(gp->opt.curGrad);
+    w.doubles(gp->opt.prevGrad);
+    w.f64(gp->opt.a);
+    w.f64(gp->opt.lastAlpha);
+    w.i32(gp->opt.iter);
+    w.f64(gp->lambda);
+    w.f64(gp->tau);
+    w.f64(gp->prevHpwl);
+    w.f64(gp->refHpwl);
+    w.i32(gp->iter);
+    snap.add("optimizer", w.take());
+  }
+  return snap;
+}
+
+Status decodeSnapshot(const SnapshotData& snap, const PlacementDB& db,
+                      ResumeData& rd) {
+  const auto* meta = snap.find("meta");
+  if (meta == nullptr) return Status::invalidInput("snapshot has no meta");
+  {
+    ByteReader r(*meta);
+    const std::string name = r.str();
+    const std::uint64_t nObj = r.u64();
+    const std::uint64_t nNets = r.u64();
+    const std::uint8_t next = r.u8();
+    rd.mixedSize = r.u8() != 0;
+    rd.macrosFrozen = r.u8() != 0;
+    rd.mgpIterations = r.i32();
+    rd.mgpFinalLambda = r.f64();
+    rd.mgpStatus = static_cast<StatusCode>(r.u8());
+    rd.cgpStatus = static_cast<StatusCode>(r.u8());
+    rd.mip = getMetrics(r);
+    rd.mgp = getMetrics(r);
+    rd.mlg = getMetrics(r);
+    rd.cgp = getMetrics(r);
+    rd.cdp = getMetrics(r);
+    if (!r.ok()) return Status::invalidInput("snapshot meta truncated");
+    if (next > static_cast<std::uint8_t>(FlowStage::kDone)) {
+      return Status::invalidInput("snapshot stage cursor out of range");
+    }
+    rd.next = static_cast<FlowStage>(next);
+    if (name != db.name || nObj != db.objects.size() ||
+        nNets != db.nets.size()) {
+      return Status::invalidInput("snapshot is for a different instance");
+    }
+  }
+  const auto* positions = snap.find("positions");
+  if (positions == nullptr) {
+    return Status::invalidInput("snapshot has no positions");
+  }
+  {
+    ByteReader r(*positions);
+    rd.positions = r.doubles();
+    if (!r.ok() || rd.positions.size() != 2 * db.objects.size()) {
+      return Status::invalidInput("snapshot positions malformed");
+    }
+    for (auto i : db.movable()) {
+      const auto k = static_cast<std::size_t>(i);
+      if (!std::isfinite(rd.positions[2 * k]) ||
+          !std::isfinite(rd.positions[2 * k + 1])) {
+        return Status::invalidInput("snapshot positions non-finite");
+      }
+    }
+  }
+  const auto* fillers = snap.find("fillers");
+  if (fillers == nullptr) return Status::invalidInput("snapshot has no fillers");
+  {
+    ByteReader r(*fillers);
+    rd.fillers.w = r.f64();
+    rd.fillers.h = r.f64();
+    rd.fillers.cx = r.doubles();
+    rd.fillers.cy = r.doubles();
+    if (!r.ok() || rd.fillers.cx.size() != rd.fillers.cy.size()) {
+      return Status::invalidInput("snapshot fillers malformed");
+    }
+  }
+  const auto* rng = snap.find("rng");
+  if (rng == nullptr) return Status::invalidInput("snapshot has no rng");
+  {
+    ByteReader r(*rng);
+    for (auto& word : rd.rng) word = r.u64();
+    if (!r.ok()) return Status::invalidInput("snapshot rng malformed");
+  }
+  if (const auto* opt = snap.find("optimizer")) {
+    ByteReader r(*opt);
+    rd.gp.opt.u = r.doubles();
+    rd.gp.opt.cur = r.doubles();
+    rd.gp.opt.prev = r.doubles();
+    rd.gp.opt.curGrad = r.doubles();
+    rd.gp.opt.prevGrad = r.doubles();
+    rd.gp.opt.a = r.f64();
+    rd.gp.opt.lastAlpha = r.f64();
+    rd.gp.opt.iter = r.i32();
+    rd.gp.lambda = r.f64();
+    rd.gp.tau = r.f64();
+    rd.gp.prevHpwl = r.f64();
+    rd.gp.refHpwl = r.f64();
+    rd.gp.iter = r.i32();
+    const std::size_t n = rd.gp.opt.u.size();
+    if (!r.ok() || n == 0 || rd.gp.opt.cur.size() != n ||
+        rd.gp.opt.prev.size() != n || rd.gp.opt.curGrad.size() != n ||
+        rd.gp.opt.prevGrad.size() != n) {
+      return Status::invalidInput("snapshot optimizer state malformed");
+    }
+    rd.hasGp = true;
+  }
+  return Status::okStatus();
+}
+
+// --- the supervisor itself -------------------------------------------------
+
+struct Supervisor {
+  PlacementDB& db;
+  const SupervisorConfig& sup;
+  SupervisorReport& report;
+  FlowState st;
+  Rng jitter;
+  bool macrosFrozen = false;
+  int nextSeq = 0;
+  /// Mid-GP checkpoint restored from a snapshot; consumed by the first
+  /// attempt of the stage it belongs to.
+  GpCheckpointState resumeGp;
+  bool hasResumeGp = false;
+  FlowStage resumeGpStage = FlowStage::kMgp;
+
+  Supervisor(PlacementDB& database, const FlowConfig& cfg,
+             const SupervisorConfig& supervision, SupervisorReport& rep)
+      : db(database), sup(supervision), report(rep), jitter(sup.perturbSeed) {
+    st.cfg = cfg;
+  }
+
+  [[nodiscard]] bool budgetLeft(const StagePolicy& pol, const Timer& t) const {
+    return pol.timeBudgetSeconds <= 0.0 || t.seconds() < pol.timeBudgetSeconds;
+  }
+
+  void saveSnapshot(FlowStage next, const GpCheckpointState* gp) {
+    if (sup.snapshotDir.empty()) return;
+    const SnapshotData snap = buildSnapshot(db, st, next, macrosFrozen,
+                                            jitter, gp);
+    const std::string path = sup.snapshotDir + "/" + snapFileName(nextSeq);
+    const Status s = writeSnapshotFile(path, snap);
+    if (!s.ok()) {
+      // A failing checkpoint must never fail the placement itself.
+      logWarn("supervisor: snapshot write failed: %s", s.toString().c_str());
+      return;
+    }
+    ++nextSeq;
+    ++report.snapshotsWritten;
+    prune();
+  }
+
+  void prune() {
+    auto files = listSnapshotFiles(sup.snapshotDir);
+    const int keep = std::max(1, sup.keepSnapshots);
+    while (static_cast<int>(files.size()) > keep) {
+      std::remove((sup.snapshotDir + "/" + files.front()).c_str());
+      files.erase(files.begin());
+    }
+  }
+
+  bool tryResume(ResumeData& rd) {
+    const auto files = listSnapshotFiles(sup.resumeDir);
+    for (auto it = files.rbegin(); it != files.rend(); ++it) {
+      const std::string path = sup.resumeDir + "/" + *it;
+      const auto sr = readSnapshotFile(path);
+      if (!sr.ok()) {
+        ++report.snapshotsRejected;
+        logWarn("supervisor: rejected snapshot %s: %s", it->c_str(),
+                sr.status().toString().c_str());
+        continue;
+      }
+      rd = ResumeData{};
+      const Status ds = decodeSnapshot(*sr, db, rd);
+      if (!ds.ok()) {
+        ++report.snapshotsRejected;
+        logWarn("supervisor: rejected snapshot %s: %s", it->c_str(),
+                ds.toString().c_str());
+        continue;
+      }
+      logInfo("supervisor: resuming at %s from %s%s",
+              flowStageName(rd.next), it->c_str(),
+              rd.hasGp ? " (mid-stage optimizer state)" : "");
+      return true;
+    }
+    if (!files.empty()) {
+      logWarn("supervisor: no usable snapshot in %s; starting fresh",
+              sup.resumeDir.c_str());
+    }
+    return false;
+  }
+
+  /// Restores everything a snapshot carries and emits `resumed` report rows
+  /// for the stages the snapshot already covers.
+  void applyResume(const ResumeData& rd) {
+    restorePositions(db, rd.positions);
+    st.mixedSize = rd.mixedSize;
+    st.fillers = rd.fillers;
+    jitter.loadState(rd.rng);
+    if (rd.macrosFrozen) {
+      flowFreezeMacros(db);
+      macrosFrozen = true;
+    }
+    st.res.mip = rd.mip;
+    st.res.mgp = rd.mgp;
+    st.res.mlg = rd.mlg;
+    st.res.cgp = rd.cgp;
+    st.res.cdp = rd.cdp;
+    st.res.mgpResult.iterations = rd.mgpIterations;
+    st.res.mgpResult.finalLambda = rd.mgpFinalLambda;
+    if (rd.mgpStatus != StatusCode::kOk) {
+      st.res.mgpResult.status = Status(rd.mgpStatus, "restored from snapshot");
+    }
+    if (rd.cgpStatus != StatusCode::kOk) {
+      st.res.cgpResult.status = Status(rd.cgpStatus, "restored from snapshot");
+    }
+    const struct {
+      FlowStage stage;
+      const StageMetrics& m;
+      const char* label;
+    } done[] = {{FlowStage::kMip, rd.mip, "mIP"},
+                {FlowStage::kMgp, rd.mgp, "mGP"},
+                {FlowStage::kMlg, rd.mlg, "mLG"},
+                {FlowStage::kCgp, rd.cgp, "cGP"},
+                {FlowStage::kCdp, rd.cdp, "cDP"}};
+    for (const auto& d : done) {
+      if (!d.m.ran) continue;
+      st.res.stageSeconds.add(d.label, d.m.seconds);
+      StageReport rep;
+      rep.stage = d.stage;
+      rep.resumed = true;
+      rep.seconds = d.m.seconds;
+      rep.note = "restored from snapshot";
+      report.stages.push_back(rep);
+    }
+    if (rd.hasGp) {
+      resumeGp = rd.gp;
+      hasResumeGp = true;
+      resumeGpStage = rd.next;
+    }
+    report.resumed = true;
+    report.resumeStage = rd.next;
+  }
+
+  // --- stages --------------------------------------------------------------
+
+  void runMip() {
+    StageReport rep;
+    rep.stage = FlowStage::kMip;
+    Timer t;
+    const auto entry = capturePositions(db);
+    rep.attempts = 1;
+    flowStageMip(db, st);
+    if (!movablesFiniteInCore(db)) {
+      restorePositions(db, entry);
+      rep.status = Status::numericalDivergence(
+          "mIP left non-finite or out-of-core positions");
+      appendNote(rep, "result discarded; mGP starts from input positions");
+    }
+    rep.seconds = t.seconds();
+    finishStage(rep);
+  }
+
+  void runGpStage(FlowStage stage) {
+    const bool isMgp = stage == FlowStage::kMgp;
+    const StagePolicy& pol = isMgp ? sup.mgp : sup.cgp;
+    StageReport rep;
+    rep.stage = stage;
+    Timer t;
+    const auto entry = capturePositions(db);
+    const GpConfig baseGp = st.cfg.gp;
+    const FillerSet entryFillers = st.fillers;
+    bool accepted = false;
+    for (int attempt = 0; attempt < std::max(1, pol.maxAttempts); ++attempt) {
+      if (attempt > 0) {
+        restorePositions(db, entry);
+        st.fillers = entryFillers;
+        // Perturbed retry: relaxed density goal, re-seeded fillers.
+        st.cfg.gp.targetOverflow =
+            baseGp.targetOverflow +
+            static_cast<double>(attempt) * sup.overflowRetryRelax;
+        st.cfg.gp.fillerSeed =
+            baseGp.fillerSeed + 7919ULL * static_cast<std::uint64_t>(attempt);
+        appendNote(rep, "retry with relaxed target overflow");
+      }
+      if (pol.timeBudgetSeconds > 0.0) {
+        st.cfg.gp.health.timeBudgetSeconds =
+            std::max(1e-3, pol.timeBudgetSeconds - t.seconds());
+      }
+      GpRunControl ctl;
+      if (attempt == 0 && hasResumeGp && resumeGpStage == stage) {
+        ctl.resume = &resumeGp;
+        rep.resumed = true;  // mid-stage continuation, still executed
+      }
+      if (sup.saveEvery > 0 && !sup.snapshotDir.empty()) {
+        ctl.saveEvery = sup.saveEvery;
+        ctl.save = [this, stage](const GpCheckpointState& gp) {
+          saveSnapshot(stage, &gp);
+        };
+      }
+      ++rep.attempts;
+      if (isMgp) {
+        flowStageMgp(db, st, ctl);
+      } else {
+        flowStageCgp(db, st, ctl);
+      }
+      const GpResult& r = isMgp ? st.res.mgpResult : st.res.cgpResult;
+      const bool gate = movablesFiniteInCore(db);
+      rep.status = r.status;
+      if (gate && r.status.ok()) {
+        accepted = true;
+        break;
+      }
+      if (gate && (attempt + 1 >= pol.maxAttempts || !budgetLeft(pol, t))) {
+        // Out of retries (or time) but the placement is usable: keep the
+        // degraded result; flowFinish reports the stage status.
+        accepted = true;
+        appendNote(rep, "accepted degraded result");
+        break;
+      }
+      if (!gate && !budgetLeft(pol, t)) break;
+    }
+    st.cfg.gp = baseGp;
+    if (hasResumeGp && resumeGpStage == stage) hasResumeGp = false;
+    if (!accepted) {
+      restorePositions(db, entry);
+      st.fillers = entryFillers;
+      rep.status = Status::numericalDivergence(
+          std::string(flowStageName(stage)) +
+          " failed the finite/in-core invariant gate on every attempt");
+      appendNote(rep, "rolled back to stage-entry positions");
+      if (st.res.status.ok()) st.res.status = rep.status;
+    }
+    rep.seconds = t.seconds();
+    finishStage(rep);
+  }
+
+  void runMlg() {
+    StageReport rep;
+    rep.stage = FlowStage::kMlg;
+    Timer t;
+    const auto entry = capturePositions(db);
+    const MlgConfig base = st.cfg.mlg;
+    bool legal = false;
+    for (int attempt = 0; attempt < std::max(1, sup.mlg.maxAttempts);
+         ++attempt) {
+      if (attempt > 0) {
+        restorePositions(db, entry);
+        // Perturbed retry: re-seeded annealer with a longer schedule.
+        st.cfg.mlg.seed =
+            base.seed + 7919ULL * static_cast<std::uint64_t>(attempt);
+        st.cfg.mlg.maxOuterIterations =
+            base.maxOuterIterations + attempt * (base.maxOuterIterations / 2);
+        appendNote(rep, "retry with re-seeded annealer");
+      }
+      ++rep.attempts;
+      flowStageMlg(db, st);
+      legal = st.res.mlgResult.legal && movablesFiniteInCore(db);
+      if (legal || !budgetLeft(sup.mlg, t)) break;
+    }
+    st.cfg.mlg = base;
+    if (!legal) {
+      // Keep the best annealed layout (less overlap than stage entry) but
+      // record the violated invariant.
+      rep.status = Status::numericalDivergence(
+          "mLG left macro overlap after every attempt");
+      appendNote(rep, "macro overlap remains");
+      if (st.res.status.ok()) st.res.status = rep.status;
+    }
+    rep.seconds = t.seconds();
+    finishStage(rep);
+  }
+
+  /// Nudges movable standard cells before a legalization retry so the
+  /// Tetris packing order (sorted by x) differs from the failed attempt.
+  void jitterStdCells() {
+    const double pitch = db.rows.empty() ? 1.0 : db.rows.front().siteWidth;
+    for (auto i : db.movable()) {
+      auto& o = db.objects[static_cast<std::size_t>(i)];
+      if (o.kind != ObjKind::kStdCell) continue;
+      const double nx = o.lx + jitter.uniform(-2.0, 2.0) * pitch;
+      const Point p = clampLowerLeft(nx, o.ly, o.w, o.h, db.region);
+      o.lx = p.x;
+      o.ly = p.y;
+    }
+  }
+
+  [[nodiscard]] bool legalGateOk(double preHpwl) const {
+    if (!movablesFiniteInCore(db)) return false;
+    if (!checkLegality(db).legal) return false;
+    const double h = hpwl(db);
+    if (!std::isfinite(h)) return false;
+    return preHpwl <= 0.0 || h <= preHpwl * sup.legalizeHpwlCap;
+  }
+
+  void runCdp() {
+    StageReport rep;
+    rep.stage = FlowStage::kCdp;
+    Timer t;
+    const auto entry = capturePositions(db);
+    const double preHpwl = hpwl(db);
+    bool legalOk = false;
+    for (int attempt = 0;
+         attempt < std::max(1, sup.cdp.maxAttempts) && !legalOk; ++attempt) {
+      if (attempt > 0) {
+        restorePositions(db, entry);
+        jitterStdCells();
+        appendNote(rep, "retry with jittered cells");
+      }
+      ++rep.attempts;
+      st.res.legalizeResult = legalizeCells(db);
+      legalOk = legalGateOk(preHpwl);
+      if (!legalOk && !budgetLeft(sup.cdp, t)) break;
+    }
+    if (!legalOk && sup.allowFallbacks) {
+      restorePositions(db, entry);
+      ++rep.attempts;
+      rep.fellBack = true;
+      st.res.legalizeResult = greedyLegalizeCells(db);
+      legalOk = legalGateOk(preHpwl);
+      appendNote(rep, legalOk ? "greedy fallback legalizer"
+                              : "greedy fallback also failed");
+    }
+    if (!legalOk) {
+      restorePositions(db, entry);
+      rep.status = Status::numericalDivergence(
+          "legalization failed the legality/HPWL gate on every path");
+      appendNote(rep, "kept global placement result");
+      if (st.res.status.ok()) st.res.status = rep.status;
+    } else {
+      const auto postLegal = capturePositions(db);
+      const double postLegalHpwl = hpwl(db);
+      st.res.detailResult = detailPlace(db, st.cfg.detail);
+      const double after = hpwl(db);
+      const bool detailOk =
+          std::isfinite(after) &&
+          after <= postLegalHpwl * (1.0 + sup.detailRegressionTol) &&
+          checkLegality(db).legal && movablesFiniteInCore(db);
+      if (!detailOk) {
+        // Skip-cDP fallback: the legalized placement is the deliverable.
+        restorePositions(db, postLegal);
+        rep.fellBack = true;
+        appendNote(rep, "detail placement rolled back (regressed or illegal)");
+      }
+    }
+    st.res.stageSeconds.add("cDP", t.seconds());
+    st.res.cdp = flowStageMetrics(db, t.seconds(), st.res.detailResult.passes);
+    rep.seconds = t.seconds();
+    finishStage(rep);
+  }
+
+  void finishStage(StageReport rep) {
+    if (!rep.status.ok()) {
+      logWarn("supervisor: stage %s degraded: %s", flowStageName(rep.stage),
+              rep.status.toString().c_str());
+    }
+    report.stages.push_back(std::move(rep));
+  }
+
+  StatusOr<FlowResult> run() {
+    if (!sup.snapshotDir.empty()) {
+      makeDirs(sup.snapshotDir);
+      const auto existing = listSnapshotFiles(sup.snapshotDir);
+      if (!existing.empty()) nextSeq = snapSeqOf(existing.back()) + 1;
+    }
+    FlowStage next = FlowStage::kMip;
+    if (!sup.resumeDir.empty()) {
+      ResumeData rd;
+      if (tryResume(rd)) {
+        applyResume(rd);
+        next = rd.next;
+      }
+    }
+    while (next != FlowStage::kDone) {
+      switch (next) {
+        case FlowStage::kMip:
+          runMip();
+          st.mixedSize = db.numMovableMacros() > 0;
+          next = FlowStage::kMgp;
+          break;
+        case FlowStage::kMgp:
+          runGpStage(FlowStage::kMgp);
+          next = st.mixedSize ? FlowStage::kMlg
+                 : st.cfg.runDetail ? FlowStage::kCdp
+                                    : FlowStage::kDone;
+          break;
+        case FlowStage::kMlg:
+          runMlg();
+          flowFreezeMacros(db);
+          macrosFrozen = true;
+          next = FlowStage::kCgp;
+          break;
+        case FlowStage::kCgp:
+          runGpStage(FlowStage::kCgp);
+          next = st.cfg.runDetail ? FlowStage::kCdp : FlowStage::kDone;
+          break;
+        case FlowStage::kCdp:
+          runCdp();
+          next = FlowStage::kDone;
+          break;
+        case FlowStage::kDone:
+          break;
+      }
+      saveSnapshot(next, nullptr);
+    }
+    flowFinish(db, st);
+    logInfo("%s", report.summary().c_str());
+    return st.res;
+  }
+};
+
+}  // namespace
+
+std::string SupervisorReport::summary() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "supervisor: %d snapshot(s) written, %d rejected%s\n",
+                snapshotsWritten, snapshotsRejected,
+                resumed ? ", resumed run" : "");
+  out += line;
+  out += "  stage  att  time(s)  outcome   note\n";
+  for (const auto& r : stages) {
+    const char* outcome = "ok";
+    if (r.resumed && r.attempts == 0) {
+      outcome = "resumed";
+    } else if (r.skipped) {
+      outcome = "skipped";
+    } else if (!r.status.ok()) {
+      outcome = statusCodeName(r.status.code());
+    } else if (r.fellBack) {
+      outcome = "fallback";
+    }
+    std::snprintf(line, sizeof line, "  %-5s  %3d  %7.2f  %-8s  %s\n",
+                  flowStageName(r.stage), r.attempts, r.seconds, outcome,
+                  r.note.c_str());
+    out += line;
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+StatusOr<FlowResult> runSupervisedFlow(PlacementDB& db, const FlowConfig& cfg,
+                                       const SupervisorConfig& sup,
+                                       SupervisorReport* report) {
+  SupervisorReport local;
+  SupervisorReport& rep = report != nullptr ? *report : local;
+  rep = SupervisorReport{};
+  int repaired = 0;
+  const Status s = db.sanitize(&repaired);
+  if (!s.ok()) return s;
+  if (repaired > 0) {
+    logWarn("flow: sanitize repaired %d object position(s)", repaired);
+  }
+  const Status v = db.validate();
+  if (!v.ok()) return v;
+  Supervisor sv(db, cfg, sup, rep);
+  return sv.run();
+}
+
+}  // namespace ep

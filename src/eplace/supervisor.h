@@ -1,0 +1,116 @@
+// FlowSupervisor — crash-safe, self-healing execution of the ePlace flow.
+//
+// Production runs of the mixed-size pipeline (mIP -> mGP -> mLG -> cGP ->
+// cDP) are long enough that a crash, an OOM kill, or one misbehaving stage
+// must not cost the whole run. The supervisor drives the SAME stage
+// functions as runEplaceFlow (eplace/flow.h) but wraps each one with:
+//
+//   * durable checkpoints — versioned, CRC-protected snapshots
+//     (util/snapshot.h) written atomically at every stage boundary and,
+//     inside the GP stages, every `saveEvery` iterations. A killed run
+//     restarts with `resumeDir` set and continues from the newest valid
+//     snapshot; a mid-GP snapshot resumes the exact iteration trajectory
+//     bit-exactly. Corrupt (truncated / bit-flipped) snapshots are detected
+//     by checksum and skipped in favor of the previous good one.
+//   * per-stage wall-clock budgets — GP stages get the remaining budget as
+//     their internal watchdog; mLG/cDP are checked between attempts.
+//   * bounded retries with perturbed parameters — relaxed target overflow
+//     and re-seeded fillers for GP stages, a re-seeded annealer with more
+//     outer iterations for mLG, jittered cell positions for legalization.
+//   * fallbacks — greedy Tetris-only legalization when the Abacus-style
+//     legalizer fails its gate or budget; detail placement is rolled back
+//     (cDP "skipped") when it regresses HPWL or breaks legality.
+//   * inter-stage invariant gates — all movables finite and in-core after
+//     every stage; zero macro overlap after mLG; full row/site/overlap
+//     legality after legalization and detail; HPWL-regression caps. A gate
+//     failure rolls the DB back to the stage-entry (or snapshot) state
+//     instead of letting corruption propagate silently.
+//
+// Per-stage outcomes (attempts, fallbacks, time, status) are collected in a
+// SupervisorReport and summarized at flow end. Policy and format details:
+// docs/ROBUSTNESS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eplace/flow.h"
+#include "util/status.h"
+
+namespace ep {
+
+/// Stage cursor persisted in snapshots: the next stage a resumed run
+/// executes. kDone snapshots hold the finished placement.
+enum class FlowStage : std::uint8_t {
+  kMip = 0,
+  kMgp,
+  kMlg,
+  kCgp,
+  kCdp,
+  kDone,
+};
+
+const char* flowStageName(FlowStage s);
+
+struct StagePolicy {
+  int maxAttempts = 2;           ///< first try + retries
+  double timeBudgetSeconds = 0;  ///< whole-stage wall budget; 0 = unbounded
+};
+
+struct SupervisorConfig {
+  StagePolicy mip{1, 0.0};  ///< deterministic; a retry would not differ
+  StagePolicy mgp{2, 0.0};
+  StagePolicy mlg{3, 0.0};
+  StagePolicy cgp{2, 0.0};
+  StagePolicy cdp{2, 0.0};
+  /// Directory for durable snapshots; empty disables checkpointing.
+  std::string snapshotDir;
+  /// Resume from the newest valid snapshot in this directory (then keep
+  /// checkpointing into `snapshotDir`). Empty = fresh run.
+  std::string resumeDir;
+  /// GP iterations between mid-stage snapshots (0 = boundaries only).
+  int saveEvery = 0;
+  /// Snapshot files retained in the directory (ring; oldest pruned).
+  int keepSnapshots = 4;
+  /// Added to GpConfig::targetOverflow per GP retry (relaxed density goal).
+  double overflowRetryRelax = 0.05;
+  /// Legalized HPWL may be at most this multiple of the pre-legal HPWL.
+  double legalizeHpwlCap = 2.0;
+  /// Detail placement may not end above (1 + this) x post-legalize HPWL.
+  double detailRegressionTol = 1e-9;
+  bool allowFallbacks = true;
+  std::uint64_t perturbSeed = 0x5EEDCAFEULL;  ///< retry-jitter RNG stream
+};
+
+/// Outcome of one supervised stage (one row of the end-of-flow report).
+struct StageReport {
+  FlowStage stage = FlowStage::kMip;
+  int attempts = 0;
+  bool fellBack = false;  ///< fallback path produced the accepted result
+  bool skipped = false;   ///< stage result discarded or stage not run
+  bool resumed = false;   ///< satisfied from a snapshot, not executed
+  double seconds = 0.0;
+  Status status;  ///< final accepted outcome (OK even after retries)
+  std::string note;
+};
+
+struct SupervisorReport {
+  std::vector<StageReport> stages;
+  int snapshotsWritten = 0;
+  int snapshotsRejected = 0;  ///< corrupt/mismatched files skipped on resume
+  bool resumed = false;
+  FlowStage resumeStage = FlowStage::kMip;
+  /// Human-readable per-stage table (logged at flow end, printed by the CLI).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the supervised flow on `db` in place. Sanitizes and validates first
+/// (kInvalidInput without placing anything when the instance is unusable);
+/// any in-flight degradation lands in FlowResult::status exactly as with
+/// runEplaceFlow, with the per-stage story in `*report` when non-null.
+StatusOr<FlowResult> runSupervisedFlow(PlacementDB& db, const FlowConfig& cfg,
+                                       const SupervisorConfig& sup = {},
+                                       SupervisorReport* report = nullptr);
+
+}  // namespace ep

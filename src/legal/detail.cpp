@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "util/fault_injector.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "wirelength/wl.h"
@@ -187,6 +188,34 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
 
     ++res.passes;
     if (improvedThisPass == 0) break;
+  }
+
+  // Fault site "detail.swap": corrupts one cell coordinate after the passes
+  // (NaN or a spike breaking legality), modeling a buggy swap that escaped
+  // the acceptance check. The supervisor's post-cDP gate must catch it and
+  // roll the detail stage back (docs/ROBUSTNESS.md).
+  {
+    auto& inj = FaultInjector::instance();
+    if (inj.active()) {
+      std::vector<std::int32_t> cells;
+      for (auto i : db.movable()) {
+        if (db.objects[static_cast<std::size_t>(i)].kind == ObjKind::kStdCell) {
+          cells.push_back(i);
+        }
+      }
+      if (!cells.empty()) {
+        if (const FaultSpec* f = inj.fire("detail.swap")) {
+          std::vector<double> xs(cells.size());
+          for (std::size_t k = 0; k < cells.size(); ++k) {
+            xs[k] = db.objects[static_cast<std::size_t>(cells[k])].lx;
+          }
+          inj.corrupt(xs, *f);
+          for (std::size_t k = 0; k < cells.size(); ++k) {
+            db.objects[static_cast<std::size_t>(cells[k])].lx = xs[k];
+          }
+        }
+      }
+    }
   }
 
   res.hpwlAfter = hpwl(db);

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/fault_injector.h"
 #include "util/log.h"
 #include "wirelength/wl.h"
 
@@ -69,9 +70,12 @@ void clump(std::vector<double>& x, const std::vector<double>& target,
   }
 }
 
-}  // namespace
-
-LegalizeResult legalizeCells(PlacementDB& db) {
+/// Shared implementation: Tetris assignment always; the Abacus clumping
+/// refinement only when `clumpToTargets` (legalizeCells). The greedy path
+/// (greedyLegalizeCells) stops after Tetris — it is the supervisor's
+/// fallback and deliberately avoids the clumping code and its
+/// "legalize.displace" fault site.
+LegalizeResult legalizeImpl(PlacementDB& db, bool clumpToTargets) {
   LegalizeResult res;
   res.hpwlBefore = hpwl(db);
 
@@ -222,6 +226,7 @@ LegalizeResult legalizeCells(PlacementDB& db) {
 
   // Abacus clumping per segment toward the GP x targets, then site snap.
   for (auto& seg : segments) {
+    if (!clumpToTargets) break;
     if (seg.cells.empty()) continue;
     std::sort(seg.cells.begin(), seg.cells.end(),
               [&](std::int32_t a, std::int32_t b) {
@@ -259,13 +264,44 @@ LegalizeResult legalizeCells(PlacementDB& db) {
     }
   }
 
+  // Fault site "legalize.displace": corrupts one clumped x-coordinate (NaN
+  // or a spike flinging the cell out of the region) so the supervisor's
+  // post-legalization invariant gate and greedy fallback are testable. Lives
+  // in the clumping phase only — the greedy path stays clean.
+  if (clumpToTargets) {
+    auto& inj = FaultInjector::instance();
+    if (inj.active() && !cells.empty()) {
+      if (const FaultSpec* f = inj.fire("legalize.displace")) {
+        std::vector<double> xs(cells.size());
+        for (std::size_t k = 0; k < cells.size(); ++k) {
+          xs[k] = db.objects[static_cast<std::size_t>(cells[k])].lx;
+        }
+        inj.corrupt(xs, *f);
+        for (std::size_t k = 0; k < cells.size(); ++k) {
+          db.objects[static_cast<std::size_t>(cells[k])].lx = xs[k];
+        }
+      }
+    }
+  }
+
   res.success = res.unplaced == 0;
   res.avgDisplacement =
       cells.empty() ? 0.0 : sumDisp / static_cast<double>(cells.size());
   res.hpwlAfter = hpwl(db);
-  logInfo("legalize: HPWL %.4g -> %.4g, avg disp %.3g, unplaced %d",
-          res.hpwlBefore, res.hpwlAfter, res.avgDisplacement, res.unplaced);
+  logInfo("%s: HPWL %.4g -> %.4g, avg disp %.3g, unplaced %d",
+          clumpToTargets ? "legalize" : "legalize (greedy)", res.hpwlBefore,
+          res.hpwlAfter, res.avgDisplacement, res.unplaced);
   return res;
+}
+
+}  // namespace
+
+LegalizeResult legalizeCells(PlacementDB& db) {
+  return legalizeImpl(db, /*clumpToTargets=*/true);
+}
+
+LegalizeResult greedyLegalizeCells(PlacementDB& db) {
+  return legalizeImpl(db, /*clumpToTargets=*/false);
 }
 
 }  // namespace ep

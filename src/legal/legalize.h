@@ -24,4 +24,12 @@ struct LegalizeResult {
 /// mLG beforehand.
 LegalizeResult legalizeCells(PlacementDB& db);
 
+/// Fallback legalizer: the same Tetris-style greedy row/segment assignment
+/// but WITHOUT the Abacus-style clumping refinement. Worse HPWL, but fewer
+/// moving parts — the FlowSupervisor switches to it when legalizeCells
+/// fails an invariant gate or exceeds its budget (docs/ROBUSTNESS.md). The
+/// "legalize.displace" fault site lives in the clumping phase only, so this
+/// path stays clean under injection.
+LegalizeResult greedyLegalizeCells(PlacementDB& db);
+
 }  // namespace ep

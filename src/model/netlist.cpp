@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
+#include <tuple>
+
+#include "util/log.h"
 
 namespace ep {
 
@@ -160,6 +164,33 @@ Status PlacementDB::sanitize(int* repaired) {
     } else if (o.fixed) {
       return Status::invalidInput("fixed object " + o.name +
                                   " has non-finite position");
+    }
+  }
+  // Exactly-overlapping fixed pads (identical rects, a common artifact of
+  // duplicated terminal rows in hand-edited Bookshelf) would be stamped
+  // twice into the density map and double-counted in fixedAreaInRegion().
+  // Keep the first of each group and shrink the duplicates to zero-area
+  // points at the same center: nets still reference them and pin positions
+  // are offsets from the (unchanged) center, but they no longer carry area.
+  {
+    std::map<std::tuple<double, double, double, double>, bool> seen;
+    int duplicates = 0;
+    for (auto& o : objects) {
+      if (!o.fixed || o.area() <= 0.0) continue;
+      auto [it, inserted] = seen.try_emplace({o.lx, o.ly, o.w, o.h}, true);
+      if (inserted) continue;
+      const Point c = o.center();
+      o.w = 0.0;
+      o.h = 0.0;
+      o.lx = c.x;
+      o.ly = c.y;
+      ++duplicates;
+    }
+    if (duplicates > 0) {
+      logWarn("sanitize: de-duplicated %d exactly-overlapping fixed pad(s); "
+              "density map counts each footprint once",
+              duplicates);
+      fixes += duplicates;
     }
   }
   if (repaired != nullptr) *repaired = fixes;

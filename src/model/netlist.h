@@ -128,6 +128,9 @@ class PlacementDB {
   ///    left alone;
   ///  * movable objects with non-finite positions are recentered (global
   ///    placement overwrites them anyway);
+  ///  * exactly-overlapping fixed pads (identical rects) are de-duplicated —
+  ///    duplicates become zero-area points at the same center so the density
+  ///    map counts each footprint once (one warning line names the count);
   ///  * zero/negative-area movable objects are rejected.
   /// Returns the number of clamped/recentered objects via `repaired` when
   /// non-null. Call before validate()+mGP; runEplaceFlowChecked() does.

@@ -1,6 +1,6 @@
 #include "util/csv.h"
 
-#include <cstdio>
+#include <unistd.h>
 
 #include "util/log.h"
 
@@ -8,21 +8,35 @@ namespace ep {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : out_(path), path_(path), columns_(header.size()) {
-  if (!out_) {
+    : out_(std::fopen(path.c_str(), "w")),
+      path_(path),
+      columns_(header.size()) {
+  if (out_ == nullptr) {
     logWarn("CsvWriter: cannot open %s", path.c_str());
     return;
   }
   row(header);
 }
 
+CsvWriter::~CsvWriter() {
+  if (out_ == nullptr) return;
+  std::fflush(out_);
+  ::fsync(fileno(out_));
+  std::fclose(out_);
+}
+
 bool CsvWriter::writable() {
-  if (out_) return true;
+  if (out_ != nullptr && std::ferror(out_) == 0) return true;
   if (!warnedDrop_) {
     warnedDrop_ = true;
     logWarn("CsvWriter: %s is not writable, dropping all rows", path_.c_str());
   }
   return false;
+}
+
+void CsvWriter::endRow() {
+  std::fputc('\n', out_);
+  std::fflush(out_);
 }
 
 void CsvWriter::row(const std::vector<double>& cells) {
@@ -32,19 +46,17 @@ void CsvWriter::row(const std::vector<double>& cells) {
             columns_);
   }
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", cells[i]);
-    out_ << (i ? "," : "") << buf;
+    std::fprintf(out_, "%s%.6g", i ? "," : "", cells[i]);
   }
-  out_ << '\n';
+  endRow();
 }
 
 void CsvWriter::row(const std::vector<std::string>& cells) {
   if (!writable()) return;
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    out_ << (i ? "," : "") << cells[i];
+    std::fprintf(out_, "%s%s", i ? "," : "", cells[i].c_str());
   }
-  out_ << '\n';
+  endRow();
 }
 
 }  // namespace ep

@@ -52,9 +52,25 @@ void FaultInjector::corrupt(std::span<double> data, const FaultSpec& spec) {
   }
 }
 
+void FaultInjector::corruptBytes(std::span<std::uint8_t> data,
+                                 const FaultSpec& spec) {
+  if (data.empty() || spec.kind == FaultKind::kTruncate) return;
+  const std::size_t idx = static_cast<std::size_t>(
+      rng_.below(static_cast<std::uint64_t>(data.size())));
+  data[idx] ^= static_cast<std::uint8_t>(1U << rng_.below(8));
+}
+
 long FaultInjector::fireCount(const std::string& site) const {
   const auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fired;
+}
+
+std::span<const char* const> knownFaultSites() {
+  static constexpr const char* kSites[] = {
+      "nesterov.grad",     "fft.forward", "bookshelf.line",
+      "legalize.displace", "detail.swap", "snapshot.write",
+  };
+  return kSites;
 }
 
 }  // namespace ep

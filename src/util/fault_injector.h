@@ -2,10 +2,14 @@
 //
 // Production code is instrumented at a few named *sites*; when a site is
 // armed, the Nth pass through it corrupts data in a seeded, reproducible
-// way. Sites currently wired in:
-//   "nesterov.grad"   gradient buffer of the global placer (NaN / spike)
-//   "fft.forward"     forward FFT output (NaN / spike)
-//   "bookshelf.line"  Bookshelf line scanner (truncate = premature EOF)
+// way. Sites currently wired in (the authoritative list is
+// knownFaultSites(), which the chaos suite sweeps):
+//   "nesterov.grad"     gradient buffer of the global placer (NaN / spike)
+//   "fft.forward"       forward FFT output (NaN / spike)
+//   "bookshelf.line"    Bookshelf line scanner (truncate = premature EOF)
+//   "legalize.displace" Abacus clumping result (NaN / displaced cell)
+//   "detail.swap"       detail-placement result (NaN / displaced cell)
+//   "snapshot.write"    serialized snapshot bytes (bit flip / truncation)
 // With no armed sites the hot-path cost is one branch on a bool, so the
 // instrumentation stays in release builds. The injector is process-global
 // and not thread-safe — arm/reset only from single-threaded test setup.
@@ -53,6 +57,10 @@ class FaultInjector {
   /// Corrupts one seeded-random entry of `data` per the spec (kNaN/kSpike).
   void corrupt(std::span<double> data, const FaultSpec& spec);
 
+  /// Byte-stream variant: kNaN/kSpike flip one seeded-random bit of `data`;
+  /// kTruncate is the caller's concern (drop the tail of the stream).
+  void corruptBytes(std::span<std::uint8_t> data, const FaultSpec& spec);
+
   /// Total number of times `site` has fired since arm/reset.
   [[nodiscard]] long fireCount(const std::string& site) const;
 
@@ -67,5 +75,11 @@ class FaultInjector {
   std::map<std::string, Armed> sites_;
   Rng rng_{0xfa17ED5EEDULL};
 };
+
+/// Every fault site compiled into the tree. The chaos suite
+/// (tests/test_chaos.cpp, ctest -L chaos) arms each one in turn and asserts
+/// the flow degrades with a typed Status instead of crashing; keep this list
+/// in sync when instrumenting a new site.
+std::span<const char* const> knownFaultSites();
 
 }  // namespace ep

@@ -40,6 +40,15 @@ class Rng {
   /// Bernoulli draw with probability p of true.
   bool chance(double p) { return uniform() < p; }
 
+  /// Raw engine state, for durable checkpoints (util/snapshot): saving and
+  /// later restoring the four words resumes the stream bit-exactly.
+  void saveState(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void loadState(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

@@ -1,0 +1,115 @@
+// Durable, versioned binary snapshots for crash-safe checkpoint/resume.
+//
+// A snapshot file is a flat container of named byte sections:
+//
+//   offset  size  field
+//   0       8     magic "EPSNAPSH"
+//   8       4     format version (little-endian u32, currently 1)
+//   12      4     section count (u32)
+//   per section:
+//           4     name length (u32)
+//           n     name bytes
+//           8     payload length (u64)
+//           4     CRC32 of the payload
+//           m     payload bytes
+//
+// Every multi-byte integer is little-endian. Readers verify the magic, the
+// version, every length against the remaining file size, and every
+// section's CRC32 — a truncated or bit-flipped file is rejected with a
+// typed ep::Status instead of being deserialized into garbage. Writers are
+// crash-safe: the file is assembled in memory, written to "<path>.tmp",
+// flushed and fsync'd, then atomically renamed over <path>, so a SIGKILL at
+// any instant leaves either the previous snapshot or the complete new one,
+// never a torn file. The "snapshot.write" fault site corrupts the
+// serialized bytes (bit flip) or truncates the file to exercise the reader's
+// rejection paths deterministically.
+//
+// ByteWriter/ByteReader are the primitive codec used to build section
+// payloads (doubles are serialized as their IEEE-754 bit patterns, so a
+// restored optimizer state is bit-exact).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ep {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention).
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+/// Append-only little-endian serializer for section payloads.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);  ///< IEEE-754 bit pattern, bit-exact round trip
+  void str(const std::string& s);               ///< u32 length + bytes
+  void doubles(std::span<const double> v);      ///< u64 count + payload
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian deserializer. Reads past the end set the
+/// fail flag and return zero values; callers check ok() once at the end
+/// instead of wrapping every get.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64();
+  std::string str();
+  std::vector<double> doubles();
+
+  [[nodiscard]] bool ok() const { return !fail_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+/// An in-memory snapshot: named sections of opaque bytes.
+struct SnapshotData {
+  std::map<std::string, std::vector<std::uint8_t>> sections;
+
+  void add(const std::string& name, std::vector<std::uint8_t> payload) {
+    sections[name] = std::move(payload);
+  }
+  /// Section payload or nullptr when absent.
+  [[nodiscard]] const std::vector<std::uint8_t>* find(
+      const std::string& name) const {
+    const auto it = sections.find(name);
+    return it == sections.end() ? nullptr : &it->second;
+  }
+};
+
+/// Serializes `snap` and atomically replaces `path` (tmp + fsync + rename).
+/// Returns kIo when the file cannot be created, written, or renamed.
+Status writeSnapshotFile(const std::string& path, const SnapshotData& snap);
+
+/// Loads and verifies a snapshot file. Returns kIo when the file cannot be
+/// read and kInvalidInput when the magic/version/lengths/CRCs do not check
+/// out (truncation, bit flips, foreign files).
+StatusOr<SnapshotData> readSnapshotFile(const std::string& path);
+
+}  // namespace ep

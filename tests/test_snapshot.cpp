@@ -1,0 +1,188 @@
+// Durable snapshot container (util/snapshot): byte codec round trips,
+// CRC-protected section framing, atomic tmp+rename writes, and typed
+// rejection of truncated / bit-flipped / foreign files. The "snapshot.write"
+// fault site must produce files the reader detects as corrupt.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/fault_injector.h"
+#include "util/snapshot.h"
+
+namespace ep {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("snapshot_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::instance().reset();
+    fs::remove_all(dir_);
+  }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static SnapshotData sample() {
+    SnapshotData snap;
+    ByteWriter w;
+    w.str("instance");
+    w.u32(42);
+    w.u64(1ULL << 40);
+    w.f64(3.14159265358979);
+    snap.add("meta", w.take());
+    ByteWriter p;
+    p.doubles(std::vector<double>{1.0, -2.5, 1e300, 0.0});
+    snap.add("positions", p.take());
+    return snap;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SnapshotTest, Crc32MatchesKnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const std::string s = "123456789";
+  const auto* b = reinterpret_cast<const std::uint8_t*>(s.data());
+  EXPECT_EQ(crc32({b, s.size()}), 0xCBF43926u);
+}
+
+TEST_F(SnapshotTest, ByteCodecRoundTripsBitExact) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-12345);
+  w.f64(-0.1);  // not exactly representable; must round trip bit-exactly
+  w.str("hello world");
+  const std::vector<double> v{1.0 / 3.0, -1e-300, 5e307};
+  w.doubles(v);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -12345);
+  EXPECT_EQ(r.f64(), -0.1);
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.doubles(), v);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST_F(SnapshotTest, ByteReaderFlagsOverrun) {
+  ByteWriter w;
+  w.u32(3);
+  ByteReader r(w.bytes());
+  (void)r.u64();  // 8 bytes requested, 4 available
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // further reads are zero, not UB
+}
+
+TEST_F(SnapshotTest, FileRoundTrip) {
+  const std::string p = path("a.epsnap");
+  ASSERT_TRUE(writeSnapshotFile(p, sample()).ok());
+  const auto rd = readSnapshotFile(p);
+  ASSERT_TRUE(rd.ok()) << rd.status().toString();
+  ASSERT_NE(rd->find("meta"), nullptr);
+  ASSERT_NE(rd->find("positions"), nullptr);
+  EXPECT_EQ(rd->sections, sample().sections);
+  // No stray tmp file once the rename landed.
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST_F(SnapshotTest, AtomicOverwriteReplacesPreviousSnapshot) {
+  const std::string p = path("a.epsnap");
+  ASSERT_TRUE(writeSnapshotFile(p, sample()).ok());
+  SnapshotData second = sample();
+  ByteWriter w;
+  w.u32(99);
+  second.add("extra", w.take());
+  ASSERT_TRUE(writeSnapshotFile(p, second).ok());
+  const auto rd = readSnapshotFile(p);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_NE(rd->find("extra"), nullptr);
+}
+
+TEST_F(SnapshotTest, TruncatedFileIsRejected) {
+  const std::string p = path("a.epsnap");
+  ASSERT_TRUE(writeSnapshotFile(p, sample()).ok());
+  const auto size = fs::file_size(p);
+  fs::resize_file(p, size / 2);
+  const auto rd = readSnapshotFile(p);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST_F(SnapshotTest, BitFlippedPayloadFailsChecksum) {
+  const std::string p = path("a.epsnap");
+  ASSERT_TRUE(writeSnapshotFile(p, sample()).ok());
+  // Flip one bit in the last payload byte (well past the header).
+  std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(-1, std::ios::end);
+  char byte = 0;
+  f.get(byte);
+  f.seekp(-1, std::ios::end);
+  f.put(static_cast<char>(byte ^ 0x10));
+  f.close();
+  const auto rd = readSnapshotFile(p);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(rd.status().message().find("CRC"), std::string::npos)
+      << rd.status().message();
+}
+
+TEST_F(SnapshotTest, GarbageMagicIsRejected) {
+  const std::string p = path("a.epsnap");
+  std::ofstream(p, std::ios::binary) << "this is not a snapshot file at all";
+  const auto rd = readSnapshotFile(p);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST_F(SnapshotTest, MissingFileIsIoError) {
+  const auto rd = readSnapshotFile(path("does_not_exist.epsnap"));
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.status().code(), StatusCode::kIo);
+}
+
+TEST_F(SnapshotTest, WriteFaultSiteBitFlipIsCaughtByReader) {
+  FaultInjector::instance().arm("snapshot.write",
+                                {FaultKind::kNaN, /*atTick=*/0, /*count=*/1});
+  const std::string p = path("a.epsnap");
+  ASSERT_TRUE(writeSnapshotFile(p, sample()).ok());  // write itself succeeds
+  EXPECT_EQ(FaultInjector::instance().fireCount("snapshot.write"), 1);
+  const auto rd = readSnapshotFile(p);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST_F(SnapshotTest, WriteFaultSiteTruncationIsCaughtByReader) {
+  FaultInjector::instance().arm(
+      "snapshot.write", {FaultKind::kTruncate, /*atTick=*/0, /*count=*/1});
+  const std::string p = path("a.epsnap");
+  ASSERT_TRUE(writeSnapshotFile(p, sample()).ok());
+  const auto rd = readSnapshotFile(p);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.status().code(), StatusCode::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace ep
