@@ -9,6 +9,7 @@
 // re-introduced overlap; cDP removes the remaining overlap entirely.
 #include "common.h"
 #include "util/csv.h"
+#include "util/parallel.h"
 
 int main() {
   using namespace ep;
@@ -16,8 +17,10 @@ int main() {
   const GenSpec spec = suiteSpec("mms_adaptec1s");
   PlacementDB db = generateCircuit(spec);
 
+  // The threads column is provenance only: traces are bit-identical for any
+  // thread count (docs/PERFORMANCE.md).
   CsvWriter csv("fig2_trace.csv",
-                {"stage", "iter", "hpwl", "overflow", "overlap"});
+                {"stage", "iter", "hpwl", "overflow", "overlap", "threads"});
   if (!csv.ok()) {
     std::fprintf(stderr,
                  "fig2_trace.csv is not writable; trace rows will be "
@@ -37,7 +40,8 @@ int main() {
     if (t.iter % 10 == 0) {
       csv.row(std::vector<std::string>{
           stage, std::to_string(global), std::to_string(t.hpwl),
-          std::to_string(t.overflow), std::to_string(overlapNow())});
+          std::to_string(t.overflow), std::to_string(overlapNow()),
+          std::to_string(ThreadPool::globalThreads())});
     }
     ++global;
   };

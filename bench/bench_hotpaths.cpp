@@ -1,0 +1,180 @@
+// Hot-path scaling benchmark: per-kernel ns/op and end-to-end mGP/cGP wall
+// time at 1, 2 and 4 worker threads. Emits BENCH_hotpaths.json in the CWD.
+//
+//   bench_hotpaths [--smoke]
+//
+// --smoke shrinks the instance and runs each kernel once (the perf-smoke
+// ctest entry uses it as a does-it-run gate, not a measurement).
+//
+// Reading the output (docs/PERFORMANCE.md has the full guide):
+//  * "hw_concurrency" is the machine's core count. Speedups only manifest
+//    when it exceeds the thread count — on a 1-core container every
+//    configuration runs the same work sequentially, so ns/op is flat there
+//    by construction, not by defect.
+//  * "kernels": per-kernel mean ns per call at each thread count.
+//  * "end_to_end": mGP/cGP stage seconds per thread count on the same
+//    instance, plus the final HPWL bits so identical results are checkable.
+//  * "bit_identical": true iff every thread count produced bit-identical
+//    final HPWL — the determinism contract, asserted here on real runs.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "density/electro.h"
+#include "eplace/flow.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "qp/initial_place.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+#include "wirelength/wl.h"
+
+namespace {
+
+using namespace ep;
+
+struct KernelRow {
+  std::string name;
+  int threads;
+  double nsPerOp;
+};
+
+struct EndToEndRow {
+  int threads;
+  double mgpSeconds;
+  double cgpSeconds;
+  double finalHpwl;
+};
+
+double timeNs(int reps, const auto& fn) {
+  Timer t;
+  for (int r = 0; r < reps; ++r) fn();
+  return t.seconds() * 1e9 / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int kernelReps = smoke ? 1 : 20;
+  const std::size_t cells = smoke ? 400 : 4000;
+  const int threadCounts[] = {1, 2, 4};
+
+  // --- per-kernel timings on a fixed mid-GP-like state ----------------------
+  GenSpec spec;
+  spec.name = "hotpaths";
+  spec.numCells = cells;
+  spec.seed = 42;
+  PlacementDB db = generateCircuit(spec);
+  quadraticInitialPlace(db);
+
+  const auto movables = db.movable();
+  const std::size_t nVars = movables.size();
+  std::vector<std::int32_t> objToVar(db.objects.size(), -1);
+  std::vector<double> x(nVars), y(nVars), w(nVars), h(nVars);
+  for (std::size_t v = 0; v < nVars; ++v) {
+    const auto obj = static_cast<std::size_t>(movables[v]);
+    objToVar[obj] = static_cast<std::int32_t>(v);
+    const Point c = db.objects[obj].center();
+    x[v] = c.x;
+    y[v] = c.y;
+    w[v] = db.objects[obj].w;
+    h[v] = db.objects[obj].h;
+  }
+  const ChargeView charges{x, y, w, h};
+  const std::size_t dim = BinGrid::chooseResolution(nVars);
+  ElectroDensity density(db.region, dim, dim, db.targetDensity);
+  density.stampFixed(db);
+  WlEvaluator wlEval(db, objToVar, nVars);
+  const VarView view{&db, objToVar, x, y};
+  const double gamma = waGammaSchedule(db.region.width() /
+                                           static_cast<double>(dim), 0.5);
+  std::vector<double> gx(nVars), gy(nVars);
+
+  std::vector<KernelRow> kernels;
+  for (const int nt : threadCounts) {
+    ThreadPool pool(nt);
+    ThreadPool* p = &pool;
+    kernels.push_back({"density_update", nt, timeNs(kernelReps, [&] {
+                         density.update(charges, p);
+                       })});
+    kernels.push_back({"density_gradient", nt, timeNs(kernelReps, [&] {
+                         density.gradient(charges, gx, gy, p);
+                       })});
+    kernels.push_back({"wa_gradient", nt, timeNs(kernelReps, [&] {
+                         wlEval.waGrad(view, gamma, gamma, gx, gy, p);
+                       })});
+    kernels.push_back({"hpwl", nt, timeNs(kernelReps, [&] {
+                         wlEval.hpwl(view, p);
+                       })});
+    std::printf("threads=%d done (%zu cells, grid %zu^2)\n", nt, nVars, dim);
+  }
+
+  // --- end-to-end mGP + cGP on a mixed-size instance ------------------------
+  GenSpec flowSpec;
+  flowSpec.name = "hotpaths_flow";
+  flowSpec.numCells = smoke ? 200 : 1500;
+  flowSpec.numMovableMacros = 4;
+  flowSpec.seed = 43;
+  std::vector<EndToEndRow> endToEnd;
+  bool bitIdentical = true;
+  for (const int nt : threadCounts) {
+    ThreadPool::setGlobalThreads(nt);
+    PlacementDB run = generateCircuit(flowSpec);
+    FlowConfig cfg;
+    cfg.runDetail = false;
+    if (smoke) cfg.gp.maxIterations = 1;  // does-it-run gate only
+    if (smoke) cfg.gp.minIterations = 0;
+    const FlowResult res = runEplaceFlow(run, cfg);
+    endToEnd.push_back({nt, res.mgp.seconds, res.cgp.seconds, res.finalHpwl});
+    if (std::bit_cast<std::uint64_t>(res.finalHpwl) !=
+        std::bit_cast<std::uint64_t>(endToEnd.front().finalHpwl)) {
+      bitIdentical = false;
+    }
+    std::printf("end-to-end threads=%d: mGP %.2fs, cGP %.2fs, HPWL %.6g\n",
+                nt, res.mgp.seconds, res.cgp.seconds, res.finalHpwl);
+  }
+  ThreadPool::setGlobalThreads(0);
+
+  // --- emit JSON ------------------------------------------------------------
+  FILE* f = std::fopen("BENCH_hotpaths.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_hotpaths.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"hw_concurrency\": %d,\n",
+               ThreadPool::globalThreads());
+  std::fprintf(f, "  \"cells\": %zu,\n", nVars);
+  std::fprintf(f, "  \"grid\": %zu,\n", dim);
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %d, "
+                 "\"ns_per_op\": %.1f}%s\n",
+                 kernels[i].name.c_str(), kernels[i].threads,
+                 kernels[i].nsPerOp, i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"end_to_end\": [\n");
+  for (std::size_t i = 0; i < endToEnd.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"mgp_seconds\": %.4f, "
+                 "\"cgp_seconds\": %.4f, \"final_hpwl\": %.17g}%s\n",
+                 endToEnd[i].threads, endToEnd[i].mgpSeconds,
+                 endToEnd[i].cgpSeconds, endToEnd[i].finalHpwl,
+                 i + 1 < endToEnd.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"bit_identical\": %s\n", bitIdentical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_hotpaths.json (bit_identical=%s)\n",
+              bitIdentical ? "true" : "false");
+  return bitIdentical ? 0 : 1;
+}

@@ -21,11 +21,15 @@
 //     --inject <site=kind@tick[xN]>  arm the fault injector, e.g.
 //                            nesterov.grad=nan@40, fft.forward=spike@3,
 //                            bookshelf.line=trunc@10x-1 (N=-1: every pass)
+//     --threads <n>          worker threads for the hot kernels (default:
+//                            hardware concurrency; results are bit-identical
+//                            for any n, see docs/PERFORMANCE.md)
 //     --verbose              info-level logging
 //
 // Exit codes follow the ep::Status taxonomy (docs/ROBUSTNESS.md):
 //   0 success   1 usage/unknown error   2 InvalidInput   3 Io
 //   4 NumericalDivergence   5 Timeout   6 placed but not legal
+//   7 Internal (a hot-path task threw; converted at the flow boundary)
 //
 // With no arguments it demonstrates the full loop on a generated circuit:
 // write Bookshelf, read it back, place, and emit the placed .pl — i.e. the
@@ -44,6 +48,7 @@
 #include "gen/generator.h"
 #include "util/fault_injector.h"
 #include "util/log.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace {
@@ -60,6 +65,8 @@ int exitCodeFor(ep::StatusCode code) {
       return 4;
     case ep::StatusCode::kTimeout:
       return 5;
+    case ep::StatusCode::kInternal:
+      return 7;
   }
   return 1;
 }
@@ -190,6 +197,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --inject spec %s\n", argv[i]);
         return 1;
       }
+    } else if (a == "--threads" && i + 1 < argc) {
+      ep::ThreadPool::setGlobalThreads(std::atoi(argv[++i]));
     } else if (a == "--verbose") {
       ep::setLogLevel(ep::LogLevel::kInfo);
     } else if (a[0] != '-') {
@@ -233,9 +242,9 @@ int main(int argc, char** argv) {
   }
   if (density > 0.0) db.targetDensity = density;
   std::printf("loaded %s: %zu objects (%zu movable), %zu nets, region %.0f x "
-              "%.0f, rho_t %.2f\n",
+              "%.0f, rho_t %.2f, threads %d\n",
               db.name.c_str(), db.objects.size(), db.numMovable(),
               db.nets.size(), db.region.width(), db.region.height(),
-              db.targetDensity);
+              db.targetDensity, ep::ThreadPool::globalThreads());
   return place(db, cfg, outDir, plotPath, supervised, sup);
 }

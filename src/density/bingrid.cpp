@@ -42,11 +42,24 @@ std::size_t BinGrid::binY(double y) const {
 }
 
 void BinGrid::stamp(const Rect& r, double amount, std::span<double> map) const {
+  stampRows(r, amount, map, 0, ny_);
+}
+
+void BinGrid::stampRows(const Rect& r, double amount, std::span<double> map,
+                        std::size_t rowBegin, std::size_t rowEnd) const {
   const Rect c = r.intersect(region_);
   if (c.empty()) return;
   const double scale = amount / r.area();
   const std::size_t x0 = binX(c.lx), x1 = binX(c.hx - 1e-12 * dx_);
-  const std::size_t y0 = binY(c.ly), y1 = binY(c.hy - 1e-12 * dy_);
+  std::size_t y0 = binY(c.ly), y1 = binY(c.hy - 1e-12 * dy_);
+  // Clip the footprint's row span to this band; the per-bin arithmetic is
+  // unchanged, so banded stamping composes to exactly stamp().
+  y0 = std::max(y0, rowBegin);
+  if (y1 >= rowEnd) {
+    if (rowEnd == 0) return;
+    y1 = rowEnd - 1;
+  }
+  if (y0 > y1) return;
   for (std::size_t iy = y0; iy <= y1; ++iy) {
     const double by0 = region_.ly + static_cast<double>(iy) * dy_;
     const double oy = intervalOverlap(c.ly, c.hy, by0, by0 + dy_);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/geometry.h"
+#include "util/parallel.h"
 
 namespace ep {
 
@@ -52,6 +53,45 @@ class BinGrid {
   /// the region, distributed into `map` proportionally to overlap. `r` must
   /// have positive area. Used for exact-footprint stamping.
   void stamp(const Rect& r, double amount, std::span<double> map) const;
+
+  /// stamp() restricted to bin rows [rowBegin, rowEnd): only the slice of
+  /// `r`'s footprint falling in those rows is accumulated. Stamping every
+  /// object against complementary row bands reproduces stamp() exactly.
+  void stampRows(const Rect& r, double amount, std::span<double> map,
+                 std::size_t rowBegin, std::size_t rowEnd) const;
+
+  /// Deterministic parallel scatter of `n` rectangles into `map`.
+  /// `objFn(i, &r, &amount)` yields object i's footprint. The *output* is
+  /// partitioned: each thread owns a contiguous band of bin rows and scans
+  /// all objects, stamping only the slice inside its band. Every bin thus
+  /// accumulates contributions in object index order whatever the thread
+  /// count — bit-identical to the serial `for (i) stamp(...)` loop. The
+  /// extra per-thread object scan is cheap (a y-interval test) next to the
+  /// overlap arithmetic it skips. `pool == nullptr` runs serially.
+  template <typename ObjFn>
+  void stampAll(std::size_t n, ObjFn&& objFn, std::span<double> map,
+                ThreadPool* pool) const {
+    if (pool == nullptr || pool->threads() == 1 || n < 64) {
+      for (std::size_t i = 0; i < n; ++i) {
+        Rect r;
+        double amount = 0.0;
+        objFn(i, &r, &amount);
+        stamp(r, amount, map);
+      }
+      return;
+    }
+    pool->parallelFor(
+        ny_,
+        [&](std::size_t, std::size_t rowBegin, std::size_t rowEnd) {
+          for (std::size_t i = 0; i < n; ++i) {
+            Rect r;
+            double amount = 0.0;
+            objFn(i, &r, &amount);
+            stampRows(r, amount, map, rowBegin, rowEnd);
+          }
+        },
+        1);
+  }
 
  private:
   Rect region_;

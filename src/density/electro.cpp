@@ -64,20 +64,32 @@ ElectroDensity::Footprint ElectroDensity::smoothed(double cx, double cy,
           scale};
 }
 
-void ElectroDensity::update(const ChargeView& charges) {
+void ElectroDensity::update(const ChargeView& charges, ThreadPool* pool) {
   std::fill(movCharge_.begin(), movCharge_.end(), 0.0);
-  for (std::size_t i = 0; i < charges.size(); ++i) {
-    const Footprint f =
-        smoothed(charges.cx[i], charges.cy[i], charges.w[i], charges.h[i]);
-    // stamp() spreads (area * scale) == q_i over the smoothed rect.
-    grid_.stamp(f.r, f.r.area() * f.scale, movCharge_);
-  }
+  // stampAll spreads each (area * scale) == q_i over its smoothed rect,
+  // bin rows partitioned across threads (deterministic scatter).
+  grid_.stampAll(
+      charges.size(),
+      [&](std::size_t i, Rect* r, double* amount) {
+        const Footprint f =
+            smoothed(charges.cx[i], charges.cy[i], charges.w[i], charges.h[i]);
+        *r = f.r;
+        *amount = f.r.area() * f.scale;
+      },
+      movCharge_, pool);
   const double invBinArea = 1.0 / grid_.binArea();
-  for (std::size_t b = 0; b < rho_.size(); ++b) {
-    rho_[b] =
-        fixedSolver_[b] + (movCharge_[b] + staticCharge_[b]) * invBinArea;
+  auto mix = [&](std::size_t, std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      rho_[b] =
+          fixedSolver_[b] + (movCharge_[b] + staticCharge_[b]) * invBinArea;
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallelFor(rho_.size(), mix);
+  } else {
+    mix(0, 0, rho_.size());
   }
-  solver_.solve(rho_);
+  solver_.solve(rho_, pool);
   // N(v) = sum_i q_i psi_i evaluated bin-wise from the stamped charge.
   double e = 0.0;
   const auto psi = solver_.psi();
@@ -89,47 +101,64 @@ void ElectroDensity::update(const ChargeView& charges) {
 }
 
 void ElectroDensity::gradient(const ChargeView& charges, std::span<double> gx,
-                              std::span<double> gy) const {
+                              std::span<double> gy, ThreadPool* pool) const {
   assert(gx.size() == charges.size() && gy.size() == charges.size());
   const auto ex = solver_.fieldX();
   const auto ey = solver_.fieldY();
   const Rect& region = grid_.region();
   const std::size_t nx = grid_.nx();
   const double dx = grid_.dx(), dy = grid_.dy();
-  for (std::size_t i = 0; i < charges.size(); ++i) {
-    const Footprint f =
-        smoothed(charges.cx[i], charges.cy[i], charges.w[i], charges.h[i]);
-    const Rect c = f.r.intersect(region);
-    double fx = 0.0, fy = 0.0;
-    if (!c.empty()) {
-      const std::size_t x0 = grid_.binX(c.lx), x1 = grid_.binX(c.hx - 1e-12 * dx);
-      const std::size_t y0 = grid_.binY(c.ly), y1 = grid_.binY(c.hy - 1e-12 * dy);
-      for (std::size_t iy = y0; iy <= y1; ++iy) {
-        const double by0 = region.ly + static_cast<double>(iy) * dy;
-        const double oy = intervalOverlap(c.ly, c.hy, by0, by0 + dy);
-        for (std::size_t ix = x0; ix <= x1; ++ix) {
-          const double bx0 = region.lx + static_cast<double>(ix) * dx;
-          const double ox = intervalOverlap(c.lx, c.hx, bx0, bx0 + dx);
-          const double charge = f.scale * ox * oy;
-          fx += charge * ex[iy * nx + ix];
-          fy += charge * ey[iy * nx + ix];
+  // Pure gather: charge i reads the field under its own footprint and
+  // writes gx[i]/gy[i] only, so any partition gives identical results.
+  auto work = [&](std::size_t, std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const Footprint f =
+          smoothed(charges.cx[i], charges.cy[i], charges.w[i], charges.h[i]);
+      const Rect c = f.r.intersect(region);
+      double fx = 0.0, fy = 0.0;
+      if (!c.empty()) {
+        const std::size_t x0 = grid_.binX(c.lx);
+        const std::size_t x1 = grid_.binX(c.hx - 1e-12 * dx);
+        const std::size_t y0 = grid_.binY(c.ly);
+        const std::size_t y1 = grid_.binY(c.hy - 1e-12 * dy);
+        for (std::size_t iy = y0; iy <= y1; ++iy) {
+          const double by0 = region.ly + static_cast<double>(iy) * dy;
+          const double oy = intervalOverlap(c.ly, c.hy, by0, by0 + dy);
+          for (std::size_t ix = x0; ix <= x1; ++ix) {
+            const double bx0 = region.lx + static_cast<double>(ix) * dx;
+            const double ox = intervalOverlap(c.lx, c.hx, bx0, bx0 + dx);
+            const double charge = f.scale * ox * oy;
+            fx += charge * ex[iy * nx + ix];
+            fy += charge * ey[iy * nx + ix];
+          }
         }
       }
+      gx[i] = fx;
+      gy[i] = fy;
     }
-    gx[i] = fx;
-    gy[i] = fy;
+  };
+  if (pool != nullptr) {
+    pool->parallelFor(charges.size(), work, 256);
+  } else {
+    work(0, 0, charges.size());
   }
 }
 
-double ElectroDensity::overflow(const ChargeView& movablesOnly) const {
+double ElectroDensity::overflow(const ChargeView& movablesOnly,
+                                ThreadPool* pool) const {
   std::vector<double> area(ovfGrid_.numBins(), 0.0);
+  ovfGrid_.stampAll(
+      movablesOnly.size(),
+      [&](std::size_t i, Rect* r, double* amount) {
+        const double w = movablesOnly.w[i], h = movablesOnly.h[i];
+        *r = Rect{movablesOnly.cx[i] - w * 0.5, movablesOnly.cy[i] - h * 0.5,
+                  movablesOnly.cx[i] + w * 0.5, movablesOnly.cy[i] + h * 0.5};
+        *amount = r->area();
+      },
+      area, pool);
   double totalMovable = 0.0;
   for (std::size_t i = 0; i < movablesOnly.size(); ++i) {
-    const double w = movablesOnly.w[i], h = movablesOnly.h[i];
-    const Rect r{movablesOnly.cx[i] - w * 0.5, movablesOnly.cy[i] - h * 0.5,
-                 movablesOnly.cx[i] + w * 0.5, movablesOnly.cy[i] + h * 0.5};
-    ovfGrid_.stamp(r, r.area(), area);
-    totalMovable += w * h;
+    totalMovable += movablesOnly.w[i] * movablesOnly.h[i];
   }
   if (totalMovable <= 0.0) return 0.0;
   const double binArea = ovfGrid_.binArea();

@@ -63,7 +63,10 @@ class ElectroDensity {
 
   /// Stamp the movable charges and solve the Poisson system. After this,
   /// energy(), gradient() and the field accessors are valid for `charges`.
-  void update(const ChargeView& charges);
+  /// With a pool the scatter, the spectral solve and the per-bin maps run
+  /// on the pool's threads; results are bit-identical for any thread count
+  /// (deterministic scatter: BinGrid::stampAll).
+  void update(const ChargeView& charges, ThreadPool* pool = nullptr);
 
   /// Total potential energy of the movable charges, N(v).
   [[nodiscard]] double energy() const { return energy_; }
@@ -72,11 +75,12 @@ class ElectroDensity {
   /// field averaged over its (smoothed) footprint. Output spans must have
   /// charges.size() entries.
   void gradient(const ChargeView& charges, std::span<double> gx,
-                std::span<double> gy) const;
+                std::span<double> gy, ThreadPool* pool = nullptr) const;
 
   /// Exact-footprint density overflow tau of the given movable-only view
   /// (Sec. III: mGP terminates at tau <= 10%).
-  [[nodiscard]] double overflow(const ChargeView& movablesOnly) const;
+  [[nodiscard]] double overflow(const ChargeView& movablesOnly,
+                                ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const BinGrid& grid() const { return grid_; }
   [[nodiscard]] double targetDensity() const { return rhoT_; }

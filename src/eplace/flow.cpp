@@ -152,7 +152,15 @@ StatusOr<FlowResult> runEplaceFlowChecked(PlacementDB& db,
   }
   const Status v = db.validate();
   if (!v.ok()) return v;
-  return runEplaceFlow(db, cfg);
+  // Exception boundary: a throwing hot-path task (e.g. a worker on the
+  // thread pool, see ThreadPool) surfaces here as a typed status instead of
+  // std::terminate-ing the process.
+  try {
+    return runEplaceFlow(db, cfg);
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("flow aborted by exception: ") +
+                            e.what());
+  }
 }
 
 }  // namespace ep

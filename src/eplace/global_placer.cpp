@@ -7,6 +7,7 @@
 #include "density/electro.h"
 #include "util/fault_injector.h"
 #include "util/log.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 #include "wirelength/wl.h"
 
@@ -38,6 +39,11 @@ struct GlobalPlacer::Engine {
   std::vector<double> loX, hiX, loY, hiY;  // projection box per var
 
   ElectroDensity density;
+  WlEvaluator wlEval;
+
+  // All hot loops below run on this pool; every kernel is deterministic
+  // (bit-identical results for any thread count — see docs/PERFORMANCE.md).
+  ThreadPool* pool = &ThreadPool::global();
 
   // Scratch gradient buffers.
   std::vector<double> gxW, gyW, gxD, gyD;
@@ -95,6 +101,7 @@ struct GlobalPlacer::Engine {
     gxD.resize(nVars);
     gyD.resize(nVars);
     density.stampFixed(db);
+    wlEval = WlEvaluator(db, objToVar, nVars);
   }
 
   [[nodiscard]] ChargeView allCharges(std::span<const double> x,
@@ -114,23 +121,26 @@ struct GlobalPlacer::Engine {
     const auto y = v.subspan(nVars, nVars);
     {
       ScopedTimer t(breakdown, "density");
-      density.update(allCharges(x, y));
-      density.gradient(allCharges(x, y), gxD, gyD);
+      density.update(allCharges(x, y), pool);
+      density.gradient(allCharges(x, y), gxD, gyD, pool);
     }
     double wl = 0.0;
     {
       ScopedTimer t(breakdown, "wirelength");
       const VarView view{&db, objToVar, x, y};
-      wl = waWirelengthGrad(view, gammaX, gammaY, gxW, gyW);
+      wl = wlEval.waGrad(view, gammaX, gammaY, gxW, gyW, pool);
     }
     smoothWl = wl;
-    for (std::size_t i = 0; i < nVars; ++i) {
-      const double pre = cfg.enablePreconditioner
-                             ? std::max(1.0, wlPrecond[i] + lambda * q[i])
-                             : 1.0;
-      grad[i] = (gxW[i] + lambda * gxD[i]) / pre;
-      grad[nVars + i] = (gyW[i] + lambda * gyD[i]) / pre;
-    }
+    auto assemble = [&](std::size_t, std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double pre = cfg.enablePreconditioner
+                               ? std::max(1.0, wlPrecond[i] + lambda * q[i])
+                               : 1.0;
+        grad[i] = (gxW[i] + lambda * gxD[i]) / pre;
+        grad[nVars + i] = (gyW[i] + lambda * gyD[i]) / pre;
+      }
+    };
+    pool->parallelFor(nVars, assemble);
     // Fault site "nesterov.grad": corrupts the assembled gradient so the
     // health monitor's rollback-and-recover path can be exercised.
     auto& inj = FaultInjector::instance();
@@ -143,10 +153,12 @@ struct GlobalPlacer::Engine {
   }
 
   void project(std::span<double> v) const {
-    for (std::size_t i = 0; i < nVars; ++i) {
-      v[i] = std::clamp(v[i], loX[i], hiX[i]);
-      v[nVars + i] = std::clamp(v[nVars + i], loY[i], hiY[i]);
-    }
+    pool->parallelFor(nVars, [&](std::size_t, std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        v[i] = std::clamp(v[i], loX[i], hiX[i]);
+        v[nVars + i] = std::clamp(v[nVars + i], loY[i], hiY[i]);
+      }
+    });
   }
 
   /// Initial lambda: ratio of L1 gradient norms (wirelength over density)
@@ -154,25 +166,25 @@ struct GlobalPlacer::Engine {
   double initialLambda(std::span<const double> v) {
     const auto x = v.subspan(0, nVars);
     const auto y = v.subspan(nVars, nVars);
-    density.update(allCharges(x, y));
-    density.gradient(allCharges(x, y), gxD, gyD);
+    density.update(allCharges(x, y), pool);
+    density.gradient(allCharges(x, y), gxD, gyD, pool);
     const VarView view{&db, objToVar, x, y};
-    waWirelengthGrad(view, gammaX, gammaY, gxW, gyW);
+    wlEval.waGrad(view, gammaX, gammaY, gxW, gyW, pool);
     const double wlNorm = norm1(gxW) + norm1(gyW);
     const double dNorm = norm1(gxD) + norm1(gyD);
     return dNorm > 0.0 ? wlNorm / dNorm : 1.0;
   }
 
   /// Exact HPWL at the given variable values.
-  double exactHpwl(std::span<const double> v) const {
+  double exactHpwl(std::span<const double> v) {
     const VarView view{&db, objToVar, v.subspan(0, nVars),
                        v.subspan(nVars, nVars)};
-    return hpwl(view);
+    return wlEval.hpwl(view, pool);
   }
 
   double overflow(std::span<const double> v) const {
     return density.overflow(
-        cellCharges(v.subspan(0, nVars), v.subspan(nVars, nVars)));
+        cellCharges(v.subspan(0, nVars), v.subspan(nVars, nVars)), pool);
   }
 
   void updateGamma(double tau) {

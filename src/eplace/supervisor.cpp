@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/log.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/snapshot.h"
 #include "wirelength/wl.h"
@@ -199,6 +200,14 @@ SnapshotData buildSnapshot(const PlacementDB& db, const FlowState& st,
     jitter.saveState(s);
     for (const auto word : s) w.u64(word);
     snap.add("rng", w.take());
+  }
+  {
+    // Environment provenance. The thread count does not affect results
+    // (every kernel is thread-count deterministic) so readers ignore this
+    // section; it is recorded for forensics on traces from other machines.
+    ByteWriter w;
+    w.i32(ThreadPool::globalThreads());
+    snap.add("env", w.take());
   }
   if (gp != nullptr) {
     ByteWriter w;
@@ -761,7 +770,14 @@ StatusOr<FlowResult> runSupervisedFlow(PlacementDB& db, const FlowConfig& cfg,
   const Status v = db.validate();
   if (!v.ok()) return v;
   Supervisor sv(db, cfg, sup, rep);
-  return sv.run();
+  // Exception boundary: a throwing hot-path task (e.g. a worker on the
+  // thread pool) surfaces as a typed status instead of std::terminate.
+  try {
+    return sv.run();
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("flow aborted by exception: ") +
+                            e.what());
+  }
 }
 
 }  // namespace ep

@@ -5,7 +5,8 @@
 
 namespace ep {
 
-Dct::Dct(std::size_t n) : n_(n), fft_(n), buf_(n), phase_(n), tmp_(n) {
+Dct::Dct(std::size_t n) : n_(n), fft_(n), phase_(n) {
+  scratch_.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     const double ang = -std::numbers::pi * static_cast<double>(k) /
                        (2.0 * static_cast<double>(n));
@@ -13,74 +14,80 @@ Dct::Dct(std::size_t n) : n_(n), fft_(n), buf_(n), phase_(n), tmp_(n) {
   }
 }
 
-void Dct::dct2(std::span<double> x) {
+void Dct::dct2(std::span<double> x, DctScratch& s) const {
   assert(x.size() == n_);
   const std::size_t n = n_;
+  s.resize(n);
+  auto& buf = s.buf;
   // Makhoul even/odd reindexing: v = [x0, x2, ..., x_{N-2}, x_{N-1}, ..., x3, x1].
   for (std::size_t i = 0; i < n / 2; ++i) {
-    buf_[i] = {x[2 * i], 0.0};
-    buf_[n - 1 - i] = {x[2 * i + 1], 0.0};
+    buf[i] = {x[2 * i], 0.0};
+    buf[n - 1 - i] = {x[2 * i + 1], 0.0};
   }
-  if (n == 1) buf_[0] = {x[0], 0.0};
-  fft_.forward(buf_);
+  if (n == 1) buf[0] = {x[0], 0.0};
+  fft_.forward(buf);
   // C_k = Re(e^{-i pi k/(2N)} V_k).
   for (std::size_t k = 0; k < n; ++k) {
-    x[k] = (phase_[k] * buf_[k]).real();
+    x[k] = (phase_[k] * buf[k]).real();
   }
 }
 
-void Dct::idct2(std::span<double> x) {
+void Dct::idct2(std::span<double> x, DctScratch& s) const {
   assert(x.size() == n_);
   const std::size_t n = n_;
   if (n == 1) return;  // dct2 of size 1 is the identity.
+  s.resize(n);
+  auto& buf = s.buf;
   // Reconstruct V_k = e^{i pi k/(2N)} (C_k - i C_{N-k}), V_0 = C_0.
-  buf_[0] = {x[0], 0.0};
+  buf[0] = {x[0], 0.0};
   for (std::size_t k = 1; k < n; ++k) {
     const Complex p{x[k], -x[n - k]};
-    buf_[k] = std::conj(phase_[k]) * p;
+    buf[k] = std::conj(phase_[k]) * p;
   }
-  fft_.inverse(buf_);
+  fft_.inverse(buf);
   // Undo the even/odd permutation.
   for (std::size_t i = 0; i < n / 2; ++i) {
-    x[2 * i] = buf_[i].real();
-    x[2 * i + 1] = buf_[n - 1 - i].real();
+    x[2 * i] = buf[i].real();
+    x[2 * i + 1] = buf[n - 1 - i].real();
   }
 }
 
-void Dct::cosineSynthesis(std::span<double> c) {
+void Dct::cosineSynthesis(std::span<double> c, DctScratch& s) const {
   assert(c.size() == n_);
   // y = (N/2) * idct2(c with the DC term doubled); see header for why.
   c[0] *= 2.0;
-  idct2(c);
+  idct2(c, s);
   const double scale = static_cast<double>(n_) * 0.5;
   for (auto& v : c) v *= scale;
 }
 
-void Dct::sineSynthesis(std::span<double> s) {
+void Dct::sineSynthesis(std::span<double> s, DctScratch& scratch) const {
   assert(s.size() == n_);
   const std::size_t n = n_;
+  scratch.resize(n);
+  auto& tmp = scratch.tmp;
   // sineSynthesis(s)_n = (-1)^n * cosineSynthesis(reverse(s))_n.
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = s[n - 1 - i];
-  for (std::size_t i = 0; i < n; ++i) s[i] = tmp_[i];
-  cosineSynthesis(s);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = s[n - 1 - i];
+  for (std::size_t i = 0; i < n; ++i) s[i] = tmp[i];
+  cosineSynthesis(s, scratch);
   for (std::size_t i = 1; i < n; i += 2) s[i] = -s[i];
 }
 
 namespace {
 
-void apply(Dct& d, TrigOp op, std::span<double> v) {
+void apply(const Dct& d, TrigOp op, std::span<double> v, DctScratch& s) {
   switch (op) {
     case TrigOp::kDct2:
-      d.dct2(v);
+      d.dct2(v, s);
       break;
     case TrigOp::kIdct2:
-      d.idct2(v);
+      d.idct2(v, s);
       break;
     case TrigOp::kCosSynth:
-      d.cosineSynthesis(v);
+      d.cosineSynthesis(v, s);
       break;
     case TrigOp::kSinSynth:
-      d.sineSynthesis(v);
+      d.sineSynthesis(v, s);
       break;
   }
 }
@@ -88,19 +95,42 @@ void apply(Dct& d, TrigOp op, std::span<double> v) {
 }  // namespace
 
 void transform2d(std::span<double> grid, std::size_t nx, std::size_t ny,
-                 Dct& dctX, Dct& dctY, TrigOp opX, TrigOp opY) {
+                 const Dct& dctX, const Dct& dctY, TrigOp opX, TrigOp opY,
+                 ThreadPool* pool, Transform2dWorkspace* ws) {
   assert(grid.size() == nx * ny);
   assert(dctX.size() == nx && dctY.size() == ny);
-  // Rows (x direction, contiguous).
-  for (std::size_t iy = 0; iy < ny; ++iy) {
-    apply(dctX, opX, grid.subspan(iy * nx, nx));
-  }
-  // Columns (y direction, strided gather/scatter).
-  std::vector<double> col(ny);
-  for (std::size_t ix = 0; ix < nx; ++ix) {
-    for (std::size_t iy = 0; iy < ny; ++iy) col[iy] = grid[iy * nx + ix];
-    apply(dctY, opY, col);
-    for (std::size_t iy = 0; iy < ny; ++iy) grid[iy * nx + ix] = col[iy];
+  Transform2dWorkspace local;
+  if (ws == nullptr) ws = &local;
+  const std::size_t nt =
+      pool != nullptr ? static_cast<std::size_t>(pool->threads()) : 1;
+  if (ws->perThread.size() < nt) ws->perThread.resize(nt);
+
+  // Rows (x direction, contiguous). Each row is an independent 1-D
+  // transform; batches of rows go to distinct threads.
+  auto rows = [&](std::size_t part, std::size_t b, std::size_t e) {
+    auto& pt = ws->perThread[part];
+    for (std::size_t iy = b; iy < e; ++iy) {
+      apply(dctX, opX, grid.subspan(iy * nx, nx), pt.sx);
+    }
+  };
+  // Columns (y direction, strided gather/scatter through a dense buffer).
+  auto cols = [&](std::size_t part, std::size_t b, std::size_t e) {
+    auto& pt = ws->perThread[part];
+    pt.col.resize(ny);
+    for (std::size_t ix = b; ix < e; ++ix) {
+      for (std::size_t iy = 0; iy < ny; ++iy) pt.col[iy] = grid[iy * nx + ix];
+      apply(dctY, opY, pt.col, pt.sy);
+      for (std::size_t iy = 0; iy < ny; ++iy) grid[iy * nx + ix] = pt.col[iy];
+    }
+  };
+  if (pool != nullptr) {
+    // Each index carries a whole O(n log n) row/column transform, so
+    // dispatch even for small index counts (grain 1).
+    pool->parallelFor(ny, rows, 1);
+    pool->parallelFor(nx, cols, 1);
+  } else {
+    rows(0, 0, ny);
+    cols(0, 0, nx);
   }
 }
 

@@ -18,8 +18,22 @@
 #include <vector>
 
 #include "fft/fft.h"
+#include "util/parallel.h"
 
 namespace ep {
+
+/// Per-call scratch for the Dct transforms. A Dct plan (tables) is shared
+/// read-only across threads; each thread supplies its own scratch so
+/// independent rows/columns can be transformed concurrently.
+struct DctScratch {
+  std::vector<Complex> buf;
+  std::vector<double> tmp;
+
+  void resize(std::size_t n) {
+    buf.resize(n);
+    tmp.resize(n);
+  }
+};
 
 class Dct {
  public:
@@ -27,17 +41,24 @@ class Dct {
 
   [[nodiscard]] std::size_t size() const { return n_; }
 
-  void dct2(std::span<double> x);
-  void idct2(std::span<double> x);
-  void cosineSynthesis(std::span<double> c);
-  void sineSynthesis(std::span<double> s);
+  // Convenience single-threaded forms using the plan's own scratch.
+  void dct2(std::span<double> x) { dct2(x, scratch_); }
+  void idct2(std::span<double> x) { idct2(x, scratch_); }
+  void cosineSynthesis(std::span<double> c) { cosineSynthesis(c, scratch_); }
+  void sineSynthesis(std::span<double> s) { sineSynthesis(s, scratch_); }
+
+  // Re-entrant forms: const plan + caller scratch, safe to call from many
+  // threads with distinct scratch objects.
+  void dct2(std::span<double> x, DctScratch& s) const;
+  void idct2(std::span<double> x, DctScratch& s) const;
+  void cosineSynthesis(std::span<double> c, DctScratch& s) const;
+  void sineSynthesis(std::span<double> s, DctScratch& scratch) const;
 
  private:
   std::size_t n_;
   Fft fft_;
-  std::vector<Complex> buf_;
   std::vector<Complex> phase_;  // e^{-i pi k / (2N)}
-  std::vector<double> tmp_;
+  DctScratch scratch_;
 };
 
 /// Apply a 1-D transform (a Dct member) along both axes of a row-major
@@ -45,7 +66,24 @@ class Dct {
 /// `op` selects the member function to apply.
 enum class TrigOp { kDct2, kIdct2, kCosSynth, kSinSynth };
 
+/// Reusable per-thread scratch for transform2d (sized lazily per call).
+struct Transform2dWorkspace {
+  struct PerThread {
+    DctScratch sx, sy;
+    std::vector<double> col;
+  };
+  std::vector<PerThread> perThread;
+};
+
+/// 2-D separable transform. Rows (and then columns) are independent, so
+/// with a pool they are dispatched as fixed contiguous batches — each row/
+/// column is transformed by exactly one thread with the same arithmetic as
+/// the serial loop, hence the result is bit-identical for any thread count.
+/// `pool == nullptr` runs serially; `ws` may be null (scratch is then
+/// allocated per call).
 void transform2d(std::span<double> grid, std::size_t nx, std::size_t ny,
-                 Dct& dctX, Dct& dctY, TrigOp opX, TrigOp opY);
+                 const Dct& dctX, const Dct& dctY, TrigOp opX, TrigOp opY,
+                 ThreadPool* pool = nullptr,
+                 Transform2dWorkspace* ws = nullptr);
 
 }  // namespace ep

@@ -28,14 +28,15 @@ PoissonSolver::PoissonSolver(std::size_t nx, std::size_t ny, double dx,
   }
 }
 
-void PoissonSolver::solve(std::span<const double> rho) {
+void PoissonSolver::solve(std::span<const double> rho, ThreadPool* pool) {
   assert(rho.size() == nx_ * ny_);
   const std::size_t nx = nx_, ny = ny_;
 
   // Analysis: raw DCT-II both axes, then orthogonality normalization
   // (2/N per axis, halved for the zero frequency).
   std::copy(rho.begin(), rho.end(), coeff_.begin());
-  transform2d(coeff_, nx, ny, dctX_, dctY_, TrigOp::kDct2, TrigOp::kDct2);
+  transform2d(coeff_, nx, ny, dctX_, dctY_, TrigOp::kDct2, TrigOp::kDct2,
+              pool, &ws_);
   const double sx = 2.0 / static_cast<double>(nx);
   const double sy = 2.0 / static_cast<double>(ny);
   for (std::size_t v = 0; v < ny; ++v) {
@@ -75,9 +76,12 @@ void PoissonSolver::solve(std::span<const double> rho) {
     ey_[(ny - 1) * nx + u] = 0.0;
   }
 
-  transform2d(psi_, nx, ny, dctX_, dctY_, TrigOp::kCosSynth, TrigOp::kCosSynth);
-  transform2d(ex_, nx, ny, dctX_, dctY_, TrigOp::kSinSynth, TrigOp::kCosSynth);
-  transform2d(ey_, nx, ny, dctX_, dctY_, TrigOp::kCosSynth, TrigOp::kSinSynth);
+  transform2d(psi_, nx, ny, dctX_, dctY_, TrigOp::kCosSynth, TrigOp::kCosSynth,
+              pool, &ws_);
+  transform2d(ex_, nx, ny, dctX_, dctY_, TrigOp::kSinSynth, TrigOp::kCosSynth,
+              pool, &ws_);
+  transform2d(ey_, nx, ny, dctX_, dctY_, TrigOp::kCosSynth, TrigOp::kSinSynth,
+              pool, &ws_);
 }
 
 }  // namespace ep

@@ -31,8 +31,10 @@ class PoissonSolver {
 
   /// Solve for the density grid `rho` (row-major, index iy*nx+ix).
   /// After the call psi(), fieldX(), fieldY() hold the potential and its
-  /// gradient (xi = grad psi) sampled at bin centers.
-  void solve(std::span<const double> rho);
+  /// gradient (xi = grad psi) sampled at bin centers. With a pool the
+  /// row/column transform batches run concurrently; results are
+  /// bit-identical for any thread count (see transform2d).
+  void solve(std::span<const double> rho, ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::span<const double> psi() const { return psi_; }
   [[nodiscard]] std::span<const double> fieldX() const { return ex_; }
@@ -47,6 +49,7 @@ class PoissonSolver {
   std::vector<double> wx_, wy_;   // angular frequencies w_u, w_v
   std::vector<double> coeff_;     // a_uv scratch
   std::vector<double> psi_, ex_, ey_;
+  Transform2dWorkspace ws_;       // per-thread transform scratch
 };
 
 }  // namespace ep

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace ep {
@@ -40,7 +41,12 @@ void NesterovOptimizer::initialize(std::span<const double> v0) {
   double gmax = 0.0;
   for (double g : curGrad_) gmax = std::max(gmax, std::abs(g));
   const double s = gmax > 0.0 ? cfg_.bootstrapMove / gmax : 0.0;
-  for (std::size_t i = 0; i < dim_; ++i) prev_[i] = cur_[i] - s * curGrad_[i];
+  ThreadPool::global().parallelFor(
+      dim_, [&](std::size_t, std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          prev_[i] = cur_[i] - s * curGrad_[i];
+        }
+      });
   if (project_) project_(prev_);
   evaluate(prev_, prevGrad_);
   a_ = 1.0;
@@ -97,14 +103,21 @@ NesterovOptimizer::StepInfo NesterovOptimizer::step() {
   const double coef = cfg_.enableMomentum ? (a_ - 1.0) / aNext : 0.0;
 
   double objective = 0.0;
+  // Per-coordinate updates are element-wise, so running them on the pool is
+  // bit-identical to the serial loops for any thread count.
+  ThreadPool& pool = ThreadPool::global();
   for (int bt = 0;; ++bt) {
-    for (std::size_t i = 0; i < dim_; ++i) {
-      uNext_[i] = cur_[i] - alpha * curGrad_[i];
-    }
+    pool.parallelFor(dim_, [&](std::size_t, std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        uNext_[i] = cur_[i] - alpha * curGrad_[i];
+      }
+    });
     if (project_) project_(uNext_);
-    for (std::size_t i = 0; i < dim_; ++i) {
-      vNext_[i] = uNext_[i] + coef * (uNext_[i] - u_[i]);
-    }
+    pool.parallelFor(dim_, [&](std::size_t, std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        vNext_[i] = uNext_[i] + coef * (uNext_[i] - u_[i]);
+      }
+    });
     if (project_) project_(vNext_);
 
     objective = evaluate(vNext_, gradNext_);

@@ -12,19 +12,31 @@ FaultInjector& FaultInjector::instance() {
 }
 
 void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   sites_[site] = Armed{spec, 0, 0};
+  armed_.store(true, std::memory_order_relaxed);
 }
 
-void FaultInjector::disarm(const std::string& site) { sites_.erase(site); }
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+  armed_.store(!sites_.empty(), std::memory_order_relaxed);
+}
 
 void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   sites_.clear();
+  armed_.store(false, std::memory_order_relaxed);
   rng_.reseed(0xfa17ED5EEDULL);
 }
 
-void FaultInjector::reseed(std::uint64_t seed) { rng_.reseed(seed); }
+void FaultInjector::reseed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.reseed(seed);
+}
 
 const FaultSpec* FaultInjector::fire(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = sites_.find(site);
   if (it == sites_.end()) return nullptr;
   Armed& a = it->second;
@@ -38,6 +50,7 @@ const FaultSpec* FaultInjector::fire(const std::string& site) {
 
 void FaultInjector::corrupt(std::span<double> data, const FaultSpec& spec) {
   if (data.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   const std::size_t idx =
       static_cast<std::size_t>(rng_.below(static_cast<std::uint64_t>(data.size())));
   switch (spec.kind) {
@@ -55,12 +68,14 @@ void FaultInjector::corrupt(std::span<double> data, const FaultSpec& spec) {
 void FaultInjector::corruptBytes(std::span<std::uint8_t> data,
                                  const FaultSpec& spec) {
   if (data.empty() || spec.kind == FaultKind::kTruncate) return;
+  std::lock_guard<std::mutex> lock(mu_);
   const std::size_t idx = static_cast<std::size_t>(
       rng_.below(static_cast<std::uint64_t>(data.size())));
   data[idx] ^= static_cast<std::uint8_t>(1U << rng_.below(8));
 }
 
 long FaultInjector::fireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fired;
 }
@@ -69,6 +84,7 @@ std::span<const char* const> knownFaultSites() {
   static constexpr const char* kSites[] = {
       "nesterov.grad",     "fft.forward", "bookshelf.line",
       "legalize.displace", "detail.swap", "snapshot.write",
+      "parallel.task",
   };
   return kSites;
 }

@@ -10,13 +10,20 @@
 //   "legalize.displace" Abacus clumping result (NaN / displaced cell)
 //   "detail.swap"       detail-placement result (NaN / displaced cell)
 //   "snapshot.write"    serialized snapshot bytes (bit flip / truncation)
-// With no armed sites the hot-path cost is one branch on a bool, so the
-// instrumentation stays in release builds. The injector is process-global
-// and not thread-safe — arm/reset only from single-threaded test setup.
+//   "parallel.task"     a ThreadPool worker task throws; the pool must
+//                       propagate it as ep::Status, not std::terminate
+// With no armed sites the hot-path cost is one branch on an atomic bool, so
+// the instrumentation stays in release builds. fire/corrupt are serialized
+// by an internal mutex because instrumented kernels (e.g. fft.forward) now
+// run on pool workers; which concurrent pass fires first is scheduling-
+// dependent, so chaos tests assert typed degradation, not exact trajectories.
+// Arm/disarm/reset still only from single-threaded test setup.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 
@@ -48,7 +55,9 @@ class FaultInjector {
   void reseed(std::uint64_t seed);
 
   /// Cheap hot-path guard: true when any site is armed.
-  [[nodiscard]] bool active() const { return !sites_.empty(); }
+  [[nodiscard]] bool active() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
 
   /// Advances `site`'s pass counter; returns the spec if this pass fires,
   /// nullptr otherwise (including when the site is not armed).
@@ -72,6 +81,8 @@ class FaultInjector {
     long tick = 0;   // passes seen
     long fired = 0;  // passes that fired
   };
+  mutable std::mutex mu_;  // serializes fire/corrupt from pool workers
+  std::atomic<bool> armed_{false};
   std::map<std::string, Armed> sites_;
   Rng rng_{0xfa17ED5EEDULL};
 };

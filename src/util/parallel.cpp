@@ -1,0 +1,172 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/fault_injector.h"
+
+namespace ep {
+
+namespace {
+
+int hardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One persistent worker per partition 1..P-1; the caller runs partition 0.
+  std::vector<std::thread> workers;
+
+  std::mutex mu;
+  std::condition_variable wake;
+  std::condition_variable done;
+  std::uint64_t epoch = 0;  // bumped per job; workers run each epoch once
+  bool stop = false;
+
+  // Current job (valid while pending > 0).
+  RawFn fn = nullptr;
+  void* ctx = nullptr;
+  std::size_t n = 0;
+  std::size_t parts = 1;
+  std::size_t throwPart = SIZE_MAX;  // fault injection: partition that throws
+  int pending = 0;
+  std::vector<std::exception_ptr> errors;
+
+  void execute(std::size_t part) {
+    const std::size_t b = part * n / parts;
+    const std::size_t e = (part + 1) * n / parts;
+    try {
+      if (part == throwPart) {
+        throw std::runtime_error("injected fault: parallel.task");
+      }
+      if (b < e) fn(ctx, part, b, e);
+    } catch (...) {
+      errors[part] = std::current_exception();
+    }
+  }
+
+  void workerLoop(std::size_t part) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        wake.wait(lock, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+        if (part >= parts) {  // not needed for this job
+          if (--pending == 0) done.notify_one();
+          continue;
+        }
+      }
+      execute(part);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--pending == 0) done.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  nThreads_ = threads <= 0 ? hardwareThreads() : threads;
+  impl_->errors.resize(static_cast<std::size_t>(nThreads_));
+  for (int p = 1; p < nThreads_; ++p) {
+    impl_->workers.emplace_back(
+        [this, p] { impl_->workerLoop(static_cast<std::size_t>(p)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+void ThreadPool::run(std::size_t n, RawFn fn, void* ctx, std::size_t grain) {
+  // The fault site is evaluated on the orchestrating thread (the injector
+  // is not thread-safe); when it fires, the *last* partition's task throws,
+  // so the capture-and-rethrow path is exercised on a genuine worker thread
+  // whenever more than one partition runs.
+  std::size_t throwPart = SIZE_MAX;
+  auto& inj = FaultInjector::instance();
+  if (inj.active()) {
+    if (inj.fire("parallel.task") != nullptr) {
+      throwPart = static_cast<std::size_t>(nThreads_) - 1;
+    }
+  }
+
+  if (nThreads_ == 1 || n < grain || n == 0) {
+    // Inline: identical results by the determinism contract. The injected
+    // throw still propagates (from the caller's own partition).
+    Impl& im = *impl_;
+    im.fn = fn;
+    im.ctx = ctx;
+    im.n = n;
+    im.parts = 1;
+    im.throwPart = throwPart == SIZE_MAX ? SIZE_MAX : 0;
+    im.errors[0] = nullptr;
+    im.execute(0);
+    if (im.errors[0]) std::rethrow_exception(im.errors[0]);
+    return;
+  }
+
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.fn = fn;
+    im.ctx = ctx;
+    im.n = n;
+    im.parts = static_cast<std::size_t>(nThreads_);
+    im.throwPart = throwPart;
+    im.pending = nThreads_ - 1;
+    for (auto& e : im.errors) e = nullptr;
+    ++im.epoch;
+  }
+  im.wake.notify_all();
+  im.execute(0);  // caller participates as partition 0
+  {
+    std::unique_lock<std::mutex> lock(im.mu);
+    im.done.wait(lock, [&] { return im.pending == 0; });
+  }
+  for (auto& e : im.errors) {  // lowest partition wins, deterministically
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& globalSlot() {
+  static std::unique_ptr<ThreadPool> pool =
+      std::make_unique<ThreadPool>(0);
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() { return *globalSlot(); }
+
+void ThreadPool::setGlobalThreads(int threads) {
+  globalSlot() = std::make_unique<ThreadPool>(threads);
+}
+
+int ThreadPool::globalThreads() { return global().threads(); }
+
+double orderedSum(std::span<const double> v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x;
+  return acc;
+}
+
+}  // namespace ep

@@ -1,0 +1,116 @@
+// Deterministic fixed-partition thread pool for the placement hot paths.
+//
+// Design goals, in priority order:
+//
+//  1. *Determinism.* Every parallel construct here is bit-deterministic:
+//     results are a pure function of the input, never of the thread count
+//     or of scheduling. parallelFor splits [0, n) into contiguous,
+//     statically computed ranges, so it is safe exactly when every index
+//     writes disjoint outputs (element-wise kernels) or when the output
+//     partitioning itself is index-based (scatter kernels that partition
+//     the *output* bins, see BinGrid::stampAll). deterministicReduce maps
+//     every index into its own slot in parallel and then folds the slots
+//     serially in index order — the identical floating-point operation
+//     sequence as the plain serial loop, for any thread count.
+//
+//  2. *Serial equivalence.* With --threads 1 (or n below the grain) the
+//     pool runs the same code inline on the caller; combined with (1),
+//     `--threads N` reproduces the single-thread results bit-exactly.
+//
+//  3. *Typed failure.* A task that throws does not std::terminate the
+//     process: exceptions are captured per partition and the first one (in
+//     partition order, hence deterministically) is rethrown on the calling
+//     thread, where the flow boundary converts it to ep::Status
+//     (StatusCode::kInternal). The "parallel.task" fault site injects such
+//     a throw for the robustness suite.
+//
+// The process-global pool is configured once at startup (CLI --threads);
+// setGlobalThreads is not safe to call while parallel work is in flight.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "util/status.h"
+
+namespace ep {
+
+/// Serial left fold of `v` in index order (the combine step of
+/// deterministicReduce, exposed for per-item partial arrays that are filled
+/// by other parallel phases).
+double orderedSum(std::span<const double> v);
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threads() const { return nThreads_; }
+
+  /// Below this many indices parallelFor runs inline on the caller: the
+  /// dispatch latency dwarfs the work, and (by the determinism contract)
+  /// the results are identical either way.
+  static constexpr std::size_t kGrain = 2048;
+
+  /// Runs fn(partition, begin, end) over a fixed contiguous split of
+  /// [0, n): partition p of P covers [p*n/P, (p+1)*n/P). The caller
+  /// executes partition 0; blocks until every partition finished. The
+  /// first captured task exception (lowest partition index) is rethrown.
+  /// `grain` is the dispatch threshold: below it the loop runs inline
+  /// (kGrain suits element-wise work; pass 1 when each index is heavy,
+  /// e.g. a whole FFT row).
+  template <typename F>
+  void parallelFor(std::size_t n, F&& fn, std::size_t grain = kGrain) {
+    run(n, [](void* ctx, std::size_t part, std::size_t b, std::size_t e) {
+      (*static_cast<std::remove_reference_t<F>*>(ctx))(part, b, e);
+    }, &fn, grain);
+  }
+
+  /// parallelFor with task exceptions converted to Status (kInternal)
+  /// instead of rethrown. Used at subsystem boundaries that already speak
+  /// Status; hot inner loops use parallelFor and rely on the flow-level
+  /// catch.
+  template <typename F>
+  Status tryParallelFor(std::size_t n, F&& fn) {
+    try {
+      parallelFor(n, std::forward<F>(fn));
+    } catch (const std::exception& e) {
+      return Status::internal(std::string("parallel task failed: ") +
+                              e.what());
+    }
+    return Status::okStatus();
+  }
+
+  /// Deterministic sum-reduction: slots[i] = f(i) computed in parallel,
+  /// then folded serially in index order. `slots.size()` must be >= n.
+  /// Bit-identical to `for (i) acc += f(i)` for any thread count.
+  template <typename F>
+  double deterministicReduce(std::size_t n, std::span<double> slots, F&& f) {
+    parallelFor(n, [&](std::size_t, std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) slots[i] = f(i);
+    });
+    return orderedSum(slots.subspan(0, n));
+  }
+
+  /// The process-global pool (hardware concurrency until configured).
+  static ThreadPool& global();
+  /// Replaces the global pool (CLI --threads). Call only from
+  /// single-threaded setup; <= 0 restores the hardware default.
+  static void setGlobalThreads(int threads);
+  [[nodiscard]] static int globalThreads();
+
+ private:
+  using RawFn = void (*)(void* ctx, std::size_t part, std::size_t begin,
+                         std::size_t end);
+  void run(std::size_t n, RawFn fn, void* ctx, std::size_t grain);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int nThreads_ = 1;
+};
+
+}  // namespace ep

@@ -14,6 +14,8 @@ const char* statusCodeName(StatusCode code) {
       return "Timeout";
     case StatusCode::kIo:
       return "Io";
+    case StatusCode::kInternal:
+      return "Internal";
   }
   return "Unknown";
 }

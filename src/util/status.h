@@ -7,6 +7,8 @@
 //   kNumericalDivergence   the optimizer blew up and recovery was exhausted
 //   kTimeout               a wall-clock or iteration budget expired
 //   kIo                    a file could not be opened / written
+//   kInternal              an invariant broke inside the engine (e.g. a
+//                          worker task of the thread pool threw)
 // The CLI maps each code to a distinct process exit code (see
 // docs/ROBUSTNESS.md).
 #pragma once
@@ -24,6 +26,7 @@ enum class StatusCode : std::uint8_t {
   kNumericalDivergence,
   kTimeout,
   kIo,
+  kInternal,
 };
 
 /// Stable human-readable name of a code ("Ok", "InvalidInput", ...).
@@ -47,6 +50,9 @@ class Status {
   }
   static Status ioError(std::string msg) {
     return {StatusCode::kIo, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -164,4 +164,138 @@ double waGammaSchedule(double binDim, double overflow) {
   return 8.0 * binDim * std::pow(10.0, (20.0 * t - 11.0) / 9.0);
 }
 
+WlEvaluator::WlEvaluator(const PlacementDB& db,
+                         std::span<const std::int32_t> objToVar,
+                         std::size_t numVars)
+    : db_(&db) {
+  const std::size_t nNets = db.nets.size();
+  slotOffset_.assign(nNets + 1, 0);
+  for (std::size_t n = 0; n < nNets; ++n) {
+    slotOffset_[n + 1] = slotOffset_[n] + db.nets[n].pins.size();
+  }
+  pinGx_.assign(slotOffset_[nNets], 0.0);
+  pinGy_.assign(slotOffset_[nNets], 0.0);
+  perNet_.assign(nNets, 0.0);
+
+  std::vector<std::size_t> counts(numVars, 0);
+  for (std::size_t n = 0; n < nNets; ++n) {
+    const auto& net = db.nets[n];
+    if (net.pins.size() < 2) continue;
+    for (const auto& pin : net.pins) {
+      const auto v = objToVar[static_cast<std::size_t>(pin.obj)];
+      if (v >= 0) ++counts[static_cast<std::size_t>(v)];
+    }
+  }
+  varOffset_.assign(numVars + 1, 0);
+  for (std::size_t v = 0; v < numVars; ++v) {
+    varOffset_[v + 1] = varOffset_[v] + counts[v];
+  }
+  varSlots_.assign(varOffset_[numVars], 0);
+  std::vector<std::size_t> cursor(varOffset_.begin(), varOffset_.end() - 1);
+  // Filling in net-major order leaves each variable's slot list sorted by
+  // (net, pin) — the accumulation order of the serial gradient loop.
+  for (std::size_t n = 0; n < nNets; ++n) {
+    const auto& net = db.nets[n];
+    if (net.pins.size() < 2) continue;
+    for (std::size_t k = 0; k < net.pins.size(); ++k) {
+      const auto v = objToVar[static_cast<std::size_t>(net.pins[k].obj)];
+      if (v < 0) continue;
+      varSlots_[cursor[static_cast<std::size_t>(v)]++] = slotOffset_[n] + k;
+    }
+  }
+}
+
+double WlEvaluator::waGrad(const VarView& view, double gammaX, double gammaY,
+                           std::span<double> gx, std::span<double> gy,
+                           ThreadPool* pool) {
+  assert(db_ != nullptr && view.db == db_);
+  assert(gx.size() + 1 == varOffset_.size() && gy.size() == gx.size());
+  const auto& nets = db_->nets;
+  auto perNet = [&](std::size_t, std::size_t n0, std::size_t n1) {
+    std::vector<double> px, py;
+    for (std::size_t n = n0; n < n1; ++n) {
+      const auto& net = nets[n];
+      if (net.pins.size() < 2) {
+        perNet_[n] = 0.0;
+        continue;
+      }
+      px.clear();
+      py.clear();
+      for (const auto& pin : net.pins) {
+        const Point p = view.pinPos(pin);
+        px.push_back(p.x);
+        py.push_back(p.y);
+      }
+      WaAxis ax, ay;
+      ax.prepare(px, gammaX);
+      ay.prepare(py, gammaY);
+      perNet_[n] = net.weight * (ax.extent() + ay.extent());
+      const std::size_t base = slotOffset_[n];
+      for (std::size_t k = 0; k < net.pins.size(); ++k) {
+        pinGx_[base + k] = net.weight * ax.grad(px[k]);
+        pinGy_[base + k] = net.weight * ay.grad(py[k]);
+      }
+    }
+  };
+  auto gather = [&](std::size_t, std::size_t v0, std::size_t v1) {
+    for (std::size_t v = v0; v < v1; ++v) {
+      double sx = 0.0, sy = 0.0;
+      for (std::size_t s = varOffset_[v]; s < varOffset_[v + 1]; ++s) {
+        sx += pinGx_[varSlots_[s]];
+        sy += pinGy_[varSlots_[s]];
+      }
+      gx[v] = sx;
+      gy[v] = sy;
+    }
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->parallelFor(nets.size(), perNet, 64);
+    pool->parallelFor(gx.size(), gather, 512);
+  } else {
+    perNet(0, 0, nets.size());
+    gather(0, 0, gx.size());
+  }
+  double total = 0.0;
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    if (nets[n].pins.size() < 2) continue;
+    total += perNet_[n];
+  }
+  return total;
+}
+
+double WlEvaluator::hpwl(const VarView& view, ThreadPool* pool) {
+  assert(db_ != nullptr && view.db == db_);
+  const auto& nets = db_->nets;
+  auto perNet = [&](std::size_t, std::size_t n0, std::size_t n1) {
+    for (std::size_t n = n0; n < n1; ++n) {
+      const auto& net = nets[n];
+      if (net.pins.empty()) {
+        perNet_[n] = 0.0;
+        continue;
+      }
+      double lx = std::numeric_limits<double>::max(), hx = -lx;
+      double ly = lx, hy = -lx;
+      for (const auto& pin : net.pins) {
+        const Point p = view.pinPos(pin);
+        lx = std::min(lx, p.x);
+        hx = std::max(hx, p.x);
+        ly = std::min(ly, p.y);
+        hy = std::max(hy, p.y);
+      }
+      perNet_[n] = net.weight * ((hx - lx) + (hy - ly));
+    }
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->parallelFor(nets.size(), perNet, 64);
+  } else {
+    perNet(0, 0, nets.size());
+  }
+  double total = 0.0;
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    if (nets[n].pins.empty()) continue;
+    total += perNet_[n];
+  }
+  return total;
+}
+
 }  // namespace ep

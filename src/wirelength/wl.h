@@ -6,8 +6,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "model/netlist.h"
+#include "util/parallel.h"
 
 namespace ep {
 
@@ -56,5 +58,45 @@ double lseWirelengthGrad(const VarView& view, double gammaX, double gammaY,
 /// so that gamma shrinks (the model sharpens toward HPWL) as the density
 /// overflow tau decreases from 1 to 0.1 during mGP.
 double waGammaSchedule(double binDim, double overflow);
+
+/// Reusable parallel evaluator for the WA gradient and exact HPWL.
+///
+/// Determinism contract (see docs/PERFORMANCE.md): results are bit-identical
+/// to the serial free functions for any thread count. Two phases:
+///  1. per-net, embarrassingly parallel — each net writes its own weighted
+///     value into perNet_ and its per-pin gradient contributions into fixed
+///     pin slots (slotOffset_[net] + pinIndex);
+///  2. per-variable gather over a CSR incidence (varOffset_/varSlots_) whose
+///     slots are stored in (net, pin) order — the exact accumulation order
+///     of the serial loop — followed by a serial in-net-order fold of the
+///     per-net values.
+/// The incidence depends only on the netlist topology and the obj->var map,
+/// so build the evaluator once per placement stage and reuse it.
+class WlEvaluator {
+ public:
+  WlEvaluator() = default;
+  /// `objToVar` must outlive the evaluator only during construction; the
+  /// netlist `db` must outlive all calls. Nets with < 2 pins carry no
+  /// gradient and are excluded from the incidence, matching the serial code.
+  WlEvaluator(const PlacementDB& db, std::span<const std::int32_t> objToVar,
+              std::size_t numVars);
+
+  /// Parallel waWirelengthGrad. gx/gy must have numVars entries; every
+  /// entry is overwritten. `pool == nullptr` (or 1 thread) runs serially.
+  double waGrad(const VarView& view, double gammaX, double gammaY,
+                std::span<double> gx, std::span<double> gy,
+                ThreadPool* pool = nullptr);
+
+  /// Parallel exact HPWL under the view, bit-identical to hpwl(view).
+  double hpwl(const VarView& view, ThreadPool* pool = nullptr);
+
+ private:
+  const PlacementDB* db_ = nullptr;
+  std::vector<std::size_t> slotOffset_;  // nets+1: global pin-slot base
+  std::vector<std::size_t> varOffset_;   // numVars+1: CSR offsets
+  std::vector<std::size_t> varSlots_;    // slot ids in (net, pin) order
+  std::vector<double> pinGx_, pinGy_;    // per-pin-slot contributions
+  std::vector<double> perNet_;           // per-net weighted value
+};
 
 }  // namespace ep

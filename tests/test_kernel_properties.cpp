@@ -1,0 +1,366 @@
+// Property tests for the numeric kernels the placer's hot paths rely on:
+// the radix-2 FFT and the trigonometric transforms against naive O(n^2)
+// reference sums, the WA wirelength gradient against central finite
+// differences, and the ThreadPool's partitioning/reduction/error contracts.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "fft/dct.h"
+#include "fft/fft.h"
+#include "gen/generator.h"
+#include "util/parallel.h"
+#include "wirelength/wl.h"
+
+namespace ep {
+namespace {
+
+std::vector<double> randomVector(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+// ---------- FFT vs the naive DFT ----------
+
+std::vector<Complex> naiveDft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(j) *
+                         static_cast<double>(k) / static_cast<double>(n);
+      sum += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+TEST(FftProperties, MatchesNaiveDftOnRandomSizes) {
+  std::mt19937_64 rng(101);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (const std::size_t n : {2u, 8u, 16u, 64u, 128u, 256u}) {
+    std::vector<Complex> x(n);
+    for (auto& c : x) c = Complex(dist(rng), dist(rng));
+    std::vector<Complex> fast = x;
+    Fft fft(n);
+    fft.forward(fast);
+    const std::vector<Complex> ref = naiveDft(x);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(fast[k].real(), ref[k].real(),
+                  1e-9 * static_cast<double>(n))
+          << "n=" << n << " k=" << k;
+      EXPECT_NEAR(fast[k].imag(), ref[k].imag(),
+                  1e-9 * static_cast<double>(n))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(FftProperties, RoundTripIsIdentity) {
+  std::mt19937_64 rng(102);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (const std::size_t n : {4u, 32u, 512u}) {
+    std::vector<Complex> x(n);
+    for (auto& c : x) c = Complex(dist(rng), dist(rng));
+    std::vector<Complex> y = x;
+    Fft fft(n);
+    fft.forward(y);
+    fft.inverse(y);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(y[k].real(), x[k].real(), 1e-12 * static_cast<double>(n));
+      EXPECT_NEAR(y[k].imag(), x[k].imag(), 1e-12 * static_cast<double>(n));
+    }
+  }
+}
+
+TEST(FftProperties, ParsevalEnergyConservation) {
+  for (const std::size_t n : {16u, 64u, 256u}) {
+    std::mt19937_64 rng(103 + n);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<Complex> x(n);
+    for (auto& c : x) c = Complex(dist(rng), dist(rng));
+    double timeEnergy = 0.0;
+    for (const auto& c : x) timeEnergy += std::norm(c);
+    std::vector<Complex> X = x;
+    Fft fft(n);
+    fft.forward(X);
+    double freqEnergy = 0.0;
+    for (const auto& c : X) freqEnergy += std::norm(c);
+    freqEnergy /= static_cast<double>(n);
+    EXPECT_NEAR(freqEnergy, timeEnergy, 1e-9 * timeEnergy);
+  }
+}
+
+// ---------- trigonometric transforms vs naive sums ----------
+
+TEST(DctProperties, Dct2MatchesNaiveSum) {
+  for (const std::size_t n : {8u, 32u, 128u}) {
+    const std::vector<double> x = randomVector(n, 201 + n);
+    std::vector<double> fast = x;
+    Dct dct(n);
+    dct.dct2(fast);
+    for (std::size_t k = 0; k < n; ++k) {
+      double ref = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        ref += x[j] * std::cos(std::numbers::pi *
+                               (2.0 * static_cast<double>(j) + 1.0) *
+                               static_cast<double>(k) /
+                               (2.0 * static_cast<double>(n)));
+      }
+      EXPECT_NEAR(fast[k], ref, 1e-10 * static_cast<double>(n))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(DctProperties, Idct2InvertsDct2) {
+  for (const std::size_t n : {8u, 64u, 256u}) {
+    const std::vector<double> x = randomVector(n, 301 + n);
+    std::vector<double> y = x;
+    Dct dct(n);
+    dct.dct2(y);
+    dct.idct2(y);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(y[j], x[j], 1e-11 * static_cast<double>(n));
+    }
+  }
+}
+
+TEST(DctProperties, CosineSynthesisMatchesNaiveSum) {
+  for (const std::size_t n : {8u, 32u}) {
+    const std::vector<double> c = randomVector(n, 401 + n);
+    std::vector<double> fast = c;
+    Dct dct(n);
+    dct.cosineSynthesis(fast);
+    for (std::size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        ref += c[k] * std::cos(std::numbers::pi * static_cast<double>(k) *
+                               (2.0 * static_cast<double>(j) + 1.0) /
+                               (2.0 * static_cast<double>(n)));
+      }
+      EXPECT_NEAR(fast[j], ref, 1e-10 * static_cast<double>(n));
+    }
+  }
+}
+
+TEST(DctProperties, SineSynthesisMatchesNaiveSum) {
+  for (const std::size_t n : {8u, 32u}) {
+    const std::vector<double> s = randomVector(n, 501 + n);
+    std::vector<double> fast = s;
+    Dct dct(n);
+    dct.sineSynthesis(fast);
+    for (std::size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        ref += s[k] * std::sin(std::numbers::pi *
+                               (static_cast<double>(k) + 1.0) *
+                               (2.0 * static_cast<double>(j) + 1.0) /
+                               (2.0 * static_cast<double>(n)));
+      }
+      EXPECT_NEAR(fast[j], ref, 1e-10 * static_cast<double>(n));
+    }
+  }
+}
+
+TEST(DctProperties, Transform2dParallelBitIdenticalToSerial) {
+  const std::size_t nx = 32, ny = 16;
+  const std::vector<double> grid = randomVector(nx * ny, 601);
+  Dct dctX(nx), dctY(ny);
+  std::vector<double> serial = grid;
+  transform2d(serial, nx, ny, dctX, dctY, TrigOp::kDct2, TrigOp::kDct2);
+  ThreadPool pool(4);
+  for (const auto opPair :
+       {std::pair{TrigOp::kDct2, TrigOp::kDct2},
+        std::pair{TrigOp::kCosSynth, TrigOp::kSinSynth}}) {
+    std::vector<double> a = grid, b = grid;
+    transform2d(a, nx, ny, dctX, dctY, opPair.first, opPair.second);
+    transform2d(b, nx, ny, dctX, dctY, opPair.first, opPair.second, &pool);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+                std::bit_cast<std::uint64_t>(b[i]))
+          << "bin " << i;
+    }
+  }
+}
+
+// ---------- WA wirelength gradient vs finite differences ----------
+
+TEST(WirelengthProperties, WaGradientMatchesFiniteDifferences) {
+  for (const std::uint64_t seed : {701u, 702u, 703u}) {
+    GenSpec spec;
+    spec.name = "fd";
+    spec.numCells = 40;
+    spec.numIo = 8;
+    spec.seed = seed;
+    const PlacementDB db = generateCircuit(spec);
+
+    const auto movables = db.movable();
+    const std::size_t nVars = movables.size();
+    std::vector<std::int32_t> objToVar(db.objects.size(), -1);
+    std::vector<double> x(nVars), y(nVars);
+    for (std::size_t v = 0; v < nVars; ++v) {
+      const auto obj = static_cast<std::size_t>(movables[v]);
+      objToVar[obj] = static_cast<std::int32_t>(v);
+      const Point c = db.objects[obj].center();
+      x[v] = c.x;
+      y[v] = c.y;
+    }
+    const VarView view{&db, objToVar, x, y};
+    const double gamma = 0.05 * db.region.width();
+    std::vector<double> gx(nVars), gy(nVars);
+    waWirelengthGrad(view, gamma, gamma, gx, gy);
+
+    // Probe a handful of variables; each probe costs a full evaluation.
+    const double h = 1e-6 * db.region.width();
+    std::vector<double> dumpX(nVars), dumpY(nVars);
+    std::mt19937_64 rng(seed);
+    for (int probe = 0; probe < 6; ++probe) {
+      const std::size_t v = rng() % nVars;
+      const double x0 = x[v];
+      x[v] = x0 + h;
+      const double fPlus = waWirelengthGrad(view, gamma, gamma, dumpX, dumpY);
+      x[v] = x0 - h;
+      const double fMinus = waWirelengthGrad(view, gamma, gamma, dumpX, dumpY);
+      x[v] = x0;
+      const double fd = (fPlus - fMinus) / (2.0 * h);
+      EXPECT_NEAR(gx[v], fd, 1e-4 * std::max(1.0, std::abs(fd)))
+          << "seed " << seed << " var " << v;
+
+      const double y0 = y[v];
+      y[v] = y0 + h;
+      const double gPlus = waWirelengthGrad(view, gamma, gamma, dumpX, dumpY);
+      y[v] = y0 - h;
+      const double gMinus = waWirelengthGrad(view, gamma, gamma, dumpX, dumpY);
+      y[v] = y0;
+      const double fdY = (gPlus - gMinus) / (2.0 * h);
+      EXPECT_NEAR(gy[v], fdY, 1e-4 * std::max(1.0, std::abs(fdY)))
+          << "seed " << seed << " var " << v;
+    }
+  }
+}
+
+TEST(WirelengthProperties, EvaluatorBitIdenticalToFreeFunctions) {
+  GenSpec spec;
+  spec.name = "weval";
+  spec.numCells = 200;
+  spec.seed = 704;
+  const PlacementDB db = generateCircuit(spec);
+  const auto movables = db.movable();
+  const std::size_t nVars = movables.size();
+  std::vector<std::int32_t> objToVar(db.objects.size(), -1);
+  std::vector<double> x(nVars), y(nVars);
+  for (std::size_t v = 0; v < nVars; ++v) {
+    const auto obj = static_cast<std::size_t>(movables[v]);
+    objToVar[obj] = static_cast<std::int32_t>(v);
+    const Point c = db.objects[obj].center();
+    x[v] = c.x;
+    y[v] = c.y;
+  }
+  const VarView view{&db, objToVar, x, y};
+  const double gamma = 1.7;
+  std::vector<double> gxRef(nVars), gyRef(nVars), gxPar(nVars), gyPar(nVars);
+  const double wlRef = waWirelengthGrad(view, gamma, gamma, gxRef, gyRef);
+  const double hpwlRef = hpwl(view);
+
+  WlEvaluator eval(db, objToVar, nVars);
+  ThreadPool pool(4);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    const double wl = eval.waGrad(view, gamma, gamma, gxPar, gyPar, p);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(wl),
+              std::bit_cast<std::uint64_t>(wlRef));
+    for (std::size_t v = 0; v < nVars; ++v) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(gxPar[v]),
+                std::bit_cast<std::uint64_t>(gxRef[v]))
+          << "var " << v;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(gyPar[v]),
+                std::bit_cast<std::uint64_t>(gyRef[v]))
+          << "var " << v;
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(eval.hpwl(view, p)),
+              std::bit_cast<std::uint64_t>(hpwlRef));
+  }
+}
+
+// ---------- ThreadPool contracts ----------
+
+TEST(ThreadPoolProperties, PartitionsCoverEveryIndexOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10007;  // prime: uneven partitions
+  std::vector<int> hits(n, 0);
+  pool.parallelFor(
+      n,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      },
+      1);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolProperties, DeterministicReduceThreadCountInvariant) {
+  const std::size_t n = 4096;
+  const std::vector<double> data = randomVector(n, 801);
+  auto f = [&](std::size_t i) { return data[i] * data[i] - 0.25 * data[i]; };
+  double serialRef = 0.0;
+  for (std::size_t i = 0; i < n; ++i) serialRef += f(i);
+
+  std::vector<double> slots(n);
+  ThreadPool one(1), four(4);
+  const double a = one.deterministicReduce(n, slots, f);
+  const double b = four.deterministicReduce(n, slots, f);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a),
+            std::bit_cast<std::uint64_t>(serialRef));
+}
+
+TEST(ThreadPoolProperties, WorkerExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallelFor(
+          1000,
+          [&](std::size_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              if (i == 777) throw std::runtime_error("boom");
+            }
+          },
+          1),
+      std::runtime_error);
+  // The pool must survive the throw and keep serving work.
+  std::vector<int> hits(100, 0);
+  pool.parallelFor(
+      100,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      },
+      1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolProperties, TryParallelForConvertsThrowToStatus) {
+  ThreadPool pool(2);
+  const Status ok = pool.tryParallelFor(
+      64, [](std::size_t, std::size_t, std::size_t) {});
+  EXPECT_TRUE(ok.ok());
+  const Status bad = pool.tryParallelFor(
+      64, [](std::size_t, std::size_t b, std::size_t) {
+        if (b == 0) throw std::runtime_error("task failed");
+      });
+  EXPECT_EQ(bad.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace ep

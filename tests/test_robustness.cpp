@@ -342,5 +342,47 @@ TEST(Robustness, OverflowWithZeroMovableArea) {
   EXPECT_DOUBLE_EQ(densityOverflow(db).overflow, 0.0);
 }
 
+// ---------- thread-pool fault containment ----------
+
+TEST(Robustness, ThrowingPoolTaskSurfacesAsStatusNotTerminate) {
+  // "parallel.task" makes one pool task throw mid-flow. The checked flow
+  // boundary must convert that into StatusCode::kInternal instead of
+  // letting the exception escape (which would std::terminate from a worker
+  // or unwind through main).
+  ThreadPool::setGlobalThreads(4);
+  FaultInjector::instance().arm("parallel.task",
+                                {FaultKind::kNaN, /*atTick=*/3, 1});
+  GenSpec spec;
+  spec.name = "pooltask";
+  spec.numCells = 300;
+  spec.seed = 5;
+  PlacementDB db = generateCircuit(spec);
+  const StatusOr<FlowResult> res = runEplaceFlowChecked(db, FlowConfig{});
+  FaultInjector::instance().reset();
+  ThreadPool::setGlobalThreads(0);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInternal);
+  EXPECT_NE(res.status().message().find("parallel.task"), std::string::npos)
+      << res.status().toString();
+}
+
+TEST(Robustness, PoolTaskFaultOnOneThreadStillTyped) {
+  // Even the single-threaded (inline) execution path honors the site, so
+  // chaos sweeps behave the same whatever --threads is.
+  ThreadPool::setGlobalThreads(1);
+  FaultInjector::instance().arm("parallel.task",
+                                {FaultKind::kNaN, /*atTick=*/0, 1});
+  GenSpec spec;
+  spec.name = "pooltask1";
+  spec.numCells = 300;
+  spec.seed = 6;
+  PlacementDB db = generateCircuit(spec);
+  const StatusOr<FlowResult> res = runEplaceFlowChecked(db, FlowConfig{});
+  FaultInjector::instance().reset();
+  ThreadPool::setGlobalThreads(0);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInternal);
+}
+
 }  // namespace
 }  // namespace ep
