@@ -16,11 +16,14 @@
 //    instance, plus the final HPWL bits so identical results are checkable.
 //  * "bit_identical": true iff every thread count produced bit-identical
 //    final HPWL — the determinism contract, asserted here on real runs.
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <bit>
 #include <cstdint>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -33,14 +36,38 @@
 #include "util/timer.h"
 #include "wirelength/wl.h"
 
+// --- allocation counter (this binary only) ----------------------------------
+// Replacing the global operator new lets the bench attribute heap traffic to
+// each kernel and flow stage: after arena warm-up the steady-state Nesterov
+// inner loop must allocate nothing, and the JSON below records the proof.
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+}  // namespace
+
+void* operator new(std::size_t sz) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace ep;
+
+std::uint64_t allocCount() {
+  return gAllocCount.load(std::memory_order_relaxed);
+}
 
 struct KernelRow {
   std::string name;
   int threads;
   double nsPerOp;
+  double allocsPerOp;  // steady-state heap allocations per call
 };
 
 struct EndToEndRow {
@@ -48,12 +75,25 @@ struct EndToEndRow {
   double mgpSeconds;
   double cgpSeconds;
   double finalHpwl;
+  std::uint64_t flowAllocs;  // allocations across the whole mGP+mLG+cGP run
 };
 
 double timeNs(int reps, const auto& fn) {
   Timer t;
   for (int r = 0; r < reps; ++r) fn();
   return t.seconds() * 1e9 / static_cast<double>(reps);
+}
+
+/// Time a kernel and count its steady-state allocations: one untimed
+/// warm-up call lets scratch arenas grow, then the timed reps must run
+/// allocation-free for the zero-steady-state-alloc contract to hold.
+KernelRow measure(const char* name, int threads, int reps, const auto& fn) {
+  fn();  // warm-up (arena growth happens here, not in the timed region)
+  const std::uint64_t a0 = allocCount();
+  const double ns = timeNs(reps, fn);
+  const std::uint64_t a1 = allocCount();
+  return {name, threads, ns,
+          static_cast<double>(a1 - a0) / static_cast<double>(reps)};
 }
 
 }  // namespace
@@ -95,22 +135,41 @@ int main(int argc, char** argv) {
                                            static_cast<double>(dim), 0.5);
   std::vector<double> gx(nVars), gy(nVars);
 
+  // view_gather sweeps the SoA geometry arrays the way the GP engine seeds
+  // its variable vector: movable centers gathered through the remap.
+  db.view().syncPositionsFromDb(db);
+  const PlacementView& pv = db.view();
+  const auto vMov = pv.movable();
+  const auto vLx = pv.lx();
+  const auto vLy = pv.ly();
+  const auto vW = pv.w();
+  const auto vH = pv.h();
+
   std::vector<KernelRow> kernels;
   for (const int nt : threadCounts) {
     ThreadPool pool(nt);
     ThreadPool* p = &pool;
-    kernels.push_back({"density_update", nt, timeNs(kernelReps, [&] {
-                         density.update(charges, p);
-                       })});
-    kernels.push_back({"density_gradient", nt, timeNs(kernelReps, [&] {
-                         density.gradient(charges, gx, gy, p);
-                       })});
-    kernels.push_back({"wa_gradient", nt, timeNs(kernelReps, [&] {
-                         wlEval.waGrad(view, gamma, gamma, gx, gy, p);
-                       })});
-    kernels.push_back({"hpwl", nt, timeNs(kernelReps, [&] {
-                         wlEval.hpwl(view, p);
-                       })});
+    kernels.push_back(measure("density_update", nt, kernelReps, [&] {
+      density.update(charges, p);
+    }));
+    kernels.push_back(measure("density_gradient", nt, kernelReps, [&] {
+      density.gradient(charges, gx, gy, p);
+    }));
+    kernels.push_back(measure("wa_gradient", nt, kernelReps, [&] {
+      wlEval.waGrad(view, gamma, gamma, gx, gy, p);
+    }));
+    kernels.push_back(measure("hpwl", nt, kernelReps, [&] {
+      wlEval.hpwl(view, p);
+    }));
+    kernels.push_back(measure("view_gather", nt, kernelReps, [&] {
+      pool.parallelFor(nVars, [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const auto obj = static_cast<std::size_t>(vMov[i]);
+          gx[i] = vLx[obj] + vW[obj] * 0.5;
+          gy[i] = vLy[obj] + vH[obj] * 0.5;
+        }
+      });
+    }));
     std::printf("threads=%d done (%zu cells, grid %zu^2)\n", nt, nVars, dim);
   }
 
@@ -129,14 +188,19 @@ int main(int argc, char** argv) {
     cfg.runDetail = false;
     if (smoke) cfg.gp.maxIterations = 1;  // does-it-run gate only
     if (smoke) cfg.gp.minIterations = 0;
+    const std::uint64_t a0 = allocCount();
     const FlowResult res = runEplaceFlow(run, cfg);
-    endToEnd.push_back({nt, res.mgp.seconds, res.cgp.seconds, res.finalHpwl});
+    const std::uint64_t flowAllocs = allocCount() - a0;
+    endToEnd.push_back(
+        {nt, res.mgp.seconds, res.cgp.seconds, res.finalHpwl, flowAllocs});
     if (std::bit_cast<std::uint64_t>(res.finalHpwl) !=
         std::bit_cast<std::uint64_t>(endToEnd.front().finalHpwl)) {
       bitIdentical = false;
     }
-    std::printf("end-to-end threads=%d: mGP %.2fs, cGP %.2fs, HPWL %.6g\n",
-                nt, res.mgp.seconds, res.cgp.seconds, res.finalHpwl);
+    std::printf("end-to-end threads=%d: mGP %.2fs, cGP %.2fs, HPWL %.6g, "
+                "%" PRIu64 " allocs\n",
+                nt, res.mgp.seconds, res.cgp.seconds, res.finalHpwl,
+                flowAllocs);
   }
   ThreadPool::setGlobalThreads(0);
 
@@ -156,21 +220,30 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"threads\": %d, "
-                 "\"ns_per_op\": %.1f}%s\n",
+                 "\"ns_per_op\": %.1f, \"allocs_per_op\": %.2f}%s\n",
                  kernels[i].name.c_str(), kernels[i].threads,
-                 kernels[i].nsPerOp, i + 1 < kernels.size() ? "," : "");
+                 kernels[i].nsPerOp, kernels[i].allocsPerOp,
+                 i + 1 < kernels.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"end_to_end\": [\n");
   for (std::size_t i = 0; i < endToEnd.size(); ++i) {
     std::fprintf(f,
                  "    {\"threads\": %d, \"mgp_seconds\": %.4f, "
-                 "\"cgp_seconds\": %.4f, \"final_hpwl\": %.17g}%s\n",
+                 "\"cgp_seconds\": %.4f, \"final_hpwl\": %.17g, "
+                 "\"flow_allocs\": %" PRIu64 "}%s\n",
                  endToEnd[i].threads, endToEnd[i].mgpSeconds,
                  endToEnd[i].cgpSeconds, endToEnd[i].finalHpwl,
+                 endToEnd[i].flowAllocs,
                  i + 1 < endToEnd.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  // Steady-state contract: every timed kernel must run allocation-free
+  // after its warm-up call (the Nesterov inner loop is exactly these
+  // kernels plus element-wise vector updates).
+  double steadyAllocs = 0.0;
+  for (const auto& k : kernels) steadyAllocs += k.allocsPerOp;
+  std::fprintf(f, "  \"steady_state_kernel_allocs\": %.2f,\n", steadyAllocs);
   std::fprintf(f, "  \"bit_identical\": %s\n", bitIdentical ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);

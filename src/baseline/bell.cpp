@@ -38,6 +38,9 @@ double bellDeriv(double d, double r) {
 struct BellEngine {
   const PlacementDB& db;
   const std::vector<std::int32_t>& movable;
+  // Geometry comes from the shared SoA view: dims/areas are contiguous
+  // reads instead of strided Object loads.
+  std::span<const double> objW, objH, objArea;
   BinGrid grid;
   std::vector<double> targetArea;  // T_b
   std::vector<double> density;     // D_b
@@ -49,11 +52,22 @@ struct BellEngine {
 
   BellEngine(const PlacementDB& dbIn, std::size_t nx, std::size_t ny,
              double gammaFactor)
-      : db(dbIn), movable(dbIn.movable()), grid(dbIn.region, nx, ny) {
+      : db(dbIn),
+        movable(dbIn.movable()),
+        objW(dbIn.view().w()),
+        objH(dbIn.view().h()),
+        objArea(dbIn.view().area()),
+        grid(dbIn.region, nx, ny) {
+    const PlacementView& pv = db.view();
+    const auto fixedMask = pv.fixedMask();
+    const auto lx = pv.lx();
+    const auto ly = pv.ly();
     targetArea.assign(grid.numBins(), 0.0);
     std::vector<double> fixedArea(grid.numBins(), 0.0);
-    for (const auto& o : db.objects) {
-      if (o.fixed) grid.stamp(o.rect(), o.area(), fixedArea);
+    for (std::size_t i = 0; i < pv.numObjects(); ++i) {
+      if (fixedMask[i] == 0) continue;
+      const Rect r{lx[i], ly[i], lx[i] + objW[i], ly[i] + objH[i]};
+      grid.stamp(r, objArea[i], fixedArea);
     }
     // Equality target: movable area distributed uniformly over free space.
     double freeTotal = 0.0;
@@ -79,9 +93,9 @@ struct BellEngine {
   }
 
   /// radius of influence per axis for an object.
-  void radii(const Object& o, double& rx, double& ry) const {
-    rx = o.w * 0.5 + 2.0 * grid.dx();
-    ry = o.h * 0.5 + 2.0 * grid.dy();
+  void radii(std::int32_t obj, double& rx, double& ry) const {
+    rx = objW[static_cast<std::size_t>(obj)] * 0.5 + 2.0 * grid.dx();
+    ry = objH[static_cast<std::size_t>(obj)] * 0.5 + 2.0 * grid.dy();
   }
 
   template <typename Fn>
@@ -107,14 +121,15 @@ struct BellEngine {
     // Pass 1: stamp bell density and per-object normalization.
     std::fill(density.begin(), density.end(), 0.0);
     for (std::size_t i = 0; i < n; ++i) {
-      const auto& o = db.objects[static_cast<std::size_t>(movable[i])];
       double rx, ry;
-      radii(o, rx, ry);
+      radii(movable[i], rx, ry);
       double sum = 0.0;
       forBins(x[i], y[i], rx, ry, [&](std::size_t, double dx, double dy) {
         sum += bell(dx, rx) * bell(dy, ry);
       });
-      normC[i] = sum > 0.0 ? o.area() / sum : 0.0;
+      normC[i] = sum > 0.0
+                     ? objArea[static_cast<std::size_t>(movable[i])] / sum
+                     : 0.0;
       forBins(x[i], y[i], rx, ry, [&](std::size_t b, double dx, double dy) {
         density[b] += normC[i] * bell(dx, rx) * bell(dy, ry);
       });
@@ -131,9 +146,8 @@ struct BellEngine {
 
     // Pass 2: density gradient.
     for (std::size_t i = 0; i < n; ++i) {
-      const auto& o = db.objects[static_cast<std::size_t>(movable[i])];
       double rx, ry;
-      radii(o, rx, ry);
+      radii(movable[i], rx, ry);
       double gx = 0.0, gy = 0.0;
       forBins(x[i], y[i], rx, ry, [&](std::size_t b, double dx, double dy) {
         const double resid = 2.0 * (density[b] - targetArea[b]) * normC[i];
@@ -156,6 +170,9 @@ BellPlaceResult bellPlace(PlacementDB& db, const BellPlaceConfig& cfg) {
   if (n == 0) return res;
 
   const std::size_t m = BinGrid::chooseResolution(n);
+  // Baseline entry point is a stage boundary: refresh the view's position
+  // arrays so the fixed-object stamp below reads current coordinates.
+  db.view().syncPositionsFromDb(db);
   BellEngine eng(db, cfg.gridNx ? cfg.gridNx : m, cfg.gridNy ? cfg.gridNy : m,
                  cfg.gammaFactor);
 
@@ -171,11 +188,12 @@ BellPlaceResult bellPlace(PlacementDB& db, const BellPlaceConfig& cfg) {
   // Projection: clamp centers into the region.
   std::vector<double> loX(n), hiX(n), loY(n), hiY(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& o = db.objects[static_cast<std::size_t>(movable[i])];
-    loX[i] = db.region.lx + o.w * 0.5;
-    hiX[i] = std::max(loX[i], db.region.hx - o.w * 0.5);
-    loY[i] = db.region.ly + o.h * 0.5;
-    hiY[i] = std::max(loY[i], db.region.hy - o.h * 0.5);
+    const double ow = eng.objW[static_cast<std::size_t>(movable[i])];
+    const double oh = eng.objH[static_cast<std::size_t>(movable[i])];
+    loX[i] = db.region.lx + ow * 0.5;
+    hiX[i] = std::max(loX[i], db.region.hx - ow * 0.5);
+    loY[i] = db.region.ly + oh * 0.5;
+    hiY[i] = std::max(loY[i], db.region.hy - oh * 0.5);
   }
   auto project = [&](std::span<double> vv) {
     for (std::size_t i = 0; i < n; ++i) {

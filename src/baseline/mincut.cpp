@@ -14,9 +14,17 @@ namespace ep {
 namespace {
 
 double freeCapacity(const PlacementDB& db, const Rect& r) {
+  const PlacementView& pv = db.view();
+  const auto fixedMask = pv.fixedMask();
+  const auto lx = pv.lx();
+  const auto ly = pv.ly();
+  const auto w = pv.w();
+  const auto h = pv.h();
   double fixedArea = 0.0;
-  for (const auto& o : db.objects) {
-    if (o.fixed) fixedArea += o.rect().overlapArea(r);
+  for (std::size_t i = 0; i < pv.numObjects(); ++i) {
+    if (fixedMask[i] == 0) continue;
+    const Rect o{lx[i], ly[i], lx[i] + w[i], ly[i] + h[i]};
+    fixedArea += o.overlapArea(r);
   }
   return std::max(0.0, r.area() - fixedArea);
 }
@@ -26,6 +34,16 @@ double freeCapacity(const PlacementDB& db, const Rect& r) {
 MinCutResult minCutPlace(PlacementDB& db, const MinCutConfig& cfg) {
   MinCutResult res;
   Rng rng(cfg.seed);
+
+  // Stage boundary: refresh the view so freeCapacity() stamps current
+  // fixed rects; topology spans below (CSRs, areas) are finalize()-stable.
+  const PlacementView& pv = db.view();
+  db.view().syncPositionsFromDb(db);
+  const auto objArea = pv.area();
+  const auto netPinStart = pv.netPinStart();
+  const auto pinObj = pv.pinObj();
+  const auto pinOx = pv.pinOx();
+  const auto pinOy = pv.pinOy();
 
   struct Task {
     Rect region;
@@ -90,7 +108,7 @@ MinCutResult minCutPlace(PlacementDB& db, const MinCutConfig& cfg) {
     for (std::size_t k = 0; k < nLocal; ++k) {
       lookup[static_cast<std::size_t>(task.objs[k])] =
           static_cast<std::int32_t>(k);
-      fm.areas[k] = db.objects[static_cast<std::size_t>(task.objs[k])].area();
+      fm.areas[k] = objArea[static_cast<std::size_t>(task.objs[k])];
     }
     const auto term0 = static_cast<std::int32_t>(nLocal);
     const auto term1 = static_cast<std::int32_t>(nLocal + 1);
@@ -105,19 +123,26 @@ MinCutResult minCutPlace(PlacementDB& db, const MinCutConfig& cfg) {
       for (auto netId : db.netsOf(objId)) {
         if (netStamp[static_cast<std::size_t>(netId)] == stamp) continue;
         netStamp[static_cast<std::size_t>(netId)] = stamp;
-        const auto& net = db.nets[static_cast<std::size_t>(netId)];
         std::vector<std::int32_t> verts;
         double extCoordSum = 0.0;
         int extCount = 0;
-        for (const auto& pin : net.pins) {
-          const auto local = lookup[static_cast<std::size_t>(pin.obj)];
+        const auto p0 = static_cast<std::size_t>(
+            netPinStart[static_cast<std::size_t>(netId)]);
+        const auto p1 = static_cast<std::size_t>(
+            netPinStart[static_cast<std::size_t>(netId) + 1]);
+        for (std::size_t pid = p0; pid < p1; ++pid) {
+          const auto obj = pinObj[pid];
+          const auto local = lookup[static_cast<std::size_t>(obj)];
           if (local >= 0) {
             if (std::find(verts.begin(), verts.end(), local) == verts.end()) {
               verts.push_back(local);
             }
           } else {
-            const Point p = db.pinPos(pin);
-            extCoordSum += splitX ? p.x : p.y;
+            // External pin: live object center + the view's pin offset
+            // (bit-identical to db.pinPos on the AoS pin).
+            const Point c =
+                db.objects[static_cast<std::size_t>(obj)].center();
+            extCoordSum += splitX ? c.x + pinOx[pid] : c.y + pinOy[pid];
             ++extCount;
           }
         }

@@ -31,7 +31,13 @@ std::vector<double> spreadAxis(const PlacementDB& db,
   const double bandW = (bandHi - bandLo) / static_cast<double>(bands);
 
   // Free capacity per (band, bin): band area minus fixed overlap, scaled by
-  // the target density.
+  // the target density. Fixed rects come from the view's SoA arrays.
+  const PlacementView& pv = db.view();
+  const auto fixedMask = pv.fixedMask();
+  const auto vlx = pv.lx();
+  const auto vly = pv.ly();
+  const auto vw = pv.w();
+  const auto vh = pv.h();
   std::vector<double> cap(bands * bins, 0.0);
   for (std::size_t b = 0; b < bands; ++b) {
     for (std::size_t i = 0; i < bins; ++i) {
@@ -44,8 +50,10 @@ std::vector<double> spreadAxis(const PlacementDB& db,
                 lo + (i + 1) * binW};
       }
       double fixedArea = 0.0;
-      for (const auto& o : db.objects) {
-        if (o.fixed) fixedArea += o.rect().overlapArea(cell);
+      for (std::size_t k = 0; k < pv.numObjects(); ++k) {
+        if (fixedMask[k] == 0) continue;
+        const Rect r{vlx[k], vly[k], vlx[k] + vw[k], vly[k] + vh[k]};
+        fixedArea += r.overlapArea(cell);
       }
       cap[b * bins + i] =
           db.targetDensity * std::max(0.0, cell.area() - fixedArea);
@@ -66,9 +74,10 @@ std::vector<double> spreadAxis(const PlacementDB& db,
     if (cells.empty()) continue;
     std::sort(cells.begin(), cells.end(),
               [&](std::size_t i, std::size_t j) { return pos[i] < pos[j]; });
+    const auto objArea = pv.area();
     double areaTotal = 0.0;
     for (auto k : cells) {
-      areaTotal += db.objects[static_cast<std::size_t>(movable[k])].area();
+      areaTotal += objArea[static_cast<std::size_t>(movable[k])];
     }
     double capTotal = 0.0;
     for (std::size_t i = 0; i < bins; ++i) capTotal += cap[b * bins + i];
@@ -79,8 +88,7 @@ std::vector<double> spreadAxis(const PlacementDB& db,
     double capBefore = 0.0;
     double areaCum = 0.0;
     for (auto k : cells) {
-      const double a =
-          db.objects[static_cast<std::size_t>(movable[k])].area();
+      const double a = objArea[static_cast<std::size_t>(movable[k])];
       const double want = (areaCum + 0.5 * a) / areaTotal * capTotal;
       areaCum += a;
       while (bin + 1 < bins && capBefore + cap[b * bins + bin] < want) {
@@ -107,10 +115,11 @@ QuadraticPlaceResult quadraticPlace(PlacementDB& db,
   const auto n = static_cast<std::int32_t>(movable.size());
   if (n == 0) return res;
 
-  std::vector<std::int32_t> objToVar(db.objects.size(), -1);
-  for (std::int32_t v = 0; v < n; ++v) {
-    objToVar[static_cast<std::size_t>(movable[static_cast<std::size_t>(v)])] = v;
-  }
+  // Stage boundary: refresh view positions so spreadAxis stamps current
+  // fixed rects, and reuse the view's canonical movable remap.
+  db.view().syncPositionsFromDb(db);
+  const std::span<const std::int32_t> objToVar = db.view().objToMovable();
+  const std::span<const double> objArea = db.view().area();
 
   // Seed like mIP: center with jitter.
   Rng rng(cfg.seed);
@@ -156,9 +165,8 @@ QuadraticPlaceResult quadraticPlace(PlacementDB& db,
           // Anchor strength scales with cell area so macros spread too.
           const double w =
               anchorW *
-              std::max(1.0, db.objects[static_cast<std::size_t>(
-                                           movable[static_cast<std::size_t>(v)])]
-                                .area());
+              std::max(1.0, objArea[static_cast<std::size_t>(
+                                movable[static_cast<std::size_t>(v)])]);
           builder.addDiag(v, w);
           rhs[static_cast<std::size_t>(v)] +=
               w * anchors[static_cast<std::size_t>(v)];

@@ -10,25 +10,41 @@ namespace {
 constexpr double kSqrt2 = 1.4142135623730951;
 }
 
+std::span<double> ElectroDensity::buf(ScratchArena* arena, const char* key,
+                                      std::size_t n) {
+  std::span<double> s = arena != nullptr
+                            ? arena->doubles(key, n)
+                            : std::span<double>(own_.emplace_back(n));
+  std::fill(s.begin(), s.end(), 0.0);
+  return s;
+}
+
 ElectroDensity::ElectroDensity(const Rect& region, std::size_t nx,
-                               std::size_t ny, double targetDensity)
+                               std::size_t ny, double targetDensity,
+                               ScratchArena* arena)
     : grid_(region, nx, ny),
       ovfGrid_(region, std::max<std::size_t>(16, nx / 4),
                std::max<std::size_t>(16, ny / 4)),
       rhoT_(targetDensity),
-      solver_(nx, ny, grid_.dx(), grid_.dy()),
-      fixedSolver_(nx * ny, 0.0),
-      fixedExact_(ovfGrid_.numBins(), 0.0),
-      staticCharge_(nx * ny, 0.0),
-      movCharge_(nx * ny, 0.0),
-      rho_(nx * ny, 0.0) {}
+      solver_(nx, ny, grid_.dx(), grid_.dy()) {
+  fixedSolver_ = buf(arena, "den.fixedSolver", nx * ny);
+  fixedExact_ = buf(arena, "den.fixedExact", ovfGrid_.numBins());
+  staticCharge_ = buf(arena, "den.staticCharge", nx * ny);
+  movCharge_ = buf(arena, "den.movCharge", nx * ny);
+  rho_ = buf(arena, "den.rho", nx * ny);
+  ovfScratch_ = buf(arena, "den.ovfScratch", ovfGrid_.numBins());
+}
 
 void ElectroDensity::stampFixed(const PlacementDB& db) {
+  const PlacementView& pv = db.view();
+  assert(pv.built());
   std::fill(fixedExact_.begin(), fixedExact_.end(), 0.0);
   std::vector<double> fixedFine(grid_.numBins(), 0.0);
-  for (const auto& o : db.objects) {
-    if (!o.fixed) continue;
-    const Rect r = o.rect();
+  const auto lx = pv.lx(), ly = pv.ly(), w = pv.w(), h = pv.h();
+  const auto fixedMask = pv.fixedMask();
+  for (std::size_t i = 0; i < pv.numObjects(); ++i) {
+    if (fixedMask[i] == 0) continue;
+    const Rect r{lx[i], ly[i], lx[i] + w[i], ly[i] + h[i]};
     const Rect clipped = r.intersect(grid_.region());
     if (clipped.empty()) continue;
     grid_.stamp(r, r.area(), fixedFine);
@@ -146,7 +162,10 @@ void ElectroDensity::gradient(const ChargeView& charges, std::span<double> gx,
 
 double ElectroDensity::overflow(const ChargeView& movablesOnly,
                                 ThreadPool* pool) const {
-  std::vector<double> area(ovfGrid_.numBins(), 0.0);
+  // Per-iteration call on the Nesterov hot path: reuse the member scratch
+  // instead of allocating a fresh per-bin vector every time.
+  const std::span<double> area = ovfScratch_;
+  std::fill(area.begin(), area.end(), 0.0);
   ovfGrid_.stampAll(
       movablesOnly.size(),
       [&](std::size_t i, Rect* r, double* amount) {

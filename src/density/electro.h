@@ -47,10 +47,16 @@ struct ChargeView {
 
 class ElectroDensity {
  public:
+  /// With `arena` non-null the per-bin maps are borrowed from it under
+  /// "den." keys, so a cGP-stage engine reuses the mGP stage's
+  /// allocations. At most one ElectroDensity may lease those keys at a
+  /// time (see placement_view.h); pass nullptr for owned storage.
   ElectroDensity(const Rect& region, std::size_t nx, std::size_t ny,
-                 double targetDensity);
+                 double targetDensity, ScratchArena* arena = nullptr);
 
-  /// Stamp the fixed objects of `db` into the base maps. Call once.
+  /// Stamp the fixed objects of `db` into the base maps, reading the
+  /// view's SoA geometry (db must be finalize()d; fixed positions are
+  /// always fresh by the view contract). Call once.
   void stampFixed(const PlacementDB& db);
 
   /// Additionally stamp movable-but-not-optimized charges (e.g. standard
@@ -105,15 +111,23 @@ class ElectroDensity {
   [[nodiscard]] Footprint smoothed(double cx, double cy, double w,
                                    double h) const;
 
+  /// Zero-filled per-bin buffer: from the arena ("den." keys) when one
+  /// was given, otherwise from owned storage.
+  std::span<double> buf(ScratchArena* arena, const char* key, std::size_t n);
+
   BinGrid grid_;
   BinGrid ovfGrid_;  // coarser grid for the overflow metric (see bingrid.h)
   double rhoT_;
   PoissonSolver solver_;
-  std::vector<double> fixedSolver_;  // rho_t-scaled fixed occupancy
-  std::vector<double> fixedExact_;   // exact fixed area per overflow bin
-  std::vector<double> staticCharge_; // pinned-movable charge (area) per bin
-  std::vector<double> movCharge_;    // stamped movable charge (area) per bin
-  std::vector<double> rho_;          // total occupancy fed to the solver
+  // Backing store for the maps below when no arena was supplied. Inner
+  // heap buffers are pointer-stable under outer growth, so spans hold.
+  std::vector<std::vector<double>> own_;
+  std::span<double> fixedSolver_;  // rho_t-scaled fixed occupancy
+  std::span<double> fixedExact_;   // exact fixed area per overflow bin
+  std::span<double> staticCharge_; // pinned-movable charge (area) per bin
+  std::span<double> movCharge_;    // stamped movable charge (area) per bin
+  std::span<double> rho_;          // total occupancy fed to the solver
+  std::span<double> ovfScratch_;   // per-overflow-bin movable area scratch
   double energy_ = 0.0;
 };
 

@@ -22,7 +22,10 @@ std::size_t gridDim(std::size_t cfgDim, std::size_t numObjects) {
 
 }  // namespace
 
-// Internal arrays shared by the main run and the filler-only run.
+// Internal arrays shared by the main run and the filler-only run. All
+// per-var buffers are borrowed from the view's ScratchArena ("gp." keys):
+// the mGP engine warms the capacities and the cGP / filler-only engines
+// built afterwards reuse those allocations instead of rebuilding them.
 struct GlobalPlacer::Engine {
   PlacementDB& db;
   const GpConfig& cfg;
@@ -33,10 +36,10 @@ struct GlobalPlacer::Engine {
   std::size_t nFillers = 0;
   std::size_t nVars = 0;     // nCells + nFillers
 
-  std::vector<double> w, h, q;           // per-var dims and charge
-  std::vector<std::int32_t> objToVar;    // db object -> var (< nCells)
-  std::vector<double> wlPrecond;         // |E_i| per var (0 for fillers)
-  std::vector<double> loX, hiX, loY, hiY;  // projection box per var
+  std::span<double> w, h, q;               // per-var dims and charge
+  std::span<const std::int32_t> objToVar;  // db object -> var (< nCells)
+  std::span<double> wlPrecond;             // |E_i| per var (0 for fillers)
+  std::span<double> loX, hiX, loY, hiY;    // projection box per var
 
   ElectroDensity density;
   WlEvaluator wlEval;
@@ -46,7 +49,7 @@ struct GlobalPlacer::Engine {
   ThreadPool* pool = &ThreadPool::global();
 
   // Scratch gradient buffers.
-  std::vector<double> gxW, gyW, gxD, gyD;
+  std::span<double> gxW, gyW, gxD, gyD;
 
   double gammaX = 1.0, gammaY = 1.0;
   double lambda = 0.0;
@@ -61,27 +64,55 @@ struct GlobalPlacer::Engine {
         density(dbIn.region,
                 gridDim(cfgIn.gridNx, movables.size() + fillersIn.size()),
                 gridDim(cfgIn.gridNy, movables.size() + fillersIn.size()),
-                dbIn.targetDensity) {
+                dbIn.targetDensity, &dbIn.view().arena()) {
+    PlacementView& pv = db.view();
+    assert(pv.built());
+    // Stage boundary: whatever moved objects since the last finalize
+    // (earlier stages, supervisor restores, jitter retries) is synced into
+    // the view so its fixed-object geometry is fresh for the kernels.
+    pv.syncPositionsFromDb(db);
+
     nCells = movables.size();
     nFillers = fillers.size();
     nVars = nCells + nFillers;
-    w.resize(nVars);
-    h.resize(nVars);
-    q.resize(nVars);
-    wlPrecond.assign(nVars, 0.0);
-    objToVar.assign(db.objects.size(), -1);
-    loX.resize(nVars);
-    hiX.resize(nVars);
-    loY.resize(nVars);
-    hiY.resize(nVars);
+    ScratchArena& arena = pv.arena();
+    w = arena.doubles("gp.w", nVars);
+    h = arena.doubles("gp.h", nVars);
+    q = arena.doubles("gp.q", nVars);
+    wlPrecond = arena.doubles("gp.wlPrecond", nVars);
+    std::fill(wlPrecond.begin(), wlPrecond.end(), 0.0);
+    loX = arena.doubles("gp.loX", nVars);
+    hiX = arena.doubles("gp.hiX", nVars);
+    loY = arena.doubles("gp.loY", nVars);
+    hiY = arena.doubles("gp.hiY", nVars);
+
+    // The obj -> var map is the view's movable remap whenever this run
+    // optimizes exactly the canonical movable set (the common case); only
+    // a subset run (e.g. filler-only, nCells == 0) builds its own.
+    const auto vMov = pv.movable();
+    const bool canonical =
+        movables.size() == vMov.size() &&
+        std::equal(movables.begin(), movables.end(), vMov.begin());
+    if (canonical) {
+      objToVar = pv.objToMovable();
+    } else {
+      auto o2v = arena.ints("gp.objToVar", db.objects.size());
+      std::fill(o2v.begin(), o2v.end(), -1);
+      for (std::size_t v = 0; v < nCells; ++v) {
+        o2v[static_cast<std::size_t>(movables[v])] =
+            static_cast<std::int32_t>(v);
+      }
+      objToVar = o2v;
+    }
+    const auto ow = pv.w();
+    const auto oh = pv.h();
+    const auto oarea = pv.area();
     for (std::size_t v = 0; v < nCells; ++v) {
-      const auto obj = movables[v];
-      const auto& o = db.objects[static_cast<std::size_t>(obj)];
-      w[v] = o.w;
-      h[v] = o.h;
-      q[v] = o.area();
-      objToVar[static_cast<std::size_t>(obj)] = static_cast<std::int32_t>(v);
-      wlPrecond[v] = static_cast<double>(db.degreeOf(obj));
+      const auto obj = static_cast<std::size_t>(movables[v]);
+      w[v] = ow[obj];
+      h[v] = oh[obj];
+      q[v] = oarea[obj];
+      wlPrecond[v] = static_cast<double>(pv.degreeOf(movables[v]));
     }
     for (std::size_t k = 0; k < nFillers; ++k) {
       const std::size_t v = nCells + k;
@@ -96,10 +127,10 @@ struct GlobalPlacer::Engine {
       loY[v] = r.ly + h[v] * 0.5;
       hiY[v] = std::max(loY[v], r.hy - h[v] * 0.5);
     }
-    gxW.resize(nVars);
-    gyW.resize(nVars);
-    gxD.resize(nVars);
-    gyD.resize(nVars);
+    gxW = arena.doubles("gp.gxW", nVars);
+    gyW = arena.doubles("gp.gyW", nVars);
+    gxD = arena.doubles("gp.gxD", nVars);
+    gyD = arena.doubles("gp.gyD", nVars);
     density.stampFixed(db);
     wlEval = WlEvaluator(db, objToVar, nVars);
   }
@@ -192,15 +223,17 @@ struct GlobalPlacer::Engine {
     gammaY = waGammaSchedule(density.grid().dy(), tau);
   }
 
-  /// Collect the start vector from DB (cells) and the filler set.
-  [[nodiscard]] std::vector<double> startVector(
+  /// Collect the start vector from the view (cells) and the filler set
+  /// into the arena (stage-entry reuse; valid until the next run starts).
+  [[nodiscard]] std::span<const double> startVector(
       const std::vector<std::int32_t>& movables) const {
-    std::vector<double> v(2 * nVars);
+    const PlacementView& pv = db.view();
+    auto v = pv.arena().doubles("gp.v0", 2 * nVars);
+    const auto lx = pv.lx(), ly = pv.ly(), ow = pv.w(), oh = pv.h();
     for (std::size_t i = 0; i < nCells; ++i) {
-      const Point c =
-          db.objects[static_cast<std::size_t>(movables[i])].center();
-      v[i] = c.x;
-      v[nVars + i] = c.y;
+      const auto obj = static_cast<std::size_t>(movables[i]);
+      v[i] = lx[obj] + ow[obj] * 0.5;
+      v[nVars + i] = ly[obj] + oh[obj] * 0.5;
     }
     for (std::size_t k = 0; k < nFillers; ++k) {
       v[nCells + k] = fillers.cx[k];
@@ -239,15 +272,21 @@ void GlobalPlacer::runFillerOnly(int iterations) {
   // Dedicated engine: no movable cells, all real objects static charges.
   std::vector<std::int32_t> none;
   Engine eng(db_, none, cfg_, fillers_, breakdown_);
-  // Pin every movable object as a static charge.
-  std::vector<double> cx, cy, cw, ch;
-  for (auto i : db_.movable()) {
-    const auto& o = db_.objects[static_cast<std::size_t>(i)];
-    const Point c = o.center();
-    cx.push_back(c.x);
-    cy.push_back(c.y);
-    cw.push_back(o.w);
-    ch.push_back(o.h);
+  // Pin every movable object as a static charge, gathered from the view
+  // (the engine constructor just synced it) via arena buffers.
+  const PlacementView& pv = db_.view();
+  const auto mov = pv.movable();
+  const auto lx = pv.lx(), ly = pv.ly(), ow = pv.w(), oh = pv.h();
+  auto cx = pv.arena().doubles("gp.static.cx", mov.size());
+  auto cy = pv.arena().doubles("gp.static.cy", mov.size());
+  auto cw = pv.arena().doubles("gp.static.w", mov.size());
+  auto ch = pv.arena().doubles("gp.static.h", mov.size());
+  for (std::size_t k = 0; k < mov.size(); ++k) {
+    const auto obj = static_cast<std::size_t>(mov[k]);
+    cx[k] = lx[obj] + ow[obj] * 0.5;
+    cy[k] = ly[obj] + oh[obj] * 0.5;
+    cw[k] = ow[obj];
+    ch[k] = oh[obj];
   }
   eng.density.stampStaticCharges({cx, cy, cw, ch});
   eng.lambda = 1.0;  // density force only; wirelength plays no role
@@ -348,12 +387,17 @@ GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
   // even if an injected fault already poisoned the bootstrap gradients.
   struct Checkpoint {
     NesterovOptimizer::Snapshot snap;
-    double lambda;
-    double tau;
-    double hpwl;
-    int iter;
+    double lambda = 0.0;
+    double tau = 0.0;
+    double hpwl = 0.0;
+    int iter = 0;
   };
-  Checkpoint best{opt.snapshot(), eng.lambda, startTau, prevHpwl, startIter};
+  Checkpoint best;
+  opt.snapshotInto(best.snap);
+  best.lambda = eng.lambda;
+  best.tau = startTau;
+  best.hpwl = prevHpwl;
+  best.iter = startIter;
 
   Timer wall;
   int recoveries = 0;
@@ -435,7 +479,13 @@ GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
     // Refresh the checkpoint on the configured cadence whenever spreading
     // has not regressed: overflow is the progress metric of the stage.
     if (monitor.shouldCheckpoint(iter) && tau <= best.tau) {
-      best = Checkpoint{opt.snapshot(), eng.lambda, tau, curHpwl, iter};
+      // snapshotInto reuses the checkpoint's capacity: refreshing the
+      // best-so-far state allocates nothing in steady state.
+      opt.snapshotInto(best.snap);
+      best.lambda = eng.lambda;
+      best.tau = tau;
+      best.hpwl = curHpwl;
+      best.iter = iter;
     }
 
     // Durable-checkpoint hook: hand out the state a resumed run needs to

@@ -81,20 +81,29 @@ void makeDirs(const std::string& path) {
   }
 }
 
-std::vector<double> capturePositions(const PlacementDB& db) {
+/// Serialize positions straight from the view's SoA arrays (layout: all
+/// objects, interleaved lx,ly — the checkpoint wire format). Syncs the
+/// view first so movable entries are current at this stage boundary.
+std::vector<double> capturePositions(PlacementDB& db) {
+  PlacementView& pv = db.view();
+  pv.syncPositionsFromDb(db);
+  const auto lx = pv.lx();
+  const auto ly = pv.ly();
   std::vector<double> pos;
-  pos.reserve(db.objects.size() * 2);
-  for (const auto& o : db.objects) {
-    pos.push_back(o.lx);
-    pos.push_back(o.ly);
+  pos.reserve(lx.size() * 2);
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    pos.push_back(lx[i]);
+    pos.push_back(ly[i]);
   }
   return pos;
 }
 
 void restorePositions(PlacementDB& db, const std::vector<double>& pos) {
+  PlacementView& pv = db.view();
   for (std::size_t i = 0; i < db.objects.size(); ++i) {
     db.objects[i].lx = pos[2 * i];
     db.objects[i].ly = pos[2 * i + 1];
+    pv.setPosition(static_cast<std::int32_t>(i), pos[2 * i], pos[2 * i + 1]);
   }
 }
 
@@ -158,7 +167,7 @@ struct ResumeData {
   GpCheckpointState gp;
 };
 
-SnapshotData buildSnapshot(const PlacementDB& db, const FlowState& st,
+SnapshotData buildSnapshot(PlacementDB& db, const FlowState& st,
                            FlowStage next, bool macrosFrozen,
                            const Rng& jitter, const GpCheckpointState* gp) {
   SnapshotData snap;

@@ -11,12 +11,17 @@ namespace ep {
 
 namespace {
 
-/// Stamp exact footprints of a subset into area maps.
+/// Stamp exact footprints of a subset into area maps. Flags and areas come
+/// from the view's SoA arrays; rects come from the live object positions
+/// (metrics run mid-flow, when the view's movable copies may be stale).
 void stampObjects(const PlacementDB& db, const BinGrid& grid, bool movable,
                   std::vector<double>& map) {
-  for (const auto& o : db.objects) {
-    if (o.fixed == movable) continue;
-    grid.stamp(o.rect(), o.area(), map);
+  const PlacementView& pv = db.view();
+  const auto fixedMask = pv.fixedMask();
+  const auto area = pv.area();
+  for (std::size_t i = 0; i < db.objects.size(); ++i) {
+    if ((fixedMask[i] != 0) == movable) continue;
+    grid.stamp(db.objects[i].rect(), area[i], map);
   }
 }
 
@@ -80,9 +85,12 @@ double gridOverlapArea(const PlacementDB& db, bool includeFixed,
   }
   const BinGrid grid(db.region, nx, ny);
   std::vector<double> map(grid.numBins(), 0.0);
-  for (const auto& o : db.objects) {
-    if (o.fixed && !includeFixed) continue;
-    grid.stamp(o.rect(), o.area(), map);
+  const PlacementView& pv = db.view();
+  const auto fixedMask = pv.fixedMask();
+  const auto area = pv.area();
+  for (std::size_t i = 0; i < db.objects.size(); ++i) {
+    if (fixedMask[i] != 0 && !includeFixed) continue;
+    grid.stamp(db.objects[i].rect(), area[i], map);
   }
   const double binArea = grid.binArea();
   double over = 0.0;
@@ -111,10 +119,14 @@ double pairwiseOverlapArea(const PlacementDB& db,
 
 double macroCellCoverArea(const PlacementDB& db) {
   // Sweep std cells against macros: sort macros by lx, for each cell scan
-  // candidate macros. Cell counts dominate, so index macros only.
+  // candidate macros. Cell counts dominate, so index macros only. Kind
+  // flags come from the view's SoA arrays, rects from live positions.
+  const auto kinds = db.view().kind();
   std::vector<const Object*> macros;
-  for (const auto& o : db.objects) {
-    if (o.kind == ObjKind::kMacro) macros.push_back(&o);
+  for (std::size_t i = 0; i < db.objects.size(); ++i) {
+    if (kinds[i] == static_cast<std::uint8_t>(ObjKind::kMacro)) {
+      macros.push_back(&db.objects[i]);
+    }
   }
   std::sort(macros.begin(), macros.end(),
             [](const Object* a, const Object* b) { return a->lx < b->lx; });
@@ -122,8 +134,9 @@ double macroCellCoverArea(const PlacementDB& db) {
   for (std::size_t i = 0; i < macros.size(); ++i) macroLx[i] = macros[i]->lx;
 
   double total = 0.0;
-  for (const auto& o : db.objects) {
-    if (o.kind != ObjKind::kStdCell) continue;
+  for (std::size_t i = 0; i < db.objects.size(); ++i) {
+    if (kinds[i] != static_cast<std::uint8_t>(ObjKind::kStdCell)) continue;
+    const auto& o = db.objects[i];
     const Rect rc = o.rect();
     // Macros with lx < rc.hx can overlap; iterate those and cut when the
     // macro is entirely to the left for every candidate — macros are few,
@@ -145,8 +158,13 @@ LegalityReport checkLegality(const PlacementDB& db, double tol) {
     if (rep.firstIssue.empty()) rep.firstIssue = s;
   };
 
-  for (const auto& o : db.objects) {
-    if (o.fixed) continue;
+  const PlacementView& pv = db.view();
+  const auto fixedMask = pv.fixedMask();
+  const auto kinds = pv.kind();
+
+  for (std::size_t i = 0; i < db.objects.size(); ++i) {
+    const auto& o = db.objects[i];
+    if (fixedMask[i] != 0) continue;
     const Rect r = o.rect();
     if (r.lx < db.region.lx - tol || r.hx > db.region.hx + tol ||
         r.ly < db.region.ly - tol || r.hy > db.region.hy + tol) {
@@ -156,8 +174,12 @@ LegalityReport checkLegality(const PlacementDB& db, double tol) {
   }
 
   if (!db.rows.empty()) {
-    for (const auto& o : db.objects) {
-      if (o.fixed || o.kind != ObjKind::kStdCell) continue;
+    for (std::size_t i = 0; i < db.objects.size(); ++i) {
+      const auto& o = db.objects[i];
+      if (fixedMask[i] != 0 ||
+          kinds[i] != static_cast<std::uint8_t>(ObjKind::kStdCell)) {
+        continue;
+      }
       bool onRow = false;
       for (const auto& row : db.rows) {
         if (std::abs(o.ly - row.ly) <= tol) {
@@ -196,7 +218,10 @@ LegalityReport checkLegality(const PlacementDB& db, double tol) {
     for (std::size_t j = i + 1; j < order.size(); ++j) {
       const auto& oj = db.objects[static_cast<std::size_t>(order[j])];
       if (oj.lx >= ri.hx - tol) break;
-      if (oi.fixed && oj.fixed) continue;
+      if (fixedMask[static_cast<std::size_t>(order[i])] != 0 &&
+          fixedMask[static_cast<std::size_t>(order[j])] != 0) {
+        continue;
+      }
       const Rect rj = oj.rect();
       // Shrink by tol so abutting objects do not count as overlapping.
       if (ri.overlapArea(rj) > tol * (ri.width() + rj.width())) {

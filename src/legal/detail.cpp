@@ -14,7 +14,7 @@ namespace ep {
 namespace {
 
 /// Sum of weighted HPWL over a set of net ids (deduplicated by the caller).
-double netsHpwl(const PlacementDB& db, const std::vector<std::int32_t>& nets) {
+double netsHpwl(const PlacementDB& db, std::span<const std::int32_t> nets) {
   double w = 0.0;
   for (auto n : nets) {
     const auto& net = db.nets[static_cast<std::size_t>(n)];
@@ -23,16 +23,19 @@ double netsHpwl(const PlacementDB& db, const std::vector<std::int32_t>& nets) {
   return w;
 }
 
-std::vector<std::int32_t> uniqueNetsOf(const PlacementDB& db,
-                                       std::initializer_list<std::int32_t> objs) {
-  std::vector<std::int32_t> nets;
+/// Deduplicated incident nets of `objs` into a caller-owned scratch vector
+/// (the swap loop calls this per candidate pair; reuse keeps it off the
+/// heap — netsOf() itself is an allocation-free CSR span).
+void uniqueNetsOf(const PlacementDB& db,
+                  std::initializer_list<std::int32_t> objs,
+                  std::vector<std::int32_t>& nets) {
+  nets.clear();
   for (auto o : objs) {
     const auto more = db.netsOf(o);
     nets.insert(nets.end(), more.begin(), more.end());
   }
   std::sort(nets.begin(), nets.end());
   nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
-  return nets;
 }
 
 }  // namespace
@@ -43,11 +46,22 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
   Rng rng(cfg.seed);
 
   // Obstacle x-intervals per row band: window packing must never slide a
-  // cell across a fixed object or macro sitting inside the row.
+  // cell across a fixed object or macro sitting inside the row. Flags come
+  // from the view's SoA arrays, rects from the live object positions.
+  const PlacementView& pv = db.view();
+  const auto kinds = pv.kind();
+  const auto fixedMask = pv.fixedMask();
+  const auto isStdCell = [&](std::int32_t i) {
+    return kinds[static_cast<std::size_t>(i)] ==
+           static_cast<std::uint8_t>(ObjKind::kStdCell);
+  };
   const double rowH = db.rows.empty() ? 1.0 : db.rows.front().height;
   std::vector<Rect> obstacleRects;
-  for (const auto& o : db.objects) {
-    if (o.fixed || o.kind == ObjKind::kMacro) obstacleRects.push_back(o.rect());
+  for (std::size_t i = 0; i < db.objects.size(); ++i) {
+    if (fixedMask[i] != 0 ||
+        kinds[i] == static_cast<std::uint8_t>(ObjKind::kMacro)) {
+      obstacleRects.push_back(db.objects[i].rect());
+    }
   }
   auto windowBlocked = [&](double y, double x0, double x1) {
     for (const auto& r : obstacleRects) {
@@ -63,8 +77,13 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
   std::map<std::pair<double, double>, std::vector<std::int32_t>> buckets;
   for (auto i : db.movable()) {
     const auto& o = db.objects[static_cast<std::size_t>(i)];
-    if (o.kind == ObjKind::kStdCell) buckets[{o.w, o.h}].push_back(i);
+    if (isStdCell(i)) buckets[{o.w, o.h}].push_back(i);
   }
+
+  // Window/swap scratch, hoisted so the inner loops reuse capacity
+  // instead of allocating per window / per candidate pair.
+  std::vector<std::int32_t> window, netIds, bestPerm, perm, swapNets;
+  std::vector<double> savedX, bestX;
 
   for (int pass = 0; pass < cfg.maxPasses; ++pass) {
     long improvedThisPass = 0;
@@ -74,7 +93,7 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
     std::map<double, std::vector<std::int32_t>> rows;
     for (auto i : db.movable()) {
       const auto& o = db.objects[static_cast<std::size_t>(i)];
-      if (o.kind == ObjKind::kStdCell) rows[o.ly].push_back(i);
+      if (isStdCell(i)) rows[o.ly].push_back(i);
     }
     for (auto& [y, cells] : rows) {
       std::sort(cells.begin(), cells.end(),
@@ -90,13 +109,13 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
       if (static_cast<int>(cells.size()) < win) continue;
       for (std::size_t s = 0; s + static_cast<std::size_t>(win) <= cells.size();
            ++s) {
-        std::vector<std::int32_t> window(cells.begin() + static_cast<std::ptrdiff_t>(s),
-                                         cells.begin() + static_cast<std::ptrdiff_t>(s) + win);
+        window.assign(cells.begin() + static_cast<std::ptrdiff_t>(s),
+                      cells.begin() + static_cast<std::ptrdiff_t>(s) + win);
         // Window span: from the leftmost cell's lx to the right edge of the
         // last cell (gaps inside are preserved as trailing slack).
         const double x0 = db.objects[static_cast<std::size_t>(window.front())].lx;
-        std::vector<double> savedX(window.size());
-        std::vector<std::int32_t> netIds;
+        savedX.resize(window.size());
+        netIds.clear();
         for (std::size_t k = 0; k < window.size(); ++k) {
           savedX[k] = db.objects[static_cast<std::size_t>(window[k])].lx;
           const auto more = db.netsOf(window[k]);
@@ -111,10 +130,10 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
 
         const double before = netsHpwl(db, netIds);
         double best = before;
-        std::vector<std::int32_t> bestPerm = window;
-        std::vector<double> bestX = savedX;
+        bestPerm = window;
+        bestX = savedX;
 
-        std::vector<std::int32_t> perm = window;
+        perm = window;
         std::sort(perm.begin(), perm.end());
         do {
           // Pack the permutation tight from x0; reject if it spills past the
@@ -170,11 +189,11 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
           auto& a = db.objects[static_cast<std::size_t>(group[k])];
           auto& b = db.objects[static_cast<std::size_t>(group[j])];
           if (a.lx == b.lx && a.ly == b.ly) continue;
-          const auto nets = uniqueNetsOf(db, {group[k], group[j]});
-          const double before = netsHpwl(db, nets);
+          uniqueNetsOf(db, {group[k], group[j]}, swapNets);
+          const double before = netsHpwl(db, swapNets);
           std::swap(a.lx, b.lx);
           std::swap(a.ly, b.ly);
-          const double after = netsHpwl(db, nets);
+          const double after = netsHpwl(db, swapNets);
           if (after < before - 1e-12) {
             ++res.swaps;
             ++improvedThisPass;
@@ -199,9 +218,7 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
     if (inj.active()) {
       std::vector<std::int32_t> cells;
       for (auto i : db.movable()) {
-        if (db.objects[static_cast<std::size_t>(i)].kind == ObjKind::kStdCell) {
-          cells.push_back(i);
-        }
+        if (isStdCell(i)) cells.push_back(i);
       }
       if (!cells.empty()) {
         if (const FaultSpec* f = inj.fire("detail.swap")) {

@@ -80,10 +80,17 @@ LegalizeResult legalizeImpl(PlacementDB& db, bool clumpToTargets) {
   res.hpwlBefore = hpwl(db);
 
   // Obstacles: fixed objects and macros (movable macros are legal & frozen
-  // by mLG at this point, but may not have fixed=true yet).
+  // by mLG at this point, but may not have fixed=true yet). Flags from the
+  // view SoA arrays; rects from the live object positions.
+  const PlacementView& pv = db.view();
+  const auto kinds = pv.kind();
+  const auto fixedMask = pv.fixedMask();
   std::vector<Rect> obstacles;
-  for (const auto& o : db.objects) {
-    if (o.fixed || o.kind == ObjKind::kMacro) obstacles.push_back(o.rect());
+  for (std::size_t i = 0; i < db.objects.size(); ++i) {
+    if (fixedMask[i] != 0 ||
+        kinds[i] == static_cast<std::uint8_t>(ObjKind::kMacro)) {
+      obstacles.push_back(db.objects[i].rect());
+    }
   }
 
   // Build per-row free segments.
@@ -122,7 +129,8 @@ LegalizeResult legalizeImpl(PlacementDB& db, bool clumpToTargets) {
   // Movable std cells sorted by x.
   std::vector<std::int32_t> cells;
   for (auto i : db.movable()) {
-    if (db.objects[static_cast<std::size_t>(i)].kind == ObjKind::kStdCell) {
+    if (kinds[static_cast<std::size_t>(i)] ==
+        static_cast<std::uint8_t>(ObjKind::kStdCell)) {
       cells.push_back(i);
     }
   }

@@ -49,6 +49,7 @@ struct Annealer {
 
   double wCur = 0.0, dCur = 0.0, omCur = 0.0;
   double muD = 1.0, muO = 1.0;
+  bool reoriented = false;  // any accepted rotate/flip (view needs a rebuild)
 
   explicit Annealer(PlacementDB& dbIn, const MlgConfig& cfgIn)
       : db(dbIn),
@@ -231,6 +232,10 @@ struct Annealer {
       wCur += dW;
       dCur += dD;
       omCur += dOm;
+      // An accepted rotation/flip permanently edits dims / pin offsets,
+      // leaving the PlacementView stale; the caller re-finalizes once at
+      // the end (rejected moves revert below and need nothing).
+      if (kind != MoveKind::kShift) reoriented = true;
       return true;
     }
     switch (kind) {
@@ -321,6 +326,9 @@ MlgResult legalizeMacros(PlacementDB& db, const MlgConfig& cfg) {
   logInfo("mLG: W %.4g -> %.4g, D %.4g -> %.4g, Om %.4g -> %.4g (%d outer)",
           res.hpwlBefore, res.hpwlAfter, res.coverBefore, res.coverAfter,
           res.overlapBefore, res.overlapAfter, j);
+  // Accepted rotations/flips edited macro dims and pin offsets after
+  // finalize(); rebuild the view so downstream consumers see fresh topology.
+  if (sa.reoriented) db.finalize();
   return res;
 }
 

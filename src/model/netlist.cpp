@@ -15,24 +15,11 @@ void PlacementDB::finalize() {
   for (std::size_t i = 0; i < objects.size(); ++i) {
     if (!objects[i].fixed) movable_.push_back(static_cast<std::int32_t>(i));
   }
-  // CSR of object -> incident nets. A net touching the same object through
-  // several pins counts once per pin for degree purposes (matches |E_i| as
-  // "net subset incident" closely enough and is cheaper; duplicates are rare
-  // in these benchmarks).
-  std::vector<std::int32_t> counts(objects.size() + 1, 0);
-  for (const auto& net : nets) {
-    for (const auto& pin : net.pins) ++counts[static_cast<std::size_t>(pin.obj) + 1];
-  }
-  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
-  objNetStart_ = counts;
-  objNetIds_.assign(static_cast<std::size_t>(objNetStart_.back()), 0);
-  std::vector<std::int32_t> cursor(objNetStart_.begin(), objNetStart_.end() - 1);
-  for (std::size_t n = 0; n < nets.size(); ++n) {
-    for (const auto& pin : nets[n].pins) {
-      objNetIds_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(pin.obj)]++)] =
-          static_cast<std::int32_t>(n);
-    }
-  }
+  // The object->nets CSR (one entry per incident pin — a net touching the
+  // same object through several pins counts once per pin for degree
+  // purposes, matching |E_i| closely enough) now lives in the view along
+  // with the rest of the SoA arrays.
+  view_.build(*this);
   finalized_ = true;
 }
 
@@ -42,18 +29,6 @@ std::size_t PlacementDB::numMovableMacros() const {
     if (objects[static_cast<std::size_t>(i)].kind == ObjKind::kMacro) ++k;
   }
   return k;
-}
-
-std::vector<std::int32_t> PlacementDB::netsOf(std::int32_t obj) const {
-  const auto b = static_cast<std::size_t>(objNetStart_[static_cast<std::size_t>(obj)]);
-  const auto e = static_cast<std::size_t>(objNetStart_[static_cast<std::size_t>(obj) + 1]);
-  return {objNetIds_.begin() + static_cast<std::ptrdiff_t>(b),
-          objNetIds_.begin() + static_cast<std::ptrdiff_t>(e)};
-}
-
-std::int32_t PlacementDB::degreeOf(std::int32_t obj) const {
-  return objNetStart_[static_cast<std::size_t>(obj) + 1] -
-         objNetStart_[static_cast<std::size_t>(obj)];
 }
 
 double PlacementDB::totalMovableArea() const {
@@ -193,6 +168,10 @@ Status PlacementDB::sanitize(int* repaired) {
       fixes += duplicates;
     }
   }
+  // sanitize() mutates geometry (clamped pads, zero-area duplicates); if a
+  // view was already built it would be stale, so rebuild. Deliberately not
+  // setting finalized_: an unfinalized DB stays unfinalized for validate().
+  if (finalized_ && fixes > 0) view_.build(*this);
   if (repaired != nullptr) *repaired = fixes;
   return {};
 }

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "model/placement_view.h"
 #include "util/geometry.h"
 #include "util/status.h"
 
@@ -84,10 +86,16 @@ class PlacementDB {
   /// Per-bin density upper bound rho_t (1.0 for ISPD 2005, lower for 2006).
   double targetDensity = 1.0;
 
-  /// (Re)build derived structures: movable index list and the object->nets
-  /// CSR map. Must be called after the instance is assembled or edited
-  /// structurally (moving objects is fine without a rebuild).
+  /// (Re)build derived structures: movable index list and the flat SoA
+  /// PlacementView (geometry arrays, pin/net CSRs, movable remap). Must be
+  /// called after the instance is assembled or edited structurally (moving
+  /// objects is fine without a rebuild).
   void finalize();
+
+  /// The flat SoA core every kernel layer reads (valid after finalize()).
+  /// Mutable access exists so stage boundaries can sync positions.
+  [[nodiscard]] const PlacementView& view() const { return view_; }
+  [[nodiscard]] PlacementView& view() { return view_; }
 
   [[nodiscard]] const std::vector<std::int32_t>& movable() const {
     return movable_;
@@ -95,10 +103,15 @@ class PlacementDB {
   [[nodiscard]] std::size_t numMovable() const { return movable_.size(); }
   [[nodiscard]] std::size_t numMovableMacros() const;
 
-  /// Nets incident to object i (CSR lookup).
-  [[nodiscard]] std::vector<std::int32_t> netsOf(std::int32_t obj) const;
+  /// Nets incident to object i (CSR range into the view — no allocation).
+  /// Valid until the next finalize().
+  [[nodiscard]] std::span<const std::int32_t> netsOf(std::int32_t obj) const {
+    return view_.netsOf(obj);
+  }
   /// Vertex degree |E_i| — the wirelength preconditioner term of Eq. (12).
-  [[nodiscard]] std::int32_t degreeOf(std::int32_t obj) const;
+  [[nodiscard]] std::int32_t degreeOf(std::int32_t obj) const {
+    return view_.degreeOf(obj);
+  }
 
   [[nodiscard]] double totalMovableArea() const;
   /// Area of fixed objects clipped to the core region.
@@ -138,9 +151,7 @@ class PlacementDB {
 
  private:
   std::vector<std::int32_t> movable_;
-  // CSR: nets incident to each object.
-  std::vector<std::int32_t> objNetStart_;
-  std::vector<std::int32_t> objNetIds_;
+  PlacementView view_;
   bool finalized_ = false;
 };
 

@@ -58,6 +58,17 @@ NesterovOptimizer::Snapshot NesterovOptimizer::snapshot() const {
   return {u_, cur_, prev_, curGrad_, prevGrad_, a_, lastAlpha_, iter_};
 }
 
+void NesterovOptimizer::snapshotInto(Snapshot& s) const {
+  s.u = u_;
+  s.cur = cur_;
+  s.prev = prev_;
+  s.curGrad = curGrad_;
+  s.prevGrad = prevGrad_;
+  s.a = a_;
+  s.lastAlpha = lastAlpha_;
+  s.iter = iter_;
+}
+
 void NesterovOptimizer::restore(const Snapshot& s) {
   assert(s.u.size() == dim_);
   u_ = s.u;

@@ -83,6 +83,10 @@ class NesterovOptimizer {
     int iter = 0;
   };
   [[nodiscard]] Snapshot snapshot() const;
+  /// snapshot() into an existing Snapshot: vector assignment reuses the
+  /// destination's capacity, so refreshing a same-dimension checkpoint
+  /// performs no heap allocation (the Nesterov-loop zero-alloc contract).
+  void snapshotInto(Snapshot& s) const;
   void restore(const Snapshot& s);
 
   /// Post-rollback cool restart: drops the accumulated momentum (a_k back

@@ -168,39 +168,68 @@ WlEvaluator::WlEvaluator(const PlacementDB& db,
                          std::span<const std::int32_t> objToVar,
                          std::size_t numVars)
     : db_(&db) {
-  const std::size_t nNets = db.nets.size();
-  slotOffset_.assign(nNets + 1, 0);
-  for (std::size_t n = 0; n < nNets; ++n) {
-    slotOffset_[n + 1] = slotOffset_[n] + db.nets[n].pins.size();
-  }
-  pinGx_.assign(slotOffset_[nNets], 0.0);
-  pinGy_.assign(slotOffset_[nNets], 0.0);
-  perNet_.assign(nNets, 0.0);
+  const PlacementView& pv = db.view();
+  assert(pv.built());
+  netPinStart_ = pv.netPinStart();
+  pinObj_ = pv.pinObj();
+  pinOx_ = pv.pinOx();
+  pinOy_ = pv.pinOy();
+  netWeight_ = pv.netWeight();
+  objLx_ = pv.lx();
+  objLy_ = pv.ly();
+  objW_ = pv.w();
+  objH_ = pv.h();
+  maxNetDegree_ = pv.maxNetDegree();
 
-  std::vector<std::size_t> counts(numVars, 0);
-  for (std::size_t n = 0; n < nNets; ++n) {
-    const auto& net = db.nets[n];
-    if (net.pins.size() < 2) continue;
-    for (const auto& pin : net.pins) {
-      const auto v = objToVar[static_cast<std::size_t>(pin.obj)];
-      if (v >= 0) ++counts[static_cast<std::size_t>(v)];
+  ScratchArena& arena = pv.arena();
+  pinGx_ = arena.doubles("wl.pinGx", pv.numPins());
+  pinGy_ = arena.doubles("wl.pinGy", pv.numPins());
+  perNet_ = arena.doubles("wl.perNet", pv.numNets());
+
+  // Var -> pin-slot incidence. Each variable maps to at most one object,
+  // and that object's objPinIds list is ascending global pin ids — i.e.
+  // (net, pin) order, the accumulation order of the serial gradient loop.
+  // Pins of nets with < 2 pins carry no gradient and are filtered out.
+  const auto objPinStart = pv.objPinStart();
+  const auto objPinIds = pv.objPinIds();
+  const auto pinNet = pv.pinNet();
+  const std::size_t nObj = pv.numObjects();
+  auto liveDegree = [&](std::int32_t pid) {
+    const auto n = static_cast<std::size_t>(pinNet[static_cast<std::size_t>(pid)]);
+    return netPinStart_[n + 1] - netPinStart_[n];
+  };
+  varOffset_ = arena.ints("wl.varOffset", numVars + 1);
+  std::fill(varOffset_.begin(), varOffset_.end(), 0);
+  for (std::size_t i = 0; i < nObj; ++i) {
+    const auto v = objToVar[i];
+    if (v < 0) continue;
+    std::int32_t c = 0;
+    for (auto s = objPinStart[i]; s < objPinStart[i + 1]; ++s) {
+      if (liveDegree(objPinIds[static_cast<std::size_t>(s)]) >= 2) ++c;
+    }
+    varOffset_[static_cast<std::size_t>(v) + 1] = c;
+  }
+  for (std::size_t v = 1; v <= numVars; ++v) varOffset_[v] += varOffset_[v - 1];
+  varSlots_ = arena.ints(
+      "wl.varSlots", static_cast<std::size_t>(varOffset_[numVars]));
+  for (std::size_t i = 0; i < nObj; ++i) {
+    const auto v = objToVar[i];
+    if (v < 0) continue;
+    auto at = static_cast<std::size_t>(varOffset_[static_cast<std::size_t>(v)]);
+    for (auto s = objPinStart[i]; s < objPinStart[i + 1]; ++s) {
+      const auto pid = objPinIds[static_cast<std::size_t>(s)];
+      if (liveDegree(pid) >= 2) varSlots_[at++] = pid;
     }
   }
-  varOffset_.assign(numVars + 1, 0);
-  for (std::size_t v = 0; v < numVars; ++v) {
-    varOffset_[v + 1] = varOffset_[v] + counts[v];
-  }
-  varSlots_.assign(varOffset_[numVars], 0);
-  std::vector<std::size_t> cursor(varOffset_.begin(), varOffset_.end() - 1);
-  // Filling in net-major order leaves each variable's slot list sorted by
-  // (net, pin) — the accumulation order of the serial gradient loop.
-  for (std::size_t n = 0; n < nNets; ++n) {
-    const auto& net = db.nets[n];
-    if (net.pins.size() < 2) continue;
-    for (std::size_t k = 0; k < net.pins.size(); ++k) {
-      const auto v = objToVar[static_cast<std::size_t>(net.pins[k].obj)];
-      if (v < 0) continue;
-      varSlots_[cursor[static_cast<std::size_t>(v)]++] = slotOffset_[n] + k;
+}
+
+void WlEvaluator::ensureScratch(std::size_t parts) {
+  if (scratch_.size() < parts) scratch_.resize(parts);
+  const auto cap = static_cast<std::size_t>(maxNetDegree_);
+  for (std::size_t t = 0; t < parts; ++t) {
+    if (scratch_[t].px.capacity() < cap) {
+      scratch_[t].px.reserve(cap);
+      scratch_[t].py.reserve(cap);
     }
   }
 }
@@ -210,54 +239,60 @@ double WlEvaluator::waGrad(const VarView& view, double gammaX, double gammaY,
                            ThreadPool* pool) {
   assert(db_ != nullptr && view.db == db_);
   assert(gx.size() + 1 == varOffset_.size() && gy.size() == gx.size());
-  const auto& nets = db_->nets;
-  auto perNet = [&](std::size_t, std::size_t n0, std::size_t n1) {
-    std::vector<double> px, py;
+  const std::size_t nNets = perNet_.size();
+  const bool par = pool != nullptr && pool->threads() > 1;
+  ensureScratch(par ? static_cast<std::size_t>(pool->threads()) : 1);
+  auto perNet = [&](std::size_t part, std::size_t n0, std::size_t n1) {
+    auto& px = scratch_[part].px;
+    auto& py = scratch_[part].py;
     for (std::size_t n = n0; n < n1; ++n) {
-      const auto& net = nets[n];
-      if (net.pins.size() < 2) {
+      const auto pb = static_cast<std::size_t>(netPinStart_[n]);
+      const auto pe = static_cast<std::size_t>(netPinStart_[n + 1]);
+      if (pe - pb < 2) {
         perNet_[n] = 0.0;
         continue;
       }
       px.clear();
       py.clear();
-      for (const auto& pin : net.pins) {
-        const Point p = view.pinPos(pin);
+      for (std::size_t pid = pb; pid < pe; ++pid) {
+        const Point p = pinPosition(view, pid);
         px.push_back(p.x);
         py.push_back(p.y);
       }
       WaAxis ax, ay;
       ax.prepare(px, gammaX);
       ay.prepare(py, gammaY);
-      perNet_[n] = net.weight * (ax.extent() + ay.extent());
-      const std::size_t base = slotOffset_[n];
-      for (std::size_t k = 0; k < net.pins.size(); ++k) {
-        pinGx_[base + k] = net.weight * ax.grad(px[k]);
-        pinGy_[base + k] = net.weight * ay.grad(py[k]);
+      perNet_[n] = netWeight_[n] * (ax.extent() + ay.extent());
+      for (std::size_t k = 0; k < pe - pb; ++k) {
+        pinGx_[pb + k] = netWeight_[n] * ax.grad(px[k]);
+        pinGy_[pb + k] = netWeight_[n] * ay.grad(py[k]);
       }
     }
   };
   auto gather = [&](std::size_t, std::size_t v0, std::size_t v1) {
     for (std::size_t v = v0; v < v1; ++v) {
       double sx = 0.0, sy = 0.0;
-      for (std::size_t s = varOffset_[v]; s < varOffset_[v + 1]; ++s) {
-        sx += pinGx_[varSlots_[s]];
-        sy += pinGy_[varSlots_[s]];
+      const auto s0 = static_cast<std::size_t>(varOffset_[v]);
+      const auto s1 = static_cast<std::size_t>(varOffset_[v + 1]);
+      for (std::size_t s = s0; s < s1; ++s) {
+        const auto slot = static_cast<std::size_t>(varSlots_[s]);
+        sx += pinGx_[slot];
+        sy += pinGy_[slot];
       }
       gx[v] = sx;
       gy[v] = sy;
     }
   };
-  if (pool != nullptr && pool->threads() > 1) {
-    pool->parallelFor(nets.size(), perNet, 64);
+  if (par) {
+    pool->parallelFor(nNets, perNet, 64);
     pool->parallelFor(gx.size(), gather, 512);
   } else {
-    perNet(0, 0, nets.size());
+    perNet(0, 0, nNets);
     gather(0, 0, gx.size());
   }
   double total = 0.0;
-  for (std::size_t n = 0; n < nets.size(); ++n) {
-    if (nets[n].pins.size() < 2) continue;
+  for (std::size_t n = 0; n < nNets; ++n) {
+    if (netPinStart_[n + 1] - netPinStart_[n] < 2) continue;
     total += perNet_[n];
   }
   return total;
@@ -265,34 +300,35 @@ double WlEvaluator::waGrad(const VarView& view, double gammaX, double gammaY,
 
 double WlEvaluator::hpwl(const VarView& view, ThreadPool* pool) {
   assert(db_ != nullptr && view.db == db_);
-  const auto& nets = db_->nets;
+  const std::size_t nNets = perNet_.size();
   auto perNet = [&](std::size_t, std::size_t n0, std::size_t n1) {
     for (std::size_t n = n0; n < n1; ++n) {
-      const auto& net = nets[n];
-      if (net.pins.empty()) {
+      const auto pb = static_cast<std::size_t>(netPinStart_[n]);
+      const auto pe = static_cast<std::size_t>(netPinStart_[n + 1]);
+      if (pe == pb) {
         perNet_[n] = 0.0;
         continue;
       }
       double lx = std::numeric_limits<double>::max(), hx = -lx;
       double ly = lx, hy = -lx;
-      for (const auto& pin : net.pins) {
-        const Point p = view.pinPos(pin);
+      for (std::size_t pid = pb; pid < pe; ++pid) {
+        const Point p = pinPosition(view, pid);
         lx = std::min(lx, p.x);
         hx = std::max(hx, p.x);
         ly = std::min(ly, p.y);
         hy = std::max(hy, p.y);
       }
-      perNet_[n] = net.weight * ((hx - lx) + (hy - ly));
+      perNet_[n] = netWeight_[n] * ((hx - lx) + (hy - ly));
     }
   };
   if (pool != nullptr && pool->threads() > 1) {
-    pool->parallelFor(nets.size(), perNet, 64);
+    pool->parallelFor(nNets, perNet, 64);
   } else {
-    perNet(0, 0, nets.size());
+    perNet(0, 0, nNets);
   }
   double total = 0.0;
-  for (std::size_t n = 0; n < nets.size(); ++n) {
-    if (nets[n].pins.empty()) continue;
+  for (std::size_t n = 0; n < nNets; ++n) {
+    if (netPinStart_[n + 1] == netPinStart_[n]) continue;
     total += perNet_[n];
   }
   return total;

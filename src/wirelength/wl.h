@@ -59,25 +59,32 @@ double lseWirelengthGrad(const VarView& view, double gammaX, double gammaY,
 /// overflow tau decreases from 1 to 0.1 during mGP.
 double waGammaSchedule(double binDim, double overflow);
 
-/// Reusable parallel evaluator for the WA gradient and exact HPWL.
+/// Reusable parallel evaluator for the WA gradient and exact HPWL, reading
+/// topology straight from the PlacementView pin CSR (no private CSR build).
 ///
 /// Determinism contract (see docs/PERFORMANCE.md): results are bit-identical
 /// to the serial free functions for any thread count. Two phases:
 ///  1. per-net, embarrassingly parallel — each net writes its own weighted
 ///     value into perNet_ and its per-pin gradient contributions into fixed
-///     pin slots (slotOffset_[net] + pinIndex);
+///     pin slots (the view's global pin ids);
 ///  2. per-variable gather over a CSR incidence (varOffset_/varSlots_) whose
 ///     slots are stored in (net, pin) order — the exact accumulation order
 ///     of the serial loop — followed by a serial in-net-order fold of the
 ///     per-net values.
-/// The incidence depends only on the netlist topology and the obj->var map,
-/// so build the evaluator once per placement stage and reuse it.
+/// The incidence depends only on the view topology and the obj->var map, so
+/// build the evaluator once per placement stage and reuse it. Scratch
+/// buffers live in the view's ScratchArena under "wl." keys: a cGP-stage
+/// evaluator reuses the mGP stage's allocations, and steady-state calls
+/// perform no heap allocation. At most one evaluator per view may be live
+/// at a time (the arena lease; see placement_view.h).
 class WlEvaluator {
  public:
   WlEvaluator() = default;
   /// `objToVar` must outlive the evaluator only during construction; the
-  /// netlist `db` must outlive all calls. Nets with < 2 pins carry no
-  /// gradient and are excluded from the incidence, matching the serial code.
+  /// netlist `db` must be finalize()d and outlive all calls. Nets with
+  /// < 2 pins carry no gradient and are excluded from the incidence,
+  /// matching the serial code. Fixed-object pin positions come from the
+  /// view's SoA geometry — fresh by the view position contract.
   WlEvaluator(const PlacementDB& db, std::span<const std::int32_t> objToVar,
               std::size_t numVars);
 
@@ -91,12 +98,38 @@ class WlEvaluator {
   double hpwl(const VarView& view, ThreadPool* pool = nullptr);
 
  private:
+  [[nodiscard]] Point pinPosition(const VarView& view, std::size_t pid) const {
+    const auto obj = static_cast<std::size_t>(pinObj_[pid]);
+    const auto v = view.objToVar[obj];
+    if (v >= 0) {
+      return {view.x[static_cast<std::size_t>(v)] + pinOx_[pid],
+              view.y[static_cast<std::size_t>(v)] + pinOy_[pid]};
+    }
+    // Fixed object: center from the view geometry (same FP expression as
+    // Object::center(), so results stay bit-identical to VarView::pinPos).
+    const double cx = objLx_[obj] + objW_[obj] * 0.5;
+    const double cy = objLy_[obj] + objH_[obj] * 0.5;
+    return {cx + pinOx_[pid], cy + pinOy_[pid]};
+  }
+  void ensureScratch(std::size_t parts);
+
   const PlacementDB* db_ = nullptr;
-  std::vector<std::size_t> slotOffset_;  // nets+1: global pin-slot base
-  std::vector<std::size_t> varOffset_;   // numVars+1: CSR offsets
-  std::vector<std::size_t> varSlots_;    // slot ids in (net, pin) order
-  std::vector<double> pinGx_, pinGy_;    // per-pin-slot contributions
-  std::vector<double> perNet_;           // per-net weighted value
+  // View topology (spans into the view; valid until the next finalize()).
+  std::span<const std::int32_t> netPinStart_, pinObj_;
+  std::span<const double> pinOx_, pinOy_, netWeight_;
+  std::span<const double> objLx_, objLy_, objW_, objH_;
+  std::int32_t maxNetDegree_ = 0;
+  // Arena-backed ("wl." keys): incidence + per-call slot buffers.
+  std::span<std::int32_t> varOffset_;  // numVars+1: CSR offsets
+  std::span<std::int32_t> varSlots_;   // global pin ids, (net, pin) order
+  std::span<double> pinGx_, pinGy_;    // per-pin-slot contributions
+  std::span<double> perNet_;           // per-net weighted value
+  // Per-partition pin-coordinate scratch, capacity >= maxNetDegree_ so the
+  // hot loop never allocates; grown only on the orchestrating thread.
+  struct PartScratch {
+    std::vector<double> px, py;
+  };
+  std::vector<PartScratch> scratch_;
 };
 
 }  // namespace ep
