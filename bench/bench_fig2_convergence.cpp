@@ -9,13 +9,14 @@
 // re-introduced overlap; cDP removes the remaining overlap entirely.
 #include "common.h"
 #include "util/csv.h"
-#include "util/parallel.h"
+#include "util/context.h"
 
 int main() {
   using namespace ep;
   using namespace ep::bench;
   const GenSpec spec = suiteSpec("mms_adaptec1s");
   PlacementDB db = generateCircuit(spec);
+  RuntimeContext ctx;
 
   // The threads column is provenance only: traces are bit-identical for any
   // thread count (docs/PERFORMANCE.md).
@@ -41,12 +42,12 @@ int main() {
       csv.row(std::vector<std::string>{
           stage, std::to_string(global), std::to_string(t.hpwl),
           std::to_string(t.overflow), std::to_string(overlapNow()),
-          std::to_string(ThreadPool::globalThreads())});
+          std::to_string(ctx.pool().threads())});
     }
     ++global;
   };
 
-  const FlowResult res = runEplaceFlow(db, cfg);
+  const FlowResult res = runEplaceFlow(db, cfg, &ctx);
 
   std::printf("=== Fig. 2: HPWL / overlap per stage (mms_adaptec1s) ===\n");
   std::printf("%-6s %12s %12s %10s\n", "stage", "HPWL", "OVLP", "overflow");

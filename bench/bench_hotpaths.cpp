@@ -16,8 +16,13 @@
 //    instance, plus the final HPWL bits so identical results are checkable.
 //  * "bit_identical": true iff every thread count produced bit-identical
 //    final HPWL — the determinism contract, asserted here on real runs.
+//  * "batch_2x": two concurrent placer sessions (4 threads split between
+//    them) against the same two jobs run back-to-back; wall seconds,
+//    speedup, and whether both orders were bit-identical per design.
 #include <atomic>
 #include <cinttypes>
+#include <filesystem>
+#include <thread>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,11 +32,14 @@
 #include <string>
 #include <vector>
 
+#include "bookshelf/bookshelf.h"
 #include "density/electro.h"
 #include "eplace/flow.h"
+#include "eplace/session.h"
 #include "eval/metrics.h"
 #include "gen/generator.h"
 #include "qp/initial_place.h"
+#include "util/context.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 #include "wirelength/wl.h"
@@ -181,15 +189,15 @@ int main(int argc, char** argv) {
   flowSpec.seed = 43;
   std::vector<EndToEndRow> endToEnd;
   bool bitIdentical = true;
+  FlowConfig flowCfg;
+  flowCfg.runDetail = false;
+  if (smoke) flowCfg.gp.maxIterations = 1;  // does-it-run gate only
+  if (smoke) flowCfg.gp.minIterations = 0;
   for (const int nt : threadCounts) {
-    ThreadPool::setGlobalThreads(nt);
+    RuntimeContext ctx(nt);
     PlacementDB run = generateCircuit(flowSpec);
-    FlowConfig cfg;
-    cfg.runDetail = false;
-    if (smoke) cfg.gp.maxIterations = 1;  // does-it-run gate only
-    if (smoke) cfg.gp.minIterations = 0;
     const std::uint64_t a0 = allocCount();
-    const FlowResult res = runEplaceFlow(run, cfg);
+    const FlowResult res = runEplaceFlow(run, flowCfg, &ctx);
     const std::uint64_t flowAllocs = allocCount() - a0;
     endToEnd.push_back(
         {nt, res.mgp.seconds, res.cgp.seconds, res.finalHpwl, flowAllocs});
@@ -202,7 +210,45 @@ int main(int argc, char** argv) {
                 nt, res.mgp.seconds, res.cgp.seconds, res.finalHpwl,
                 flowAllocs);
   }
-  ThreadPool::setGlobalThreads(0);
+
+  // --- batch: 2 concurrent sessions vs the same 2 jobs sequentially ---------
+  namespace fs = std::filesystem;
+  const fs::path batchDir = fs::temp_directory_path() / "bench_hotpaths_batch";
+  fs::remove_all(batchDir);
+  fs::create_directories(batchDir);
+  double batchSeqSeconds = 0.0;
+  double batchConcSeconds = 0.0;
+  bool batchIdentical = true;
+  {
+    const PlacementDB gen = generateCircuit(flowSpec);
+    if (!writeBookshelf(batchDir.string(), "hotpaths_flow", gen).ok()) {
+      std::fprintf(stderr, "cannot stage batch instance; batch row is 0s\n");
+    } else {
+      const std::string aux = (batchDir / "hotpaths_flow.aux").string();
+      const std::vector<BatchItem> items{{aux, "batch_a"}, {aux, "batch_b"}};
+      BatchOptions conc;
+      conc.maxConcurrentSessions = 2;
+      conc.totalThreads = 4;  // 2 worker threads per in-flight session
+      conc.session.flow = flowCfg;
+      BatchOptions seq = conc;  // same jobs, same total budget, one at a time
+      seq.maxConcurrentSessions = 1;
+      const BatchResult sr = runPlacerBatch(items, seq);
+      const BatchResult cr = runPlacerBatch(items, conc);
+      batchSeqSeconds = sr.totalSeconds;
+      batchConcSeconds = cr.totalSeconds;
+      batchIdentical = sr.allOk() && cr.allOk();
+      for (std::size_t i = 0; batchIdentical && i < items.size(); ++i) {
+        batchIdentical =
+            std::bit_cast<std::uint64_t>(sr.items[i].flow.finalHpwl) ==
+            std::bit_cast<std::uint64_t>(cr.items[i].flow.finalHpwl);
+      }
+      std::printf("batch 2x: sequential %.2fs, concurrent %.2fs, "
+                  "identical=%s\n",
+                  batchSeqSeconds, batchConcSeconds,
+                  batchIdentical ? "true" : "false");
+    }
+  }
+  fs::remove_all(batchDir);
 
   // --- emit JSON ------------------------------------------------------------
   FILE* f = std::fopen("BENCH_hotpaths.json", "w");
@@ -212,8 +258,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-  std::fprintf(f, "  \"hw_concurrency\": %d,\n",
-               ThreadPool::globalThreads());
+  std::fprintf(f, "  \"hw_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"cells\": %zu,\n", nVars);
   std::fprintf(f, "  \"grid\": %zu,\n", dim);
   std::fprintf(f, "  \"kernels\": [\n");
@@ -238,6 +284,14 @@ int main(int argc, char** argv) {
                  i + 1 < endToEnd.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"batch_2x\": {\"sessions\": 2, \"total_threads\": 4, "
+               "\"sequential_seconds\": %.4f, \"concurrent_seconds\": "
+               "%.4f, \"speedup\": %.3f, \"bit_identical\": %s},\n",
+               batchSeqSeconds, batchConcSeconds,
+               batchConcSeconds > 0.0 ? batchSeqSeconds / batchConcSeconds
+                                      : 0.0,
+               batchIdentical ? "true" : "false");
   // Steady-state contract: every timed kernel must run allocation-free
   // after its warm-up call (the Nesterov inner loop is exactly these
   // kernels plus element-wise vector updates).
@@ -247,7 +301,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"bit_identical\": %s\n", bitIdentical ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("wrote BENCH_hotpaths.json (bit_identical=%s)\n",
-              bitIdentical ? "true" : "false");
-  return bitIdentical ? 0 : 1;
+  std::printf("wrote BENCH_hotpaths.json (bit_identical=%s, batch=%s)\n",
+              bitIdentical ? "true" : "false",
+              batchIdentical ? "true" : "false");
+  return bitIdentical && batchIdentical ? 0 : 1;
 }

@@ -24,7 +24,12 @@
 //     --threads <n>          worker threads for the hot kernels (default:
 //                            hardware concurrency; results are bit-identical
 //                            for any n, see docs/PERFORMANCE.md)
-//     --verbose              info-level logging
+//     --batch <manifest>     place every .aux listed in <manifest> (one path
+//                            per line, # comments) instead of a single design
+//     --sessions <k>         concurrent placer sessions for --batch
+//                            (default 2); --threads is split across them
+//     --log-level <lvl>      debug | info | warn | error | off (default warn)
+//     --verbose              shorthand for --log-level info
 //
 // Exit codes follow the ep::Status taxonomy (docs/ROBUSTNESS.md):
 //   0 success   1 usage/unknown error   2 InvalidInput   3 Io
@@ -38,17 +43,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bookshelf/bookshelf.h"
 #include "eplace/flow.h"
+#include "eplace/session.h"
 #include "eplace/supervisor.h"
 #include "eval/metrics.h"
 #include "eval/plot.h"
 #include "gen/generator.h"
+#include "util/context.h"
 #include "util/fault_injector.h"
 #include "util/log.h"
-#include "util/parallel.h"
 #include "util/status.h"
 
 namespace {
@@ -71,45 +80,59 @@ int exitCodeFor(ep::StatusCode code) {
   return 1;
 }
 
-/// Parses "site=kind@tick" or "site=kind@tickxCount" and arms the injector.
-bool armInjection(const std::string& arg) {
+/// Parses "site=kind@tick" or "site=kind@tickxCount"; armed on the run
+/// context once it exists (after --threads / --log-level are known).
+bool parseInjection(const std::string& arg, std::string* site,
+                    ep::FaultSpec* spec) {
   const auto eq = arg.find('=');
   const auto at = arg.find('@');
   if (eq == std::string::npos || at == std::string::npos || at < eq) {
     return false;
   }
-  const std::string site = arg.substr(0, eq);
+  *site = arg.substr(0, eq);
   const std::string kind = arg.substr(eq + 1, at - eq - 1);
   std::string tickStr = arg.substr(at + 1);
-  ep::FaultSpec spec;
   if (kind == "nan") {
-    spec.kind = ep::FaultKind::kNaN;
+    spec->kind = ep::FaultKind::kNaN;
   } else if (kind == "spike") {
-    spec.kind = ep::FaultKind::kSpike;
+    spec->kind = ep::FaultKind::kSpike;
   } else if (kind == "trunc") {
-    spec.kind = ep::FaultKind::kTruncate;
+    spec->kind = ep::FaultKind::kTruncate;
   } else {
     return false;
   }
   const auto x = tickStr.find('x');
   if (x != std::string::npos) {
-    spec.count = std::atoi(tickStr.c_str() + x + 1);
+    spec->count = std::atoi(tickStr.c_str() + x + 1);
     tickStr.resize(x);
   }
-  spec.atTick = std::atol(tickStr.c_str());
-  ep::FaultInjector::instance().arm(site, spec);
-  std::printf("armed fault: %s kind=%s tick=%ld count=%d\n", site.c_str(),
-              kind.c_str(), spec.atTick, spec.count);
+  spec->atTick = std::atol(tickStr.c_str());
   return true;
 }
 
-int place(ep::PlacementDB& db, const ep::FlowConfig& cfg,
-          const std::string& outDir, const std::string& plotPath,
-          bool supervised, const ep::SupervisorConfig& sup) {
+/// Reads a batch manifest: one .aux path per line, blank lines and
+/// #-comments skipped.
+bool readManifest(const std::string& path, std::vector<ep::BatchItem>* out) {
+  std::ifstream f(path);
+  if (!f.good()) return false;
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    out->push_back({line.substr(first, last - first + 1), ""});
+  }
+  return true;
+}
+
+int place(ep::RuntimeContext& ctx, ep::PlacementDB& db,
+          const ep::FlowConfig& cfg, const std::string& outDir,
+          const std::string& plotPath, bool supervised,
+          const ep::SupervisorConfig& sup) {
   ep::SupervisorReport report;
   const ep::StatusOr<ep::FlowResult> run =
-      supervised ? ep::runSupervisedFlow(db, cfg, sup, &report)
-                 : ep::runEplaceFlowChecked(db, cfg);
+      supervised ? ep::runSupervisedFlow(db, cfg, sup, &report, &ctx)
+                 : ep::runEplaceFlowChecked(db, cfg, &ctx);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().toString().c_str());
     return exitCodeFor(run.status().code());
@@ -135,7 +158,7 @@ int place(ep::PlacementDB& db, const ep::FlowConfig& cfg,
     std::printf("wrote %s/%s_placed.{aux,nodes,nets,pl,scl,wts}\n",
                 outDir.c_str(), db.name.c_str());
   }
-  if (!plotPath.empty() && ep::plotLayout(db, plotPath)) {
+  if (!plotPath.empty() && ep::plotLayout(db, plotPath, {}, {}, {}, {}, {}, &ctx)) {
     std::printf("wrote %s\n", plotPath.c_str());
   }
   if (!res.status.ok()) return exitCodeFor(res.status.code());
@@ -145,11 +168,15 @@ int place(ep::PlacementDB& db, const ep::FlowConfig& cfg,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string aux, outDir, plotPath;
+  std::string aux, outDir, plotPath, batchPath;
   double density = 0.0;
+  int threads = 0;
+  int sessions = 2;
+  ep::LogLevel logLevel = ep::LogLevel::kWarn;
   ep::FlowConfig cfg;
   ep::SupervisorConfig sup;
   bool supervised = false;
+  std::vector<std::pair<std::string, ep::FaultSpec>> injections;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
@@ -193,14 +220,26 @@ int main(int argc, char** argv) {
       sup.cdp.maxAttempts = attempts;
       supervised = true;
     } else if (a == "--inject" && i + 1 < argc) {
-      if (!armInjection(argv[++i])) {
+      std::string site;
+      ep::FaultSpec spec;
+      if (!parseInjection(argv[++i], &site, &spec)) {
         std::fprintf(stderr, "bad --inject spec %s\n", argv[i]);
         return 1;
       }
+      injections.emplace_back(std::move(site), spec);
     } else if (a == "--threads" && i + 1 < argc) {
-      ep::ThreadPool::setGlobalThreads(std::atoi(argv[++i]));
+      threads = std::atoi(argv[++i]);
+    } else if (a == "--batch" && i + 1 < argc) {
+      batchPath = argv[++i];
+    } else if (a == "--sessions" && i + 1 < argc) {
+      sessions = std::atoi(argv[++i]);
+    } else if (a == "--log-level" && i + 1 < argc) {
+      if (!ep::parseLogLevel(argv[++i], &logLevel)) {
+        std::fprintf(stderr, "bad --log-level %s\n", argv[i]);
+        return 1;
+      }
     } else if (a == "--verbose") {
-      ep::setLogLevel(ep::LogLevel::kInfo);
+      logLevel = ep::LogLevel::kInfo;
     } else if (a[0] != '-') {
       aux = a;
     } else {
@@ -212,6 +251,65 @@ int main(int argc, char** argv) {
   // directory (kill/resume loops keep one directory) or "./snapshots".
   if (sup.saveEvery > 0 && sup.snapshotDir.empty()) {
     sup.snapshotDir = sup.resumeDir.empty() ? "snapshots" : sup.resumeDir;
+  }
+
+  // --- batch mode: N designs, K concurrent sessions -------------------------
+  if (!batchPath.empty()) {
+    std::vector<ep::BatchItem> items;
+    if (!readManifest(batchPath, &items)) {
+      std::fprintf(stderr, "cannot read manifest %s\n", batchPath.c_str());
+      return 3;
+    }
+    if (items.empty()) {
+      std::fprintf(stderr, "manifest %s lists no designs\n",
+                   batchPath.c_str());
+      return 2;
+    }
+    if (!injections.empty()) {
+      std::fprintf(stderr,
+                   "--inject applies to single-design runs only; ignored "
+                   "in --batch mode\n");
+    }
+    ep::BatchOptions opt;
+    opt.maxConcurrentSessions = sessions;
+    opt.totalThreads = threads;
+    opt.session.logLevel = logLevel;
+    opt.session.flow = cfg;
+    opt.session.supervised = supervised;
+    opt.session.sup = sup;
+    opt.snapshotRoot = sup.snapshotDir;  // per-session subdirectories
+    std::printf("batch: %zu designs, %d sessions in flight\n", items.size(),
+                opt.maxConcurrentSessions);
+    const ep::BatchResult batch = ep::runPlacerBatch(items, opt);
+    int exit = 0;
+    for (const auto& r : batch.items) {
+      if (r.status.ok()) {
+        std::printf("%-16s HPWL %.6g, legal=%s, %.2fs%s\n", r.name.c_str(),
+                    r.flow.finalHpwl, r.flow.legality.legal ? "yes" : "no",
+                    r.seconds,
+                    r.flow.status.ok() ? "" : "  [degraded]");
+        if (!r.flow.status.ok() && exit == 0) {
+          exit = exitCodeFor(r.flow.status.code());
+        }
+        if (!r.flow.legality.legal && exit == 0) exit = 6;
+      } else {
+        std::printf("%-16s FAILED: %s\n", r.name.c_str(),
+                    r.status.toString().c_str());
+        if (exit == 0) exit = exitCodeFor(r.status.code());
+      }
+    }
+    std::printf("batch done in %.2fs wall\n", batch.totalSeconds);
+    return exit;
+  }
+
+  ep::RuntimeOptions ro;
+  ro.threads = threads;
+  ro.logLevel = logLevel;
+  ep::RuntimeContext ctx(ro);
+  for (const auto& [site, spec] : injections) {
+    ctx.faults().arm(site, spec);
+    std::printf("armed fault: %s tick=%ld count=%d\n", site.c_str(),
+                spec.atTick, spec.count);
   }
 
   ep::PlacementDB db;
@@ -234,7 +332,7 @@ int main(int argc, char** argv) {
     if (outDir.empty()) outDir = "cli_demo";
   }
 
-  const ep::Status rd = ep::readBookshelf(aux, db);
+  const ep::Status rd = ep::readBookshelf(aux, db, &ctx);
   if (!rd.ok()) {
     std::fprintf(stderr, "cannot read %s: %s\n", aux.c_str(),
                  rd.toString().c_str());
@@ -245,6 +343,6 @@ int main(int argc, char** argv) {
               "%.0f, rho_t %.2f, threads %d\n",
               db.name.c_str(), db.objects.size(), db.numMovable(),
               db.nets.size(), db.region.width(), db.region.height(),
-              db.targetDensity, ep::ThreadPool::globalThreads());
-  return place(db, cfg, outDir, plotPath, supervised, sup);
+              db.targetDensity, ctx.pool().threads());
+  return place(ctx, db, cfg, outDir, plotPath, supervised, sup);
 }

@@ -7,6 +7,7 @@
 #include "eval/metrics.h"
 #include "opt/cg.h"
 #include "opt/nesterov.h"
+#include "util/context.h"
 #include "util/log.h"
 #include "util/timer.h"
 #include "util/rng.h"
@@ -163,7 +164,9 @@ struct BellEngine {
 
 }  // namespace
 
-BellPlaceResult bellPlace(PlacementDB& db, const BellPlaceConfig& cfg) {
+BellPlaceResult bellPlace(PlacementDB& db, const BellPlaceConfig& cfg,
+                          RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   BellPlaceResult res;
   const auto& movable = db.movable();
   const std::size_t n = movable.size();
@@ -233,7 +236,7 @@ BellPlaceResult bellPlace(PlacementDB& db, const BellPlaceConfig& cfg) {
   if (cfg.useNesterov) {
     NesterovConfig ncfg;
     ncfg.bootstrapMove = 0.1 * eng.grid.dx();
-    NesterovOptimizer opt(2 * n, evalFn, ncfg, project);
+    NesterovOptimizer opt(2 * n, evalFn, ncfg, project, &rc.pool());
     Timer total;
     opt.initialize(v);
     for (int outer = 0; outer < cfg.maxOuterIterations; ++outer) {
@@ -250,8 +253,8 @@ BellPlaceResult bellPlace(PlacementDB& db, const BellPlaceConfig& cfg) {
     res.gradEvals = opt.evalCount();
     res.lineSearchSeconds = 0.0;  // no line search in Nesterov mode
     res.optimizerSeconds = total.seconds();
-    logInfo("bellPlace[nesterov]: %d outers, overflow %.3f, HPWL %.4g",
-            res.outerIterations, res.finalOverflow, res.hpwl);
+    rc.log().info("bellPlace[nesterov]: %d outers, overflow %.3f, HPWL %.4g",
+                  res.outerIterations, res.finalOverflow, res.hpwl);
     return res;
   }
 
@@ -275,8 +278,9 @@ BellPlaceResult bellPlace(PlacementDB& db, const BellPlaceConfig& cfg) {
   res.gradEvals = opt.evalCount();
   res.lineSearchSeconds = opt.lineSearchSeconds();
   res.optimizerSeconds = opt.totalSeconds();
-  logInfo("bellPlace: %d outers, overflow %.3f, HPWL %.4g, %ld evals",
-          res.outerIterations, res.finalOverflow, res.hpwl, res.gradEvals);
+  rc.log().info("bellPlace: %d outers, overflow %.3f, HPWL %.4g, %ld evals",
+                res.outerIterations, res.finalOverflow, res.hpwl,
+                res.gradEvals);
   return res;
 }
 

@@ -13,6 +13,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct BellPlaceConfig {
   int maxOuterIterations = 12;
   int cgIterationsPerOuter = 60;
@@ -39,6 +41,7 @@ struct BellPlaceResult {
 };
 
 /// Globally places all movables of `db` (cells and macros alike).
-BellPlaceResult bellPlace(PlacementDB& db, const BellPlaceConfig& cfg = {});
+BellPlaceResult bellPlace(PlacementDB& db, const BellPlaceConfig& cfg = {},
+                          RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

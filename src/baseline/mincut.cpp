@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "baseline/fm.h"
+#include "util/context.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "wirelength/wl.h"
@@ -31,7 +32,9 @@ double freeCapacity(const PlacementDB& db, const Rect& r) {
 
 }  // namespace
 
-MinCutResult minCutPlace(PlacementDB& db, const MinCutConfig& cfg) {
+MinCutResult minCutPlace(PlacementDB& db, const MinCutConfig& cfg,
+                         RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   MinCutResult res;
   Rng rng(cfg.seed);
 
@@ -179,8 +182,8 @@ MinCutResult minCutPlace(PlacementDB& db, const MinCutConfig& cfg) {
   }
 
   res.hpwl = hpwl(db);
-  logInfo("minCutPlace: %d partitions, depth %d, HPWL %.4g", res.partitions,
-          res.maxDepth, res.hpwl);
+  rc.log().info("minCutPlace: %d partitions, depth %d, HPWL %.4g",
+                res.partitions, res.maxDepth, res.hpwl);
   return res;
 }
 

@@ -12,6 +12,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct MinCutConfig {
   std::size_t leafCells = 8;     ///< stop recursion at this many objects
   double balanceTolerance = 0.15;
@@ -27,6 +29,7 @@ struct MinCutResult {
 
 /// Places all movable objects of `db` (cells and macros alike). Overlap is
 /// expected at leaf granularity; legalize afterwards.
-MinCutResult minCutPlace(PlacementDB& db, const MinCutConfig& cfg = {});
+MinCutResult minCutPlace(PlacementDB& db, const MinCutConfig& cfg = {},
+                         RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

@@ -7,6 +7,7 @@
 #include "eval/metrics.h"
 #include "qp/b2b.h"
 #include "qp/sparse.h"
+#include "util/context.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "wirelength/wl.h"
@@ -109,7 +110,9 @@ std::vector<double> spreadAxis(const PlacementDB& db,
 }  // namespace
 
 QuadraticPlaceResult quadraticPlace(PlacementDB& db,
-                                    const QuadraticPlaceConfig& cfg) {
+                                    const QuadraticPlaceConfig& cfg,
+                                    RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   QuadraticPlaceResult res;
   const auto& movable = db.movable();
   const auto n = static_cast<std::int32_t>(movable.size());
@@ -200,8 +203,8 @@ QuadraticPlaceResult quadraticPlace(PlacementDB& db,
 
   writeBack();
   res.hpwl = hpwl(db);
-  logInfo("quadraticPlace: %d iters, overflow %.3f, HPWL %.4g",
-          res.iterations, res.finalOverflow, res.hpwl);
+  rc.log().info("quadraticPlace: %d iters, overflow %.3f, HPWL %.4g",
+                res.iterations, res.finalOverflow, res.hpwl);
   return res;
 }
 

@@ -14,6 +14,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct QuadraticPlaceConfig {
   int maxIterations = 30;
   double targetOverflow = 0.10;
@@ -37,6 +39,7 @@ struct QuadraticPlaceResult {
 
 /// Globally places all movables of `db` (cells and macros alike).
 QuadraticPlaceResult quadraticPlace(PlacementDB& db,
-                                    const QuadraticPlaceConfig& cfg = {});
+                                    const QuadraticPlaceConfig& cfg = {},
+                                    RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "util/context.h"
 #include "util/fault_injector.h"
 #include "util/log.h"
 
@@ -28,11 +29,11 @@ std::string dirOf(const std::string& path) {
 /// "bookshelf.line" fault site (kTruncate = premature EOF).
 class LineScanner {
  public:
-  LineScanner(std::istream& in, std::string file)
-      : in_(in), file_(std::move(file)) {}
+  LineScanner(std::istream& in, std::string file, RuntimeContext& rc)
+      : in_(in), file_(std::move(file)), rc_(rc) {}
 
   bool next(std::string& line) {
-    auto& inj = FaultInjector::instance();
+    FaultInjector& inj = rc_.faults();
     while (std::getline(in_, line)) {
       ++lineNo_;
       if (inj.active()) {
@@ -60,18 +61,19 @@ class LineScanner {
   [[nodiscard]] Status fail(const std::string& msg) const {
     std::ostringstream os;
     os << file_ << ":" << lineNo_ << ": " << msg;
-    logWarn("bookshelf: %s", os.str().c_str());
+    rc_.log().warn("bookshelf: %s", os.str().c_str());
     return Status::invalidInput(os.str());
   }
 
  private:
   std::istream& in_;
   std::string file_;
+  RuntimeContext& rc_;
   int lineNo_ = 0;
 };
 
-Status ioFail(const std::string& msg) {
-  logWarn("bookshelf: %s", msg.c_str());
+Status ioFail(RuntimeContext& rc, const std::string& msg) {
+  rc.log().warn("bookshelf: %s", msg.c_str());
   return Status::ioError(msg);
 }
 
@@ -101,13 +103,14 @@ bool parseCount(const std::string& tok, long& out) {
   return true;
 }
 
-Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
+Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
+                         RuntimeContext& rc) {
   std::ifstream aux(auxPath);
-  if (!aux) return ioFail("cannot open " + auxPath);
+  if (!aux) return ioFail(rc, "cannot open " + auxPath);
   std::string nodesFile, netsFile, plFile, sclFile, wtsFile;
   std::string line;
   {
-    LineScanner sc(aux, auxPath);
+    LineScanner sc(aux, auxPath, rc);
     while (sc.next(line)) {
       for (const auto& t : tokens(line)) {
         auto ends = [&](const char* suffix) {
@@ -124,7 +127,7 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
     }
   }
   if (nodesFile.empty() || netsFile.empty() || plFile.empty()) {
-    logWarn("bookshelf: %s lists no nodes/nets/pl", auxPath.c_str());
+    rc.log().warn("bookshelf: %s lists no nodes/nets/pl", auxPath.c_str());
     return Status::invalidInput(auxPath + " lists no nodes/nets/pl");
   }
   const std::string dir = dirOf(auxPath) + "/";
@@ -143,8 +146,8 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
   // ---- .nodes ----
   {
     std::ifstream in(dir + nodesFile);
-    if (!in) return ioFail("cannot open " + nodesFile);
-    LineScanner sc(in, nodesFile);
+    if (!in) return ioFail(rc, "cannot open " + nodesFile);
+    LineScanner sc(in, nodesFile, rc);
     long declared = -1;
     while (sc.next(line)) {
       const auto t = tokens(line);
@@ -178,8 +181,8 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
   // ---- .nets ----
   {
     std::ifstream in(dir + netsFile);
-    if (!in) return ioFail("cannot open " + netsFile);
-    LineScanner sc(in, netsFile);
+    if (!in) return ioFail(rc, "cannot open " + netsFile);
+    LineScanner sc(in, netsFile, rc);
     Net* cur = nullptr;
     std::size_t remaining = 0;
     long declaredNets = -1, declaredPins = -1;
@@ -266,7 +269,7 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
   if (!wtsFile.empty()) {
     std::ifstream in(dir + wtsFile);
     if (in) {
-      LineScanner sc(in, wtsFile);
+      LineScanner sc(in, wtsFile, rc);
       std::unordered_map<std::string, std::size_t> netIdx;
       for (std::size_t i = 0; i < db.nets.size(); ++i) {
         netIdx[db.nets[i].name] = i;
@@ -289,8 +292,8 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
   // ---- .pl ----
   {
     std::ifstream in(dir + plFile);
-    if (!in) return ioFail("cannot open " + plFile);
-    LineScanner sc(in, plFile);
+    if (!in) return ioFail(rc, "cannot open " + plFile);
+    LineScanner sc(in, plFile, rc);
     while (sc.next(line)) {
       const auto t = tokens(line);
       if (t.empty() || t[0] == "UCLA") continue;
@@ -312,8 +315,8 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
   double rowMinY = rowMinX, rowMaxY = -rowMinX;
   if (!sclFile.empty()) {
     std::ifstream in(dir + sclFile);
-    if (!in) return ioFail("cannot open " + sclFile);
-    LineScanner sc(in, sclFile);
+    if (!in) return ioFail(rc, "cannot open " + sclFile);
+    LineScanner sc(in, sclFile, rc);
     Row row;
     bool inRow = false;
     auto rowNum = [&](const std::string& tok, double& out) -> bool {
@@ -385,7 +388,7 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
   db.finalize();
   const Status issue = db.validate();
   if (!issue.ok()) {
-    logWarn("bookshelf: invalid instance: %s", issue.message().c_str());
+    rc.log().warn("bookshelf: invalid instance: %s", issue.message().c_str());
     return Status::invalidInput(auxPath + ": invalid instance: " +
                                 issue.message());
   }
@@ -394,32 +397,36 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db) {
 
 }  // namespace
 
-Status readBookshelf(const std::string& auxPath, PlacementDB& db) {
+Status readBookshelf(const std::string& auxPath, PlacementDB& db,
+                     RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   // The parser itself is exception-free; the catch is a last-resort seam so
   // a freak allocation failure on a corrupt file surfaces as a status, not
   // a crash.
   try {
-    return readBookshelfImpl(auxPath, db);
+    return readBookshelfImpl(auxPath, db, rc);
   } catch (const std::exception& e) {
-    logWarn("bookshelf: parse error in %s: %s", auxPath.c_str(), e.what());
+    rc.log().warn("bookshelf: parse error in %s: %s", auxPath.c_str(),
+                  e.what());
     return Status::invalidInput(std::string("parse error in ") + auxPath +
                                 ": " + e.what());
   }
 }
 
 Status writeBookshelf(const std::string& dir, const std::string& base,
-                      const PlacementDB& db) {
+                      const PlacementDB& db, RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   const std::string prefix = dir + "/" + base;
 
   {
     std::ofstream out(prefix + ".aux");
-    if (!out) return ioFail("cannot write " + prefix + ".aux");
+    if (!out) return ioFail(rc, "cannot write " + prefix + ".aux");
     out << "RowBasedPlacement : " << base << ".nodes " << base << ".nets "
         << base << ".wts " << base << ".pl " << base << ".scl\n";
   }
   {
     std::ofstream out(prefix + ".nodes");
-    if (!out) return ioFail("cannot write " + prefix + ".nodes");
+    if (!out) return ioFail(rc, "cannot write " + prefix + ".nodes");
     out << std::setprecision(15);
     out << "UCLA nodes 1.0\n\n";
     std::size_t terminals = 0;
@@ -433,7 +440,7 @@ Status writeBookshelf(const std::string& dir, const std::string& base,
   }
   {
     std::ofstream out(prefix + ".nets");
-    if (!out) return ioFail("cannot write " + prefix + ".nets");
+    if (!out) return ioFail(rc, "cannot write " + prefix + ".nets");
     out << std::setprecision(15);
     out << "UCLA nets 1.0\n\n";
     std::size_t pins = 0;
@@ -453,7 +460,7 @@ Status writeBookshelf(const std::string& dir, const std::string& base,
   }
   {
     std::ofstream out(prefix + ".wts");
-    if (!out) return ioFail("cannot write " + prefix + ".wts");
+    if (!out) return ioFail(rc, "cannot write " + prefix + ".wts");
     out << std::setprecision(15);
     out << "UCLA wts 1.0\n\n";
     for (const auto& n : db.nets) {
@@ -462,7 +469,7 @@ Status writeBookshelf(const std::string& dir, const std::string& base,
   }
   {
     std::ofstream out(prefix + ".pl");
-    if (!out) return ioFail("cannot write " + prefix + ".pl");
+    if (!out) return ioFail(rc, "cannot write " + prefix + ".pl");
     out << std::setprecision(15);
     out << "UCLA pl 1.0\n\n";
     for (const auto& o : db.objects) {
@@ -472,7 +479,7 @@ Status writeBookshelf(const std::string& dir, const std::string& base,
   }
   {
     std::ofstream out(prefix + ".scl");
-    if (!out) return ioFail("cannot write " + prefix + ".scl");
+    if (!out) return ioFail(rc, "cannot write " + prefix + ".scl");
     out << std::setprecision(15);
     out << "UCLA scl 1.0\n\n";
     out << "NumRows : " << db.rows.size() << "\n";

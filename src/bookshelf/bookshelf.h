@@ -25,13 +25,18 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 /// Reads `<aux>` (path to the .aux file) and fills `db` (finalized).
 /// Object kinds: terminals with row-sized height stay kIo, larger ones are
 /// kMacro; movable objects taller than one row are kMacro.
-Status readBookshelf(const std::string& auxPath, PlacementDB& db);
+/// `ctx` supplies the log sink and the "bookshelf.line" fault site;
+/// nullptr resolves to the process-default context.
+Status readBookshelf(const std::string& auxPath, PlacementDB& db,
+                     RuntimeContext* ctx = nullptr);
 
 /// Writes db as `<dir>/<base>.{aux,nodes,nets,pl,scl,wts}`.
 Status writeBookshelf(const std::string& dir, const std::string& base,
-                      const PlacementDB& db);
+                      const PlacementDB& db, RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

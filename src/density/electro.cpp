@@ -21,12 +21,12 @@ std::span<double> ElectroDensity::buf(ScratchArena* arena, const char* key,
 
 ElectroDensity::ElectroDensity(const Rect& region, std::size_t nx,
                                std::size_t ny, double targetDensity,
-                               ScratchArena* arena)
+                               ScratchArena* arena, FaultInjector* faults)
     : grid_(region, nx, ny),
       ovfGrid_(region, std::max<std::size_t>(16, nx / 4),
                std::max<std::size_t>(16, ny / 4)),
       rhoT_(targetDensity),
-      solver_(nx, ny, grid_.dx(), grid_.dy()) {
+      solver_(nx, ny, grid_.dx(), grid_.dy(), faults) {
   fixedSolver_ = buf(arena, "den.fixedSolver", nx * ny);
   fixedExact_ = buf(arena, "den.fixedExact", ovfGrid_.numBins());
   staticCharge_ = buf(arena, "den.staticCharge", nx * ny);

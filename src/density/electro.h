@@ -51,8 +51,11 @@ class ElectroDensity {
   /// "den." keys, so a cGP-stage engine reuses the mGP stage's
   /// allocations. At most one ElectroDensity may lease those keys at a
   /// time (see placement_view.h); pass nullptr for owned storage.
+  /// `faults` (optional, borrowed) reaches the spectral solver's
+  /// "fft.forward" fault site.
   ElectroDensity(const Rect& region, std::size_t nx, std::size_t ny,
-                 double targetDensity, ScratchArena* arena = nullptr);
+                 double targetDensity, ScratchArena* arena = nullptr,
+                 FaultInjector* faults = nullptr);
 
   /// Stamp the fixed objects of `db` into the base maps, reading the
   /// view's SoA geometry (db must be finalize()d; fixed positions are

@@ -3,18 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
 namespace ep {
 
-FillerSet makeFillers(const PlacementDB& db, std::uint64_t seed) {
+FillerSet makeFillers(const PlacementDB& db, std::uint64_t seed,
+                      RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   FillerSet fillers;
 
   const double movableArea = db.totalMovableArea();
   const double budget = db.targetDensity * db.freeArea() - movableArea;
   if (budget <= 0.0) {
-    logWarn("makeFillers: no whitespace budget (utilization too high)");
+    rc.log().warn("makeFillers: no whitespace budget (utilization too high)");
     return fillers;
   }
 
@@ -52,8 +55,8 @@ FillerSet makeFillers(const PlacementDB& db, std::uint64_t seed) {
     fillers.cx[k] = rng.uniform(r.lx + dim * 0.5, r.hx - dim * 0.5);
     fillers.cy[k] = rng.uniform(r.ly + dim * 0.5, r.hy - dim * 0.5);
   }
-  logInfo("makeFillers: %zu fillers of %.3g x %.3g (budget %.4g)", count, dim,
-          dim, budget);
+  rc.log().info("makeFillers: %zu fillers of %.3g x %.3g (budget %.4g)",
+                count, dim, dim, budget);
   return fillers;
 }
 

@@ -12,6 +12,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct FillerSet {
   std::vector<double> cx, cy;  // centers
   double w = 0.0, h = 0.0;     // uniform filler dims
@@ -26,6 +28,7 @@ struct FillerSet {
 /// rho_t * freeArea - movableArea (clamped at zero); each filler is a square
 /// sized from the average area of the middle 80% of movable cells; positions
 /// are uniform random inside the region (deterministic per seed).
-FillerSet makeFillers(const PlacementDB& db, std::uint64_t seed);
+FillerSet makeFillers(const PlacementDB& db, std::uint64_t seed,
+                      RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/context.h"
 #include "util/log.h"
 #include "wirelength/wl.h"
 
@@ -28,14 +29,14 @@ StageMetrics stageSnapshot(const PlacementDB& db, double seconds, int iters) {
 
 void flowStageMip(PlacementDB& db, FlowState& st) {
   Timer t;
-  const auto ip = quadraticInitialPlace(db, st.cfg.ip);
+  const auto ip = quadraticInitialPlace(db, st.cfg.ip, st.ctx);
   st.res.stageSeconds.add("mIP", t.seconds());
   st.res.mip = stageSnapshot(db, t.seconds(), st.cfg.ip.outerIterations);
 }
 
 void flowStageMgp(PlacementDB& db, FlowState& st, const GpRunControl& ctl) {
   Timer t;
-  GlobalPlacer mgp(db, db.movable(), st.cfg.gp);
+  GlobalPlacer mgp(db, db.movable(), st.cfg.gp, st.ctx);
   if (ctl.resume != nullptr && st.fillers.size() > 0) {
     // Resumed mid-mGP: the checkpoint carries the filler set (positions are
     // inside the optimizer state; dims/count must match the engine).
@@ -63,7 +64,7 @@ void flowStageMgp(PlacementDB& db, FlowState& st, const GpRunControl& ctl) {
 
 void flowStageMlg(PlacementDB& db, FlowState& st) {
   Timer t;
-  st.res.mlgResult = legalizeMacros(db, st.cfg.mlg);
+  st.res.mlgResult = legalizeMacros(db, st.cfg.mlg, st.ctx);
   st.res.stageSeconds.add("mLG", t.seconds());
   st.res.mlg = stageSnapshot(db, t.seconds(), st.res.mlgResult.outerIterations);
 }
@@ -82,7 +83,7 @@ void flowStageCgp(PlacementDB& db, FlowState& st, const GpRunControl& ctl) {
                                 std::max(1, st.cfg.cgpBufferDivisor));
   gpc.initialLambda = st.res.mgpResult.finalLambda *
                       std::pow(gpc.lambdaMultMax, -static_cast<double>(m));
-  GlobalPlacer cgp(db, db.movable(), gpc);
+  GlobalPlacer cgp(db, db.movable(), gpc, st.ctx);
   cgp.setFillers(st.fillers);
   if (st.cfg.enableFillerOnly && ctl.resume == nullptr) {
     cgp.runFillerOnly(st.cfg.fillerOnlyIterations);
@@ -99,8 +100,8 @@ void flowStageCgp(PlacementDB& db, FlowState& st, const GpRunControl& ctl) {
 
 void flowStageCdp(PlacementDB& db, FlowState& st) {
   Timer t;
-  st.res.legalizeResult = legalizeCells(db);
-  st.res.detailResult = detailPlace(db, st.cfg.detail);
+  st.res.legalizeResult = legalizeCells(db, st.ctx);
+  st.res.detailResult = detailPlace(db, st.cfg.detail, st.ctx);
   st.res.stageSeconds.add("cDP", t.seconds());
   st.res.cdp = stageSnapshot(db, t.seconds(), st.res.detailResult.passes);
 }
@@ -120,14 +121,20 @@ void flowFinish(PlacementDB& db, FlowState& st) {
       res.status = res.cgpResult.status;
     }
   }
-  logInfo("flow done: HPWL %.4g (scaled %.4g), legal=%d, status=%s, %.2fs",
-          res.finalHpwl, res.finalScaledHpwl, res.legality.legal ? 1 : 0,
-          statusCodeName(res.status.code()), res.totalSeconds);
+  RuntimeContext& rc = resolveContext(st.ctx);
+  rc.stats().set("flow.finalHpwl", res.finalHpwl);
+  rc.stats().set("flow.totalSeconds", res.totalSeconds);
+  rc.log().info(
+      "flow done: HPWL %.4g (scaled %.4g), legal=%d, status=%s, %.2fs",
+      res.finalHpwl, res.finalScaledHpwl, res.legality.legal ? 1 : 0,
+      statusCodeName(res.status.code()), res.totalSeconds);
 }
 
-FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg) {
+FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg,
+                         RuntimeContext* ctx) {
   FlowState st;
   st.cfg = cfg;
+  st.ctx = ctx;
 
   flowStageMip(db, st);
   st.mixedSize = db.numMovableMacros() > 0;
@@ -143,12 +150,14 @@ FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg) {
 }
 
 StatusOr<FlowResult> runEplaceFlowChecked(PlacementDB& db,
-                                          const FlowConfig& cfg) {
+                                          const FlowConfig& cfg,
+                                          RuntimeContext* ctx) {
   int repaired = 0;
   const Status s = db.sanitize(&repaired);
   if (!s.ok()) return s;
   if (repaired > 0) {
-    logWarn("flow: sanitize repaired %d object position(s)", repaired);
+    resolveContext(ctx).log().warn(
+        "flow: sanitize repaired %d object position(s)", repaired);
   }
   const Status v = db.validate();
   if (!v.ok()) return v;
@@ -156,7 +165,7 @@ StatusOr<FlowResult> runEplaceFlowChecked(PlacementDB& db,
   // thread pool, see ThreadPool) surfaces here as a typed status instead of
   // std::terminate-ing the process.
   try {
-    return runEplaceFlow(db, cfg);
+    return runEplaceFlow(db, cfg, ctx);
   } catch (const std::exception& e) {
     return Status::internal(std::string("flow aborted by exception: ") +
                             e.what());

@@ -27,6 +27,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct FlowConfig {
   InitialPlaceConfig ip;
   GpConfig gp;  ///< used by mGP and (with rewound lambda) cGP
@@ -74,7 +76,10 @@ struct FlowResult {
 /// has movable macros. The mGP filler set is reused by cGP per the paper.
 /// Assumes a valid, finalized db (see runEplaceFlowChecked for the
 /// validating entry point); degradation status is in FlowResult::status.
-FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg = {});
+/// `ctx` supplies the thread pool, fault injector, log sink and deadline
+/// for every stage; nullptr uses the process-default context.
+FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg = {},
+                         RuntimeContext* ctx = nullptr);
 
 /// Validating entry point: sanitizes the instance (clamping stranded fixed
 /// pads, recentering non-finite movables), validates it, then runs the
@@ -82,7 +87,8 @@ FlowResult runEplaceFlow(PlacementDB& db, const FlowConfig& cfg = {});
 /// is structurally unusable; otherwise the FlowResult (whose `status`
 /// reports any in-flight degradation, see above).
 StatusOr<FlowResult> runEplaceFlowChecked(PlacementDB& db,
-                                          const FlowConfig& cfg = {});
+                                          const FlowConfig& cfg = {},
+                                          RuntimeContext* ctx = nullptr);
 
 // ---------------------------------------------------------------------------
 // Stage-level decomposition. runEplaceFlow drives these in order; the
@@ -93,12 +99,14 @@ StatusOr<FlowResult> runEplaceFlowChecked(PlacementDB& db,
 // stage guarantees the supervised flow cannot drift from the plain one.
 // ---------------------------------------------------------------------------
 
-/// Mutable state threaded through the stage functions.
+/// Mutable state threaded through the stage functions. `ctx` is borrowed
+/// (never owned) and may be nullptr, meaning the process-default context.
 struct FlowState {
   FlowConfig cfg;
   FlowResult res;
   FillerSet fillers;  ///< mGP filler set, reused by cGP (Sec. VI-B)
   bool mixedSize = false;
+  RuntimeContext* ctx = nullptr;
   Timer total;
 };
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "density/electro.h"
+#include "util/context.h"
 #include "util/fault_injector.h"
 #include "util/log.h"
 #include "util/parallel.h"
@@ -27,6 +28,7 @@ std::size_t gridDim(std::size_t cfgDim, std::size_t numObjects) {
 // the mGP engine warms the capacities and the cGP / filler-only engines
 // built afterwards reuse those allocations instead of rebuilding them.
 struct GlobalPlacer::Engine {
+  RuntimeContext& rc;
   PlacementDB& db;
   const GpConfig& cfg;
   FillerSet& fillers;
@@ -44,9 +46,10 @@ struct GlobalPlacer::Engine {
   ElectroDensity density;
   WlEvaluator wlEval;
 
-  // All hot loops below run on this pool; every kernel is deterministic
-  // (bit-identical results for any thread count — see docs/PERFORMANCE.md).
-  ThreadPool* pool = &ThreadPool::global();
+  // All hot loops below run on the context's pool; every kernel is
+  // deterministic (bit-identical results for any thread count — see
+  // docs/PERFORMANCE.md).
+  ThreadPool* pool = nullptr;
 
   // Scratch gradient buffers.
   std::span<double> gxW, gyW, gxD, gyD;
@@ -55,16 +58,19 @@ struct GlobalPlacer::Engine {
   double lambda = 0.0;
   double smoothWl = 0.0;  // last W~ value
 
-  Engine(PlacementDB& dbIn, const std::vector<std::int32_t>& movables,
-         const GpConfig& cfgIn, FillerSet& fillersIn, TimeBreakdown& bd)
-      : db(dbIn),
+  Engine(RuntimeContext& rcIn, PlacementDB& dbIn,
+         const std::vector<std::int32_t>& movables, const GpConfig& cfgIn,
+         FillerSet& fillersIn, TimeBreakdown& bd)
+      : rc(rcIn),
+        db(dbIn),
         cfg(cfgIn),
         fillers(fillersIn),
         breakdown(bd),
         density(dbIn.region,
                 gridDim(cfgIn.gridNx, movables.size() + fillersIn.size()),
                 gridDim(cfgIn.gridNy, movables.size() + fillersIn.size()),
-                dbIn.targetDensity, &dbIn.view().arena()) {
+                dbIn.targetDensity, &dbIn.view().arena(), &rcIn.faults()),
+        pool(&rcIn.pool()) {
     PlacementView& pv = db.view();
     assert(pv.built());
     // Stage boundary: whatever moved objects since the last finalize
@@ -174,7 +180,7 @@ struct GlobalPlacer::Engine {
     pool->parallelFor(nVars, assemble);
     // Fault site "nesterov.grad": corrupts the assembled gradient so the
     // health monitor's rollback-and-recover path can be exercised.
-    auto& inj = FaultInjector::instance();
+    FaultInjector& inj = rc.faults();
     if (inj.active()) {
       if (const FaultSpec* f = inj.fire("nesterov.grad")) {
         inj.corrupt(grad, *f);
@@ -256,11 +262,15 @@ struct GlobalPlacer::Engine {
 };
 
 GlobalPlacer::GlobalPlacer(PlacementDB& db,
-                           std::vector<std::int32_t> movables, GpConfig cfg)
-    : db_(db), movables_(std::move(movables)), cfg_(cfg) {}
+                           std::vector<std::int32_t> movables, GpConfig cfg,
+                           RuntimeContext* ctx)
+    : ctx_(resolveContext(ctx)),
+      db_(db),
+      movables_(std::move(movables)),
+      cfg_(cfg) {}
 
 void GlobalPlacer::makeFillersFromDb() {
-  fillers_ = makeFillers(db_, cfg_.fillerSeed);
+  fillers_ = makeFillers(db_, cfg_.fillerSeed, &ctx_);
 }
 
 void GlobalPlacer::setFillers(FillerSet fillers) {
@@ -271,7 +281,7 @@ void GlobalPlacer::runFillerOnly(int iterations) {
   if (fillers_.size() == 0 || iterations <= 0) return;
   // Dedicated engine: no movable cells, all real objects static charges.
   std::vector<std::int32_t> none;
-  Engine eng(db_, none, cfg_, fillers_, breakdown_);
+  Engine eng(ctx_, db_, none, cfg_, fillers_, breakdown_);
   // Pin every movable object as a static charge, gathered from the view
   // (the engine constructor just synced it) via arena buffers.
   const PlacementView& pv = db_.view();
@@ -300,24 +310,25 @@ void GlobalPlacer::runFillerOnly(int iterations) {
       [&eng](std::span<const double> v, std::span<double> g) {
         return eng.evalGrad(v, g);
       },
-      ncfg, [&eng](std::span<double> v) { eng.project(v); });
+      ncfg, [&eng](std::span<double> v) { eng.project(v); }, &ctx_.pool());
   const auto v0 = eng.startVector(none);
   opt.initialize(v0);
   for (int k = 0; k < iterations; ++k) opt.step();
   if (!allFinite(opt.solution())) {
     // Fillers are an optimizer-internal device; a blown-up prelude must not
     // poison cGP. Keep the (finite) input distribution instead.
-    logWarn("filler-only placement went non-finite; keeping input positions");
+    ctx_.log().warn(
+        "filler-only placement went non-finite; keeping input positions");
     return;
   }
   eng.writeBack(opt.solution(), none);
-  logInfo("filler-only placement: %d iterations over %zu fillers", iterations,
-          fillers_.size());
+  ctx_.log().info("filler-only placement: %d iterations over %zu fillers",
+                  iterations, fillers_.size());
 }
 
 GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
   GpResult result;
-  Engine eng(db_, movables_, cfg_, fillers_, breakdown_);
+  Engine eng(ctx_, db_, movables_, cfg_, fillers_, breakdown_);
   if (eng.nVars == 0) return result;
 
   NesterovConfig ncfg = cfg_.nesterov;
@@ -329,9 +340,19 @@ GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
       [&eng](std::span<const double> v, std::span<double> g) {
         return eng.evalGrad(v, g);
       },
-      ncfg, [&eng](std::span<double> v) { eng.project(v); });
+      ncfg, [&eng](std::span<double> v) { eng.project(v); }, &ctx_.pool());
 
-  HealthMonitor monitor(cfg_.health);
+  // The stage watchdog honors both the configured budget and the context's
+  // session-wide wall-clock deadline, whichever expires first.
+  HealthConfig health = cfg_.health;
+  const double remaining = ctx_.remainingSeconds();
+  if (std::isfinite(remaining)) {
+    const double rem = std::max(1e-3, remaining);
+    health.timeBudgetSeconds = health.timeBudgetSeconds > 0.0
+                                   ? std::min(health.timeBudgetSeconds, rem)
+                                   : rem;
+  }
+  HealthMonitor monitor(health);
   double prevHpwl = 0.0;
   double refHpwl = 0.0;
   double startTau = 0.0;
@@ -345,13 +366,13 @@ GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
           "checkpoint dimension " + std::to_string(rs.opt.u.size()) +
           " does not match engine dimension " +
           std::to_string(2 * eng.nVars));
-      logWarn("GP: %s", result.status.message().c_str());
+      ctx_.log().warn("GP: %s", result.status.message().c_str());
       return result;
     }
     if (!allFinite(rs.opt.u) || !allFinite(rs.opt.cur)) {
       result.status =
           Status::invalidInput("checkpoint holds non-finite positions");
-      logWarn("GP: %s", result.status.message().c_str());
+      ctx_.log().warn("GP: %s", result.status.message().c_str());
       return result;
     }
     opt.restore(rs.opt);
@@ -362,14 +383,15 @@ GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
     startTau = rs.tau;
     startIter = rs.iter;
     monitor.resetAfterRollback(prevHpwl, rs.tau);
-    logInfo("GP: resuming from checkpoint at iter %d (HPWL %.4g, tau %.3f)",
-            startIter, prevHpwl, rs.tau);
+    ctx_.log().info(
+        "GP: resuming from checkpoint at iter %d (HPWL %.4g, tau %.3f)",
+        startIter, prevHpwl, rs.tau);
   } else {
     const auto v0 = eng.startVector(movables_);
     if (!allFinite(v0)) {
       result.status = Status::invalidInput(
           "non-finite start positions; run PlacementDB::sanitize() first");
-      logWarn("GP: %s", result.status.message().c_str());
+      ctx_.log().warn("GP: %s", result.status.message().c_str());
       return result;
     }
     startTau = eng.overflow(v0);
@@ -425,8 +447,8 @@ GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
         opt.restore(best.snap);
         eng.lambda = best.lambda;
       }
-      logWarn("GP: watchdog fired at iter %d after %.2fs", iter,
-              wall.seconds());
+      ctx_.log().warn("GP: watchdog fired at iter %d after %.2fs", iter,
+                      wall.seconds());
       ++iter;
       break;
     }
@@ -442,12 +464,12 @@ GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
             std::to_string(cfg_.health.maxRecoveries) +
             ") exhausted, returning checkpoint from iter " +
             std::to_string(best.iter));
-        logWarn("GP: %s", result.status.message().c_str());
+        ctx_.log().warn("GP: %s", result.status.message().c_str());
         ++iter;
         break;
       }
       ++recoveries;
-      logWarn(
+      ctx_.log().warn(
           "GP: %s at iter %d (HPWL %.4g, tau %.3f); rollback to iter %d, "
           "recovery %d/%d",
           healthEventName(ev), iter, curHpwl, tau, best.iter, recoveries,
@@ -519,11 +541,14 @@ GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
   result.finalLambda = eng.lambda;
   result.gradEvals = opt.evalCount();
   result.backtracks = opt.backtrackCount();
-  logInfo("GP: %d iters, HPWL %.4g, overflow %.3f, converged=%d, "
-          "recoveries=%d, status=%s",
-          iter, result.finalHpwl, result.finalOverflow,
-          result.converged ? 1 : 0, recoveries,
-          statusCodeName(result.status.code()));
+  ctx_.stats().add("gp.iterations", static_cast<double>(iter));
+  ctx_.stats().add("gp.gradEvals", static_cast<double>(result.gradEvals));
+  ctx_.stats().add("gp.recoveries", static_cast<double>(recoveries));
+  ctx_.log().info(
+      "GP: %d iters, HPWL %.4g, overflow %.3f, converged=%d, "
+      "recoveries=%d, status=%s",
+      iter, result.finalHpwl, result.finalOverflow, result.converged ? 1 : 0,
+      recoveries, statusCodeName(result.status.code()));
   return result;
 }
 

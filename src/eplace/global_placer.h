@@ -30,6 +30,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct GpConfig {
   double targetOverflow = 0.10;  ///< mGP stop criterion (Sec. III)
   int maxIterations = 3000;      ///< paper's cap (Sec. V-D)
@@ -116,8 +118,12 @@ class GlobalPlacer {
   /// treated as fixed charges if their `fixed` flag is set in the DB; a
   /// non-fixed object excluded from `movables` would neither move nor repel,
   /// so phases must keep flags consistent — the Flow does).
+  ///
+  /// `ctx` supplies the thread pool, fault injector, log sink, stats
+  /// registry and wall-clock deadline; nullptr uses the process-default
+  /// context. The context must outlive the placer (borrowed, not owned).
   GlobalPlacer(PlacementDB& db, std::vector<std::int32_t> movables,
-               GpConfig cfg);
+               GpConfig cfg, RuntimeContext* ctx = nullptr);
 
   /// Create fillers from the DB whitespace budget (mGP) …
   void makeFillersFromDb();
@@ -139,6 +145,7 @@ class GlobalPlacer {
 
  private:
   struct Engine;  // internal arrays + callbacks, built per run
+  RuntimeContext& ctx_;
   PlacementDB& db_;
   std::vector<std::int32_t> movables_;
   GpConfig cfg_;

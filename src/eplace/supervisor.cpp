@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "util/context.h"
 #include "util/log.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -169,7 +170,8 @@ struct ResumeData {
 
 SnapshotData buildSnapshot(PlacementDB& db, const FlowState& st,
                            FlowStage next, bool macrosFrozen,
-                           const Rng& jitter, const GpCheckpointState* gp) {
+                           const Rng& jitter, const GpCheckpointState* gp,
+                           int poolThreads) {
   SnapshotData snap;
   {
     ByteWriter w;
@@ -215,7 +217,7 @@ SnapshotData buildSnapshot(PlacementDB& db, const FlowState& st,
     // (every kernel is thread-count deterministic) so readers ignore this
     // section; it is recorded for forensics on traces from other machines.
     ByteWriter w;
-    w.i32(ThreadPool::globalThreads());
+    w.i32(poolThreads);
     snap.add("env", w.take());
   }
   if (gp != nullptr) {
@@ -335,6 +337,7 @@ Status decodeSnapshot(const SnapshotData& snap, const PlacementDB& db,
 // --- the supervisor itself -------------------------------------------------
 
 struct Supervisor {
+  RuntimeContext& rc;
   PlacementDB& db;
   const SupervisorConfig& sup;
   SupervisorReport& report;
@@ -348,25 +351,35 @@ struct Supervisor {
   bool hasResumeGp = false;
   FlowStage resumeGpStage = FlowStage::kMgp;
 
-  Supervisor(PlacementDB& database, const FlowConfig& cfg,
-             const SupervisorConfig& supervision, SupervisorReport& rep)
-      : db(database), sup(supervision), report(rep), jitter(sup.perturbSeed) {
+  Supervisor(RuntimeContext& rcIn, PlacementDB& database,
+             const FlowConfig& cfg, const SupervisorConfig& supervision,
+             SupervisorReport& rep)
+      : rc(rcIn),
+        db(database),
+        sup(supervision),
+        report(rep),
+        jitter(sup.perturbSeed) {
     st.cfg = cfg;
+    st.ctx = &rc;
   }
 
+  /// A stage may continue only while both its own budget and the context's
+  /// session-wide deadline have time left.
   [[nodiscard]] bool budgetLeft(const StagePolicy& pol, const Timer& t) const {
+    if (rc.deadlineExceeded()) return false;
     return pol.timeBudgetSeconds <= 0.0 || t.seconds() < pol.timeBudgetSeconds;
   }
 
   void saveSnapshot(FlowStage next, const GpCheckpointState* gp) {
     if (sup.snapshotDir.empty()) return;
     const SnapshotData snap = buildSnapshot(db, st, next, macrosFrozen,
-                                            jitter, gp);
+                                            jitter, gp, rc.pool().threads());
     const std::string path = sup.snapshotDir + "/" + snapFileName(nextSeq);
-    const Status s = writeSnapshotFile(path, snap);
+    const Status s = writeSnapshotFile(path, snap, &rc.faults());
     if (!s.ok()) {
       // A failing checkpoint must never fail the placement itself.
-      logWarn("supervisor: snapshot write failed: %s", s.toString().c_str());
+      rc.log().warn("supervisor: snapshot write failed: %s",
+                    s.toString().c_str());
       return;
     }
     ++nextSeq;
@@ -390,26 +403,26 @@ struct Supervisor {
       const auto sr = readSnapshotFile(path);
       if (!sr.ok()) {
         ++report.snapshotsRejected;
-        logWarn("supervisor: rejected snapshot %s: %s", it->c_str(),
-                sr.status().toString().c_str());
+        rc.log().warn("supervisor: rejected snapshot %s: %s", it->c_str(),
+                      sr.status().toString().c_str());
         continue;
       }
       rd = ResumeData{};
       const Status ds = decodeSnapshot(*sr, db, rd);
       if (!ds.ok()) {
         ++report.snapshotsRejected;
-        logWarn("supervisor: rejected snapshot %s: %s", it->c_str(),
-                ds.toString().c_str());
+        rc.log().warn("supervisor: rejected snapshot %s: %s", it->c_str(),
+                      ds.toString().c_str());
         continue;
       }
-      logInfo("supervisor: resuming at %s from %s%s",
-              flowStageName(rd.next), it->c_str(),
-              rd.hasGp ? " (mid-stage optimizer state)" : "");
+      rc.log().info("supervisor: resuming at %s from %s%s",
+                    flowStageName(rd.next), it->c_str(),
+                    rd.hasGp ? " (mid-stage optimizer state)" : "");
       return true;
     }
     if (!files.empty()) {
-      logWarn("supervisor: no usable snapshot in %s; starting fresh",
-              sup.resumeDir.c_str());
+      rc.log().warn("supervisor: no usable snapshot in %s; starting fresh",
+                    sup.resumeDir.c_str());
     }
     return false;
   }
@@ -632,7 +645,7 @@ struct Supervisor {
         appendNote(rep, "retry with jittered cells");
       }
       ++rep.attempts;
-      st.res.legalizeResult = legalizeCells(db);
+      st.res.legalizeResult = legalizeCells(db, &rc);
       legalOk = legalGateOk(preHpwl);
       if (!legalOk && !budgetLeft(sup.cdp, t)) break;
     }
@@ -640,7 +653,7 @@ struct Supervisor {
       restorePositions(db, entry);
       ++rep.attempts;
       rep.fellBack = true;
-      st.res.legalizeResult = greedyLegalizeCells(db);
+      st.res.legalizeResult = greedyLegalizeCells(db, &rc);
       legalOk = legalGateOk(preHpwl);
       appendNote(rep, legalOk ? "greedy fallback legalizer"
                               : "greedy fallback also failed");
@@ -654,7 +667,7 @@ struct Supervisor {
     } else {
       const auto postLegal = capturePositions(db);
       const double postLegalHpwl = hpwl(db);
-      st.res.detailResult = detailPlace(db, st.cfg.detail);
+      st.res.detailResult = detailPlace(db, st.cfg.detail, &rc);
       const double after = hpwl(db);
       const bool detailOk =
           std::isfinite(after) &&
@@ -675,9 +688,11 @@ struct Supervisor {
 
   void finishStage(StageReport rep) {
     if (!rep.status.ok()) {
-      logWarn("supervisor: stage %s degraded: %s", flowStageName(rep.stage),
-              rep.status.toString().c_str());
+      rc.log().warn("supervisor: stage %s degraded: %s",
+                    flowStageName(rep.stage), rep.status.toString().c_str());
     }
+    rc.stats().add("supervisor.attempts", static_cast<double>(rep.attempts));
+    if (rep.fellBack) rc.stats().add("supervisor.fallbacks", 1.0);
     report.stages.push_back(std::move(rep));
   }
 
@@ -728,7 +743,9 @@ struct Supervisor {
       saveSnapshot(next, nullptr);
     }
     flowFinish(db, st);
-    logInfo("%s", report.summary().c_str());
+    rc.stats().add("supervisor.snapshotsWritten",
+                   static_cast<double>(report.snapshotsWritten));
+    rc.log().info("%s", report.summary().c_str());
     return st.res;
   }
 };
@@ -766,7 +783,9 @@ std::string SupervisorReport::summary() const {
 
 StatusOr<FlowResult> runSupervisedFlow(PlacementDB& db, const FlowConfig& cfg,
                                        const SupervisorConfig& sup,
-                                       SupervisorReport* report) {
+                                       SupervisorReport* report,
+                                       RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   SupervisorReport local;
   SupervisorReport& rep = report != nullptr ? *report : local;
   rep = SupervisorReport{};
@@ -774,11 +793,11 @@ StatusOr<FlowResult> runSupervisedFlow(PlacementDB& db, const FlowConfig& cfg,
   const Status s = db.sanitize(&repaired);
   if (!s.ok()) return s;
   if (repaired > 0) {
-    logWarn("flow: sanitize repaired %d object position(s)", repaired);
+    rc.log().warn("flow: sanitize repaired %d object position(s)", repaired);
   }
   const Status v = db.validate();
   if (!v.ok()) return v;
-  Supervisor sv(db, cfg, sup, rep);
+  Supervisor sv(rc, db, cfg, sup, rep);
   // Exception boundary: a throwing hot-path task (e.g. a worker on the
   // thread pool) surfaces as a typed status instead of std::terminate.
   try {

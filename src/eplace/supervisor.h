@@ -109,8 +109,12 @@ struct SupervisorReport {
 /// (kInvalidInput without placing anything when the instance is unusable);
 /// any in-flight degradation lands in FlowResult::status exactly as with
 /// runEplaceFlow, with the per-stage story in `*report` when non-null.
+/// `ctx` supplies the thread pool, fault injector, log sink and deadline
+/// for every stage (its injector also drives the "snapshot.write" site);
+/// nullptr uses the process-default context.
 StatusOr<FlowResult> runSupervisedFlow(PlacementDB& db, const FlowConfig& cfg,
                                        const SupervisorConfig& sup = {},
-                                       SupervisorReport* report = nullptr);
+                                       SupervisorReport* report = nullptr,
+                                       RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "util/context.h"
+
 namespace ep {
 
 namespace {
@@ -79,8 +81,14 @@ class Canvas {
 }  // namespace
 
 bool plotScalarMap(std::span<const double> map, std::size_t nx,
-                   std::size_t ny, const std::string& path, int scale) {
-  if (map.size() != nx * ny || nx == 0 || ny == 0) return false;
+                   std::size_t ny, const std::string& path, int scale,
+                   RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
+  if (map.size() != nx * ny || nx == 0 || ny == 0) {
+    rc.log().warn("plotScalarMap: bad map shape for %s (%zu values, %zux%zu)",
+                  path.c_str(), map.size(), nx, ny);
+    return false;
+  }
   double lo = map[0], hi = map[0];
   for (double v : map) {
     lo = std::min(lo, v);
@@ -90,7 +98,10 @@ bool plotScalarMap(std::span<const double> map, std::size_t nx,
   const int w = static_cast<int>(nx) * scale;
   const int h = static_cast<int>(ny) * scale;
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (!f) return false;
+  if (!f) {
+    rc.log().warn("plotScalarMap: cannot open %s for writing", path.c_str());
+    return false;
+  }
   std::fprintf(f, "P6\n%d %d\n255\n", w, h);
   std::vector<Rgb> row(static_cast<std::size_t>(w));
   for (int py = h - 1; py >= 0; --py) {  // flip so +y is up
@@ -123,7 +134,7 @@ bool plotLayout(const PlacementDB& db, const std::string& path,
                 const PlotOptions& opts, std::span<const double> fillerCx,
                 std::span<const double> fillerCy,
                 std::span<const double> fillerW,
-                std::span<const double> fillerH) {
+                std::span<const double> fillerH, RuntimeContext* ctx) {
   const double aspect = db.region.height() / db.region.width();
   const int w = opts.width;
   const int h = std::max(16, static_cast<int>(w * aspect));
@@ -150,7 +161,12 @@ bool plotLayout(const PlacementDB& db, const std::string& path,
     }
   }
   canvas.outlineRect(db.region, kBlack);
-  return canvas.write(path);
+  if (!canvas.write(path)) {
+    resolveContext(ctx).log().warn("plotLayout: cannot write %s",
+                                   path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace ep

@@ -11,6 +11,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct PlotOptions {
   int width = 512;   ///< image width in pixels; height follows aspect ratio
   bool drawFixed = true;
@@ -19,18 +21,20 @@ struct PlotOptions {
 /// Renders the DB layout. `fillers` optionally adds filler rectangles
 /// (center/size quadruples are taken from the spans, all sized like the
 /// ChargeView the placer maintains). Returns false when the file cannot be
-/// written.
+/// written (also logged as a warning through `ctx`'s sink).
 bool plotLayout(const PlacementDB& db, const std::string& path,
                 const PlotOptions& opts = {},
                 std::span<const double> fillerCx = {},
                 std::span<const double> fillerCy = {},
                 std::span<const double> fillerW = {},
-                std::span<const double> fillerH = {});
+                std::span<const double> fillerH = {},
+                RuntimeContext* ctx = nullptr);
 
 /// Renders a scalar bin map (density rho, potential psi, field magnitude)
 /// as a blue->white->red heatmap, one pixel block per bin, normalized to
 /// the map's own [min, max]. Row-major nx*ny, index iy*nx+ix.
 bool plotScalarMap(std::span<const double> map, std::size_t nx,
-                   std::size_t ny, const std::string& path, int scale = 4);
+                   std::size_t ny, const std::string& path, int scale = 4,
+                   RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

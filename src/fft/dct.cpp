@@ -5,7 +5,8 @@
 
 namespace ep {
 
-Dct::Dct(std::size_t n) : n_(n), fft_(n), phase_(n) {
+Dct::Dct(std::size_t n, FaultInjector* faults)
+    : n_(n), fft_(n, faults), phase_(n) {
   scratch_.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     const double ang = -std::numbers::pi * static_cast<double>(k) /

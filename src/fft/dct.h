@@ -37,7 +37,9 @@ struct DctScratch {
 
 class Dct {
  public:
-  explicit Dct(std::size_t n);
+  /// `faults` (optional, borrowed) is forwarded to the Fft plan's
+  /// "fft.forward" site.
+  explicit Dct(std::size_t n, FaultInjector* faults = nullptr);
 
   [[nodiscard]] std::size_t size() const { return n_; }
 

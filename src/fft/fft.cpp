@@ -14,7 +14,7 @@ std::size_t nextPowerOfTwo(std::size_t v) {
   return p;
 }
 
-Fft::Fft(std::size_t n) : n_(n) {
+Fft::Fft(std::size_t n, FaultInjector* faults) : n_(n), faults_(faults) {
   assert(isPowerOfTwo(n));
   bitrev_.resize(n);
   std::size_t bits = 0;
@@ -64,9 +64,8 @@ void Fft::forward(std::span<Complex> data) const {
   transform(data, false);
   // Fault site "fft.forward": corrupts one spectral coefficient so the
   // recovery paths downstream of the Poisson solver can be exercised.
-  auto& inj = FaultInjector::instance();
-  if (inj.active() && !data.empty()) {
-    if (const FaultSpec* f = inj.fire("fft.forward")) {
+  if (faults_ != nullptr && faults_->active() && !data.empty()) {
+    if (const FaultSpec* f = faults_->fire("fft.forward")) {
       const std::size_t mid = data.size() / 2;
       data[mid] = f->kind == FaultKind::kSpike
                       ? data[mid] * f->magnitude

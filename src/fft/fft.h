@@ -13,14 +13,17 @@
 
 namespace ep {
 
+class FaultInjector;
+
 using Complex = std::complex<double>;
 
 /// FFT plan for a fixed power-of-two size. Reusable and cheap to apply; the
 /// constructor precomputes the bit-reversal permutation and twiddle table.
 class Fft {
  public:
-  /// `n` must be a power of two and >= 1.
-  explicit Fft(std::size_t n);
+  /// `n` must be a power of two and >= 1. `faults` (optional, borrowed)
+  /// wires the "fft.forward" site; the owning context outlives the plan.
+  explicit Fft(std::size_t n, FaultInjector* faults = nullptr);
 
   [[nodiscard]] std::size_t size() const { return n_; }
 
@@ -34,6 +37,7 @@ class Fft {
   void transform(std::span<Complex> data, bool invert) const;
 
   std::size_t n_;
+  FaultInjector* faults_ = nullptr;
   std::vector<std::size_t> bitrev_;
   std::vector<Complex> twiddle_;  // e^{-2 pi i k / N}, k in [0, N/2)
 };

@@ -6,11 +6,11 @@
 namespace ep {
 
 PoissonSolver::PoissonSolver(std::size_t nx, std::size_t ny, double dx,
-                             double dy)
+                             double dy, FaultInjector* faults)
     : nx_(nx),
       ny_(ny),
-      dctX_(nx),
-      dctY_(ny),
+      dctX_(nx, faults),
+      dctY_(ny, faults),
       wx_(nx),
       wy_(ny),
       coeff_(nx * ny),

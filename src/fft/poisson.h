@@ -27,7 +27,10 @@ namespace ep {
 class PoissonSolver {
  public:
   /// Grid of nx*ny bins (each a power of two) of physical size dx*dy.
-  PoissonSolver(std::size_t nx, std::size_t ny, double dx, double dy);
+  /// `faults` (optional, borrowed) reaches the FFT plans' "fft.forward"
+  /// fault site; pass the owning context's injector.
+  PoissonSolver(std::size_t nx, std::size_t ny, double dx, double dy,
+                FaultInjector* faults = nullptr);
 
   /// Solve for the density grid `rho` (row-major, index iy*nx+ix).
   /// After the call psi(), fieldX(), fieldY() hold the potential and its

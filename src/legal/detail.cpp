@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "util/context.h"
 #include "util/fault_injector.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -40,7 +41,9 @@ void uniqueNetsOf(const PlacementDB& db,
 
 }  // namespace
 
-DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
+DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg,
+                         RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   DetailResult res;
   res.hpwlBefore = hpwl(db);
   Rng rng(cfg.seed);
@@ -214,7 +217,7 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
   // the acceptance check. The supervisor's post-cDP gate must catch it and
   // roll the detail stage back (docs/ROBUSTNESS.md).
   {
-    auto& inj = FaultInjector::instance();
+    FaultInjector& inj = rc.faults();
     if (inj.active()) {
       std::vector<std::int32_t> cells;
       for (auto i : db.movable()) {
@@ -236,8 +239,9 @@ DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg) {
   }
 
   res.hpwlAfter = hpwl(db);
-  logInfo("detail: HPWL %.4g -> %.4g (%ld reorders, %ld swaps, %d passes)",
-          res.hpwlBefore, res.hpwlAfter, res.reorders, res.swaps, res.passes);
+  rc.log().info(
+      "detail: HPWL %.4g -> %.4g (%ld reorders, %ld swaps, %d passes)",
+      res.hpwlBefore, res.hpwlAfter, res.reorders, res.swaps, res.passes);
   return res;
 }
 

@@ -12,6 +12,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct DetailConfig {
   int maxPasses = 3;
   int windowSize = 3;       ///< cells per reorder window
@@ -29,6 +31,7 @@ struct DetailResult {
 
 /// Discretely improves the legal layout of `db` in place. Requires a legal
 /// input (legalizeCells); the result stays legal.
-DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg = {});
+DetailResult detailPlace(PlacementDB& db, const DetailConfig& cfg = {},
+                         RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/context.h"
 #include "util/fault_injector.h"
 #include "util/log.h"
 #include "wirelength/wl.h"
@@ -75,7 +76,8 @@ void clump(std::vector<double>& x, const std::vector<double>& target,
 /// (greedyLegalizeCells) stops after Tetris — it is the supervisor's
 /// fallback and deliberately avoids the clumping code and its
 /// "legalize.displace" fault site.
-LegalizeResult legalizeImpl(PlacementDB& db, bool clumpToTargets) {
+LegalizeResult legalizeImpl(PlacementDB& db, bool clumpToTargets,
+                            RuntimeContext& rc) {
   LegalizeResult res;
   res.hpwlBefore = hpwl(db);
 
@@ -122,7 +124,7 @@ LegalizeResult legalizeImpl(PlacementDB& db, bool clumpToTargets) {
     if (cur < rowEnd) pushSegment(cur, rowEnd);
   }
   if (segments.empty()) {
-    logWarn("legalizeCells: no usable row segments");
+    rc.log().warn("legalizeCells: no usable row segments");
     return res;
   }
 
@@ -277,7 +279,7 @@ LegalizeResult legalizeImpl(PlacementDB& db, bool clumpToTargets) {
   // post-legalization invariant gate and greedy fallback are testable. Lives
   // in the clumping phase only — the greedy path stays clean.
   if (clumpToTargets) {
-    auto& inj = FaultInjector::instance();
+    FaultInjector& inj = rc.faults();
     if (inj.active() && !cells.empty()) {
       if (const FaultSpec* f = inj.fire("legalize.displace")) {
         std::vector<double> xs(cells.size());
@@ -296,20 +298,21 @@ LegalizeResult legalizeImpl(PlacementDB& db, bool clumpToTargets) {
   res.avgDisplacement =
       cells.empty() ? 0.0 : sumDisp / static_cast<double>(cells.size());
   res.hpwlAfter = hpwl(db);
-  logInfo("%s: HPWL %.4g -> %.4g, avg disp %.3g, unplaced %d",
-          clumpToTargets ? "legalize" : "legalize (greedy)", res.hpwlBefore,
-          res.hpwlAfter, res.avgDisplacement, res.unplaced);
+  rc.log().info("%s: HPWL %.4g -> %.4g, avg disp %.3g, unplaced %d",
+                clumpToTargets ? "legalize" : "legalize (greedy)",
+                res.hpwlBefore, res.hpwlAfter, res.avgDisplacement,
+                res.unplaced);
   return res;
 }
 
 }  // namespace
 
-LegalizeResult legalizeCells(PlacementDB& db) {
-  return legalizeImpl(db, /*clumpToTargets=*/true);
+LegalizeResult legalizeCells(PlacementDB& db, RuntimeContext* ctx) {
+  return legalizeImpl(db, /*clumpToTargets=*/true, resolveContext(ctx));
 }
 
-LegalizeResult greedyLegalizeCells(PlacementDB& db) {
-  return legalizeImpl(db, /*clumpToTargets=*/false);
+LegalizeResult greedyLegalizeCells(PlacementDB& db, RuntimeContext* ctx) {
+  return legalizeImpl(db, /*clumpToTargets=*/false, resolveContext(ctx));
 }
 
 }  // namespace ep

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "density/bingrid.h"
+#include "util/context.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "wirelength/wl.h"
@@ -258,7 +259,9 @@ struct Annealer {
 
 }  // namespace
 
-MlgResult legalizeMacros(PlacementDB& db, const MlgConfig& cfg) {
+MlgResult legalizeMacros(PlacementDB& db, const MlgConfig& cfg,
+                         RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   MlgResult res;
   Annealer sa(db, cfg);
   if (sa.macros.empty()) {
@@ -323,9 +326,10 @@ MlgResult legalizeMacros(PlacementDB& db, const MlgConfig& cfg) {
   res.overlapAfter = sa.omCur;
   res.outerIterations = j;
   res.legal = sa.omCur <= 1e-9;
-  logInfo("mLG: W %.4g -> %.4g, D %.4g -> %.4g, Om %.4g -> %.4g (%d outer)",
-          res.hpwlBefore, res.hpwlAfter, res.coverBefore, res.coverAfter,
-          res.overlapBefore, res.overlapAfter, j);
+  rc.log().info(
+      "mLG: W %.4g -> %.4g, D %.4g -> %.4g, Om %.4g -> %.4g (%d outer)",
+      res.hpwlBefore, res.hpwlAfter, res.coverBefore, res.coverAfter,
+      res.overlapBefore, res.overlapAfter, j);
   // Accepted rotations/flips edited macro dims and pin offsets after
   // finalize(); rebuild the view so downstream consumers see fresh topology.
   if (sa.reoriented) db.finalize();

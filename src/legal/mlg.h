@@ -25,6 +25,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct MlgConfig {
   double kappa = 1.5;         ///< per-outer-iteration escalation (Sec. VI-A)
   int maxOuterIterations = 20;
@@ -54,6 +56,7 @@ struct MlgResult {
 
 /// Legalizes the movable macros of `db` in place. Standard cells are not
 /// touched. Returns the before/after metrics of Fig. 5.
-MlgResult legalizeMacros(PlacementDB& db, const MlgConfig& cfg = {});
+MlgResult legalizeMacros(PlacementDB& db, const MlgConfig& cfg = {},
+                         RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

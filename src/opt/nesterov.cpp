@@ -11,11 +11,13 @@ namespace ep {
 
 NesterovOptimizer::NesterovOptimizer(std::size_t dim, GradFn fn,
                                      NesterovConfig cfg,
-                                     ProjectionFn projection)
+                                     ProjectionFn projection,
+                                     ThreadPool* pool)
     : dim_(dim),
       fn_(std::move(fn)),
       cfg_(cfg),
       project_(std::move(projection)),
+      pool_(pool),
       u_(dim),
       cur_(dim),
       prev_(dim),
@@ -31,6 +33,18 @@ double NesterovOptimizer::evaluate(std::span<const double> v,
   return fn_(v, grad);
 }
 
+template <typename Body>
+void NesterovOptimizer::forRange(Body&& body) {
+  if (pool_ != nullptr) {
+    pool_->parallelFor(dim_,
+                       [&](std::size_t, std::size_t i0, std::size_t i1) {
+                         body(i0, i1);
+                       });
+  } else {
+    body(std::size_t{0}, dim_);
+  }
+}
+
 void NesterovOptimizer::initialize(std::span<const double> v0) {
   assert(v0.size() == dim_);
   std::copy(v0.begin(), v0.end(), cur_.begin());
@@ -41,12 +55,11 @@ void NesterovOptimizer::initialize(std::span<const double> v0) {
   double gmax = 0.0;
   for (double g : curGrad_) gmax = std::max(gmax, std::abs(g));
   const double s = gmax > 0.0 ? cfg_.bootstrapMove / gmax : 0.0;
-  ThreadPool::global().parallelFor(
-      dim_, [&](std::size_t, std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          prev_[i] = cur_[i] - s * curGrad_[i];
-        }
-      });
+  forRange([&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      prev_[i] = cur_[i] - s * curGrad_[i];
+    }
+  });
   if (project_) project_(prev_);
   evaluate(prev_, prevGrad_);
   a_ = 1.0;
@@ -116,15 +129,14 @@ NesterovOptimizer::StepInfo NesterovOptimizer::step() {
   double objective = 0.0;
   // Per-coordinate updates are element-wise, so running them on the pool is
   // bit-identical to the serial loops for any thread count.
-  ThreadPool& pool = ThreadPool::global();
   for (int bt = 0;; ++bt) {
-    pool.parallelFor(dim_, [&](std::size_t, std::size_t i0, std::size_t i1) {
+    forRange([&](std::size_t i0, std::size_t i1) {
       for (std::size_t i = i0; i < i1; ++i) {
         uNext_[i] = cur_[i] - alpha * curGrad_[i];
       }
     });
     if (project_) project_(uNext_);
-    pool.parallelFor(dim_, [&](std::size_t, std::size_t i0, std::size_t i1) {
+    forRange([&](std::size_t i0, std::size_t i1) {
       for (std::size_t i = i0; i < i1; ++i) {
         vNext_[i] = uNext_[i] + coef * (uNext_[i] - u_[i]);
       }

@@ -27,6 +27,8 @@
 
 namespace ep {
 
+class ThreadPool;
+
 /// Evaluate the objective at `v`, writing the (preconditioned) gradient into
 /// `grad`; returns the objective value (used for reporting only — the
 /// optimizer itself is value-free, as in the paper).
@@ -54,8 +56,12 @@ struct NesterovConfig {
 
 class NesterovOptimizer {
  public:
+  /// `pool` (optional, borrowed) runs the element-wise iterate updates on
+  /// its threads; nullptr runs them serially — bit-identical either way by
+  /// the determinism contract. The caller's context owns the pool and
+  /// outlives the optimizer.
   NesterovOptimizer(std::size_t dim, GradFn fn, NesterovConfig cfg = {},
-                    ProjectionFn projection = {});
+                    ProjectionFn projection = {}, ThreadPool* pool = nullptr);
 
   /// Set the start point; evaluates the gradient twice (v0 and the
   /// bootstrap point) to seed the Lipschitz prediction.
@@ -107,10 +113,16 @@ class NesterovOptimizer {
  private:
   double evaluate(std::span<const double> v, std::span<double> grad);
 
+  /// Runs body(i0, i1) over [0, dim) — on the pool when one was given,
+  /// inline otherwise.
+  template <typename Body>
+  void forRange(Body&& body);
+
   std::size_t dim_;
   GradFn fn_;
   NesterovConfig cfg_;
   ProjectionFn project_;
+  ThreadPool* pool_ = nullptr;
 
   std::vector<double> u_, cur_, prev_;
   std::vector<double> curGrad_, prevGrad_;

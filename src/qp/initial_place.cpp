@@ -5,6 +5,7 @@
 
 #include "qp/b2b.h"
 #include "qp/sparse.h"
+#include "util/context.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "wirelength/wl.h"
@@ -12,7 +13,9 @@
 namespace ep {
 
 InitialPlaceResult quadraticInitialPlace(PlacementDB& db,
-                                         const InitialPlaceConfig& cfg) {
+                                         const InitialPlaceConfig& cfg,
+                                         RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
   InitialPlaceResult result;
   result.hpwlBefore = hpwl(db);
 
@@ -91,8 +94,9 @@ InitialPlaceResult quadraticInitialPlace(PlacementDB& db,
   }
 
   result.hpwlAfter = hpwl(db);
-  logInfo("mIP: HPWL %.4g -> %.4g (%d CG iterations)", result.hpwlBefore,
-          result.hpwlAfter, result.totalCgIterations);
+  rc.log().info("mIP: HPWL %.4g -> %.4g (%d CG iterations)",
+                result.hpwlBefore, result.hpwlAfter,
+                result.totalCgIterations);
   return result;
 }
 

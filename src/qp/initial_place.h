@@ -7,6 +7,8 @@
 
 namespace ep {
 
+class RuntimeContext;
+
 struct InitialPlaceConfig {
   int outerIterations = 8;   ///< B2B rebuild count
   int cgMaxIterations = 300;
@@ -30,6 +32,7 @@ struct InitialPlaceResult {
 /// alternates B2B model construction and CG solves per axis. Updates object
 /// positions in `db` (centers clamped into the region).
 InitialPlaceResult quadraticInitialPlace(PlacementDB& db,
-                                         const InitialPlaceConfig& cfg = {});
+                                         const InitialPlaceConfig& cfg = {},
+                                         RuntimeContext* ctx = nullptr);
 
 }  // namespace ep

@@ -1,0 +1,33 @@
+#include "util/compat.h"
+
+#include <mutex>
+
+#include "util/context.h"
+#include "util/log.h"
+
+namespace ep::compat {
+
+namespace {
+std::once_flag g_setThreadsOnce;
+}  // namespace
+
+void setGlobalThreads(int threads) {
+  bool first = false;
+  std::call_once(g_setThreadsOnce, [&] {
+    first = true;
+    if (!detail::requestProcessDefaultThreads(threads)) {
+      logWarn(
+          "compat::setGlobalThreads(%d) ignored: the default context "
+          "already exists; pass RuntimeOptions::threads instead",
+          threads);
+    }
+  });
+  if (!first) {
+    logWarn(
+        "compat::setGlobalThreads(%d) ignored: the thread count is fixed "
+        "by the first call; pass RuntimeOptions::threads instead",
+        threads);
+  }
+}
+
+}  // namespace ep::compat

@@ -1,0 +1,20 @@
+// Deprecated compatibility shims, kept for one release after the context
+// refactor removed the process-global runtime. New code should construct an
+// ep::RuntimeContext (or an ep::PlacerSession) and pass it down instead.
+#pragma once
+
+namespace ep::compat {
+
+/// Pre-refactor spelling of "size the process-wide pool". Now it only
+/// configures the pool that RuntimeContext::processDefault() will be built
+/// with, and only if the default context has not materialized yet. The
+/// historical API was racy when two threads configured the pool while work
+/// was in flight; the shim closes that race with std::call_once — the first
+/// caller wins, later calls (and calls after the default context exists)
+/// are ignored with a warning.
+[[deprecated(
+    "construct an ep::RuntimeContext with RuntimeOptions::threads "
+    "instead")]] void
+setGlobalThreads(int threads);
+
+}  // namespace ep::compat

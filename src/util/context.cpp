@@ -1,0 +1,57 @@
+#include "util/context.h"
+
+#include <atomic>
+
+namespace ep {
+
+namespace {
+
+// Thread count requested by ep::compat::setGlobalThreads before the default
+// context materializes; 0 = hardware concurrency.
+std::atomic<int> g_requestedDefaultThreads{0};
+std::atomic<bool> g_defaultMaterialized{false};
+
+}  // namespace
+
+RuntimeContext::RuntimeContext(RuntimeOptions opt)
+    : opt_(std::move(opt)),
+      pool_(opt_.threads),
+      rng_(opt_.seed),
+      ownSink_(opt_.logPrefix, opt_.logLevel),
+      wallBudgetSeconds_(opt_.wallBudgetSeconds) {
+  ownSink_.setTimestamps(opt_.logTimestamps);
+  pool_.setFaultInjector(&faults_);
+}
+
+RuntimeContext::RuntimeContext(int threads)
+    : RuntimeContext(RuntimeOptions{.threads = threads}) {}
+
+RuntimeContext::RuntimeContext(DefaultTag, RuntimeOptions opt)
+    : RuntimeContext(std::move(opt)) {
+  // The process-default context logs through the process-default sink, so
+  // legacy setLogLevel()/logInfo() callers and context-threaded code that
+  // happens to run on the default context see one coherent verbosity knob.
+  sink_ = &defaultLogSink();
+}
+
+RuntimeContext& RuntimeContext::processDefault() {
+  static RuntimeContext ctx = [] {
+    g_defaultMaterialized.store(true, std::memory_order_release);
+    RuntimeOptions opt;
+    opt.threads = g_requestedDefaultThreads.load(std::memory_order_acquire);
+    return RuntimeContext(DefaultTag{}, std::move(opt));
+  }();
+  return ctx;
+}
+
+namespace detail {
+
+bool requestProcessDefaultThreads(int threads) {
+  if (g_defaultMaterialized.load(std::memory_order_acquire)) return false;
+  g_requestedDefaultThreads.store(threads, std::memory_order_release);
+  return true;
+}
+
+}  // namespace detail
+
+}  // namespace ep

@@ -1,0 +1,162 @@
+// RuntimeContext: the explicit runtime bundle that replaced every process
+// global in the placer.
+//
+// One context = one isolated placer runtime. It owns:
+//   * a deterministic fixed-partition ThreadPool (per-session thread cap),
+//   * a FaultInjector (faults armed here never fire in another context),
+//   * the root Rng stream (seed material for stochastic components),
+//   * a LogSink (per-session prefix + severity filter),
+//   * a StatsRegistry (named counters/gauges for telemetry),
+//   * an optional wall-clock deadline shared by every stage watchdog.
+//
+// Ownership rules (see docs/ARCHITECTURE.md, "Runtime context & session"):
+// a context outlives everything it is handed to; engines and stage
+// functions borrow it by pointer/reference and never store it past their
+// own lifetime. Library entry points take a trailing
+// `RuntimeContext* ctx = nullptr`, where nullptr resolves to
+// processDefault() — a lazily created hardware-sized context for
+// single-tenant embeddings and tools that don't care about isolation.
+// Anything that runs two flows in one process must pass explicit contexts
+// (PlacerSession does this for you).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/fault_injector.h"
+#include "util/log.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ep {
+
+/// Thread-safe named metric store. Writers are hot-ish paths (per stage,
+/// per recovery, per snapshot — never per iteration of an inner kernel),
+/// so a single mutex is fine.
+class StatsRegistry {
+ public:
+  /// Adds `delta` to the named counter (creating it at 0).
+  void add(const std::string& name, double delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[name] += delta;
+  }
+  /// Overwrites the named gauge.
+  void set(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[name] = value;
+  }
+  /// Current value, or 0 when the metric was never touched.
+  [[nodiscard]] double value(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+  /// Copy of the whole registry (for reports / JSON dumps).
+  [[nodiscard]] std::map<std::string, double> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> values_;
+};
+
+struct RuntimeOptions {
+  /// Pool size; <= 0 selects hardware concurrency.
+  int threads = 0;
+  /// Root RNG seed. Components derive their own streams from explicit
+  /// seeds, so this only feeds nextSeed() consumers.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Log line prefix identifying this context's output (session name).
+  std::string logPrefix;
+  LogLevel logLevel = LogLevel::kWarn;
+  bool logTimestamps = true;
+  /// Wall-clock budget in seconds from context construction; <= 0 means no
+  /// deadline. Stage watchdogs clamp their own budgets to what remains.
+  double wallBudgetSeconds = 0.0;
+};
+
+class RuntimeContext {
+ public:
+  RuntimeContext() : RuntimeContext(RuntimeOptions{}) {}
+  explicit RuntimeContext(RuntimeOptions opt);
+  /// Shorthand for tests/benches that only care about the thread cap.
+  explicit RuntimeContext(int threads);
+  RuntimeContext(const RuntimeContext&) = delete;
+  RuntimeContext& operator=(const RuntimeContext&) = delete;
+
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+  [[nodiscard]] FaultInjector& faults() { return faults_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] LogSink& log() { return *sink_; }
+  [[nodiscard]] const LogSink& log() const { return *sink_; }
+  [[nodiscard]] StatsRegistry& stats() { return stats_; }
+  [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
+
+  /// Fresh 64-bit seed from the root stream (setup-time use only; the root
+  /// Rng is not synchronized).
+  [[nodiscard]] std::uint64_t nextSeed() { return rng_.next(); }
+
+  /// Seconds since construction.
+  [[nodiscard]] double elapsedSeconds() const { return clock_.seconds(); }
+  /// Seconds until the wall-clock deadline; +inf when no budget is set.
+  [[nodiscard]] double remainingSeconds() const {
+    if (wallBudgetSeconds_ <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return wallBudgetSeconds_ - clock_.seconds();
+  }
+  [[nodiscard]] bool deadlineExceeded() const {
+    return remainingSeconds() <= 0.0;
+  }
+  /// Re-arms the deadline relative to *now* (<= 0 clears it).
+  void setWallBudget(double seconds) {
+    wallBudgetSeconds_ = seconds;
+    clock_.reset();
+  }
+
+  /// The shared fallback context: hardware-sized pool, unprefixed default
+  /// log sink, no deadline. Created on first use; ep::compat can set its
+  /// thread count before that point. Single-tenant convenience only —
+  /// concurrent sessions must own their contexts.
+  static RuntimeContext& processDefault();
+
+ private:
+  struct DefaultTag {};
+  RuntimeContext(DefaultTag, RuntimeOptions opt);
+
+  RuntimeOptions opt_;
+  FaultInjector faults_;  // before pool_: the pool points at it
+  ThreadPool pool_;
+  Rng rng_;
+  LogSink ownSink_;
+  LogSink* sink_ = &ownSink_;  // processDefault aliases defaultLogSink()
+  StatsRegistry stats_;
+  Timer clock_;
+  double wallBudgetSeconds_ = 0.0;
+};
+
+/// nullptr-tolerant resolver used by library entry points:
+/// `RuntimeContext& rc = resolveContext(ctx);`
+inline RuntimeContext& resolveContext(RuntimeContext* ctx) {
+  return ctx != nullptr ? *ctx : RuntimeContext::processDefault();
+}
+
+namespace detail {
+/// Pre-materialization hook for the ep::compat shim: requests that
+/// processDefault() be built with `threads` workers. Returns false (and
+/// changes nothing) once the default context exists.
+bool requestProcessDefaultThreads(int threads);
+}  // namespace detail
+
+}  // namespace ep

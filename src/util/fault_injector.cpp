@@ -6,11 +6,6 @@
 
 namespace ep {
 
-FaultInjector& FaultInjector::instance() {
-  static FaultInjector inj;
-  return inj;
-}
-
 void FaultInjector::arm(const std::string& site, FaultSpec spec) {
   std::lock_guard<std::mutex> lock(mu_);
   sites_[site] = Armed{spec, 0, 0};

@@ -18,6 +18,11 @@
 // run on pool workers; which concurrent pass fires first is scheduling-
 // dependent, so chaos tests assert typed degradation, not exact trajectories.
 // Arm/disarm/reset still only from single-threaded test setup.
+//
+// There is no process-wide injector: each RuntimeContext owns one, and the
+// kernels reach it through the context (or a FaultInjector* threaded down
+// their constructors). Arming a fault in one session can therefore never
+// fire in another session of the same process.
 #pragma once
 
 #include <atomic>
@@ -46,7 +51,9 @@ struct FaultSpec {
 
 class FaultInjector {
  public:
-  static FaultInjector& instance();
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
 
   void arm(const std::string& site, FaultSpec spec);
   void disarm(const std::string& site);
@@ -74,8 +81,6 @@ class FaultInjector {
   [[nodiscard]] long fireCount(const std::string& site) const;
 
  private:
-  FaultInjector() = default;
-
   struct Armed {
     FaultSpec spec;
     long tick = 0;   // passes seen

@@ -100,9 +100,8 @@ void ThreadPool::run(std::size_t n, RawFn fn, void* ctx, std::size_t grain) {
   // so the capture-and-rethrow path is exercised on a genuine worker thread
   // whenever more than one partition runs.
   std::size_t throwPart = SIZE_MAX;
-  auto& inj = FaultInjector::instance();
-  if (inj.active()) {
-    if (inj.fire("parallel.task") != nullptr) {
+  if (inj_ != nullptr && inj_->active()) {
+    if (inj_->fire("parallel.task") != nullptr) {
       throwPart = static_cast<std::size_t>(nThreads_) - 1;
     }
   }
@@ -144,24 +143,6 @@ void ThreadPool::run(std::size_t n, RawFn fn, void* ctx, std::size_t grain) {
     if (e) std::rethrow_exception(e);
   }
 }
-
-namespace {
-
-std::unique_ptr<ThreadPool>& globalSlot() {
-  static std::unique_ptr<ThreadPool> pool =
-      std::make_unique<ThreadPool>(0);
-  return pool;
-}
-
-}  // namespace
-
-ThreadPool& ThreadPool::global() { return *globalSlot(); }
-
-void ThreadPool::setGlobalThreads(int threads) {
-  globalSlot() = std::make_unique<ThreadPool>(threads);
-}
-
-int ThreadPool::globalThreads() { return global().threads(); }
 
 double orderedSum(std::span<const double> v) {
   double acc = 0.0;

@@ -24,8 +24,10 @@
 //     (StatusCode::kInternal). The "parallel.task" fault site injects such
 //     a throw for the robustness suite.
 //
-// The process-global pool is configured once at startup (CLI --threads);
-// setGlobalThreads is not safe to call while parallel work is in flight.
+// There is no process-global pool: each RuntimeContext owns one, sized at
+// construction (CLI --threads / SessionOptions::threads). Concurrent
+// sessions therefore never share scheduling state, and by the determinism
+// contract their per-session thread caps cannot change results.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +37,8 @@
 #include "util/status.h"
 
 namespace ep {
+
+class FaultInjector;
 
 /// Serial left fold of `v` in index order (the combine step of
 /// deterministicReduce, exposed for per-item partial arrays that are filled
@@ -96,12 +100,10 @@ class ThreadPool {
     return orderedSum(slots.subspan(0, n));
   }
 
-  /// The process-global pool (hardware concurrency until configured).
-  static ThreadPool& global();
-  /// Replaces the global pool (CLI --threads). Call only from
-  /// single-threaded setup; <= 0 restores the hardware default.
-  static void setGlobalThreads(int threads);
-  [[nodiscard]] static int globalThreads();
+  /// Wires the "parallel.task" fault site to `inj` (nullptr disables the
+  /// site). Called by the owning RuntimeContext during construction; not
+  /// safe while parallel work is in flight.
+  void setFaultInjector(FaultInjector* inj) { inj_ = inj; }
 
  private:
   using RawFn = void (*)(void* ctx, std::size_t part, std::size_t begin,
@@ -110,6 +112,7 @@ class ThreadPool {
 
   struct Impl;
   std::unique_ptr<Impl> impl_;
+  FaultInjector* inj_ = nullptr;
   int nThreads_ = 1;
 };
 

@@ -144,7 +144,8 @@ std::vector<double> ByteReader::doubles() {
   return v;
 }
 
-Status writeSnapshotFile(const std::string& path, const SnapshotData& snap) {
+Status writeSnapshotFile(const std::string& path, const SnapshotData& snap,
+                         FaultInjector* faults) {
   // Assemble the whole file in memory; sections are small (positions +
   // optimizer vectors), and a single write keeps the tmp file consistent.
   std::vector<std::uint8_t> file(kMagic, kMagic + sizeof kMagic);
@@ -167,13 +168,12 @@ Status writeSnapshotFile(const std::string& path, const SnapshotData& snap) {
 
   // Fault site "snapshot.write": flip one bit (kNaN/kSpike) or truncate the
   // serialized stream (kTruncate) so readers' rejection paths are testable.
-  auto& inj = FaultInjector::instance();
-  if (inj.active()) {
-    if (const FaultSpec* f = inj.fire("snapshot.write")) {
+  if (faults != nullptr && faults->active()) {
+    if (const FaultSpec* f = faults->fire("snapshot.write")) {
       if (f->kind == FaultKind::kTruncate) {
         file.resize(file.size() / 2);
       } else {
-        inj.corruptBytes(file, *f);
+        faults->corruptBytes(file, *f);
       }
     }
   }

@@ -103,9 +103,14 @@ struct SnapshotData {
   }
 };
 
+class FaultInjector;
+
 /// Serializes `snap` and atomically replaces `path` (tmp + fsync + rename).
 /// Returns kIo when the file cannot be created, written, or renamed.
-Status writeSnapshotFile(const std::string& path, const SnapshotData& snap);
+/// `faults` (optional) wires the "snapshot.write" site for the robustness
+/// suites; production callers pass their context's injector.
+Status writeSnapshotFile(const std::string& path, const SnapshotData& snap,
+                         FaultInjector* faults = nullptr);
 
 /// Loads and verifies a snapshot file. Returns kIo when the file cannot be
 /// read and kInvalidInput when the magic/version/lengths/CRCs do not check

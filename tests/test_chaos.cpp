@@ -14,6 +14,7 @@
 #include "eplace/flow.h"
 #include "eplace/supervisor.h"
 #include "gen/generator.h"
+#include "util/context.h"
 #include "util/fault_injector.h"
 
 namespace ep {
@@ -40,10 +41,7 @@ class ChaosTest : public ::testing::TestWithParam<const char*> {
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
-  void TearDown() override {
-    FaultInjector::instance().reset();
-    fs::remove_all(dir_);
-  }
+  void TearDown() override { fs::remove_all(dir_); }
 
   fs::path dir_;
 };
@@ -66,10 +64,11 @@ TEST_P(ChaosTest, SingleFaultNeverCrashesTheSupervisedFlow) {
   const PlacementDB generated = generateCircuit(gen);
   ASSERT_TRUE(writeBookshelf(dir_.string(), "chaos", generated).ok());
 
-  FaultInjector::instance().arm(site, spec);
+  RuntimeContext ctx;
+  ctx.faults().arm(site, spec);
 
   PlacementDB db;
-  const Status rd = readBookshelf((dir_ / "chaos.aux").string(), db);
+  const Status rd = readBookshelf((dir_ / "chaos.aux").string(), db, &ctx);
   if (!rd.ok()) {
     // The reader hit the fault: a typed rejection is the correct outcome.
     EXPECT_TRUE(rd.code() == StatusCode::kInvalidInput ||
@@ -84,7 +83,7 @@ TEST_P(ChaosTest, SingleFaultNeverCrashesTheSupervisedFlow) {
   sup.snapshotDir = (dir_ / "snaps").string();
   sup.saveEvery = 25;
   SupervisorReport report;
-  const auto run = runSupervisedFlow(db, cfg, sup, &report);
+  const auto run = runSupervisedFlow(db, cfg, sup, &report, &ctx);
   if (!run.ok()) {
     EXPECT_NE(run.status().code(), StatusCode::kOk);
     return;

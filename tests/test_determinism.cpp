@@ -13,7 +13,7 @@
 #include "eplace/global_placer.h"
 #include "gen/generator.h"
 #include "qp/initial_place.h"
-#include "util/parallel.h"
+#include "util/context.h"
 
 namespace ep {
 namespace {
@@ -55,12 +55,12 @@ struct RunOutcome {
   int iterations = 0;
 };
 
-/// mGP on `threads` workers from a fresh copy of the instance.
+/// mGP on a `threads`-worker context from a fresh copy of the instance.
 RunOutcome runMgp(std::uint64_t seed, int threads) {
-  ThreadPool::setGlobalThreads(threads);
+  RuntimeContext ctx(threads);
   PlacementDB db = circuit(seed, 400);
-  quadraticInitialPlace(db);
-  GlobalPlacer gp(db, db.movable(), GpConfig{});
+  quadraticInitialPlace(db, {}, &ctx);
+  GlobalPlacer gp(db, db.movable(), GpConfig{}, &ctx);
   gp.makeFillersFromDb();
   const GpResult res = gp.run();
   EXPECT_TRUE(res.status.ok());
@@ -69,19 +69,15 @@ RunOutcome runMgp(std::uint64_t seed, int threads) {
 
 /// Mixed-size flow (mGP + mLG + cGP, no detail) on `threads` workers.
 RunOutcome runMixedFlow(std::uint64_t seed, int threads) {
-  ThreadPool::setGlobalThreads(threads);
+  RuntimeContext ctx(threads);
   PlacementDB db = circuit(seed, 300, 4);
   FlowConfig cfg;
   cfg.runDetail = false;
-  const FlowResult res = runEplaceFlow(db, cfg);
+  const FlowResult res = runEplaceFlow(db, cfg, &ctx);
   return {movablePositions(db), res.finalHpwl, res.mgp.iterations};
 }
 
-class Determinism : public ::testing::Test {
- protected:
-  // Leave the pool at the hardware default for whoever runs next.
-  void TearDown() override { ThreadPool::setGlobalThreads(0); }
-};
+using Determinism = ::testing::Test;
 
 TEST_F(Determinism, MgpOneVsFourThreads) {
   const RunOutcome serial = runMgp(11, 1);

@@ -27,7 +27,7 @@
 #include "gen/generator.h"
 #include "model/netlist.h"
 #include "qp/initial_place.h"
-#include "util/parallel.h"
+#include "util/context.h"
 
 namespace ep {
 namespace {
@@ -73,14 +73,14 @@ void expectBitIdentical(const std::vector<double>& a,
 }
 
 RunOutcome runMgp(const GoldenCase& c, int threads) {
-  ThreadPool::setGlobalThreads(threads);
+  RuntimeContext ctx(threads);
   GenSpec spec;
   spec.name = "golden";  // same generator stream as the golden suite
   spec.numCells = c.cells;
   spec.seed = c.seed;
   PlacementDB db = generateCircuit(spec);
-  quadraticInitialPlace(db);
-  GlobalPlacer gp(db, db.movable(), GpConfig{});
+  quadraticInitialPlace(db, {}, &ctx);
+  GlobalPlacer gp(db, db.movable(), GpConfig{}, &ctx);
   gp.makeFillersFromDb();
   const GpResult res = gp.run();
   EXPECT_TRUE(res.status.ok()) << res.status.toString();
@@ -107,7 +107,6 @@ TEST_P(GoldenParity, BitIdenticalToCommittedGolden) {
   const GoldenCase& c = kCases[GetParam()];
   const RunOutcome t1 = runMgp(c, 1);
   const RunOutcome t4 = runMgp(c, 4);
-  ThreadPool::setGlobalThreads(0);
 
   expectBitIdentical(t1.positions, t4.positions);
   EXPECT_EQ(std::bit_cast<std::uint64_t>(t1.hpwl),
@@ -296,14 +295,14 @@ TEST(ScratchArena, ReusesBuffersWithoutGrowth) {
 // second run over the same view (what cGP does after mGP) must not grow
 // any buffer.
 TEST(ScratchArena, SecondGpRunReusesFirstRunsBuffers) {
-  ThreadPool::setGlobalThreads(1);
+  RuntimeContext ctx(1);
   PlacementDB db = testCircuit(11, 200);
-  quadraticInitialPlace(db);
+  quadraticInitialPlace(db, {}, &ctx);
 
   GpConfig cfg;
   cfg.maxIterations = 30;
   {
-    GlobalPlacer gp(db, db.movable(), cfg);
+    GlobalPlacer gp(db, db.movable(), cfg, &ctx);
     gp.makeFillersFromDb();
     (void)gp.run();
   }
@@ -311,14 +310,13 @@ TEST(ScratchArena, SecondGpRunReusesFirstRunsBuffers) {
   EXPECT_GT(warm, 0);
 
   {
-    GlobalPlacer gp(db, db.movable(), cfg);
+    GlobalPlacer gp(db, db.movable(), cfg, &ctx);
     gp.makeFillersFromDb();
     (void)gp.run();
   }
   EXPECT_EQ(db.view().arena().growthEvents(), warm)
       << "second GP run allocated fresh scratch instead of reusing the "
          "arena warmed by the first run";
-  ThreadPool::setGlobalThreads(0);
 }
 
 }  // namespace

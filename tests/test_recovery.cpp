@@ -10,6 +10,7 @@
 #include "eplace/global_placer.h"
 #include "gen/generator.h"
 #include "qp/initial_place.h"
+#include "util/context.h"
 #include "util/fault_injector.h"
 
 namespace ep {
@@ -43,32 +44,32 @@ bool placementInsideRegion(const PlacementDB& db) {
   return true;
 }
 
-GpResult runPlacer(PlacementDB& db, const GpConfig& cfg) {
-  quadraticInitialPlace(db);
-  GlobalPlacer gp(db, db.movable(), cfg);
+GpResult runPlacer(PlacementDB& db, const GpConfig& cfg,
+                   RuntimeContext& ctx) {
+  quadraticInitialPlace(db, {}, &ctx);
+  GlobalPlacer gp(db, db.movable(), cfg, &ctx);
   gp.makeFillersFromDb();
   return gp.run();
 }
 
-class RecoveryTest : public ::testing::Test {
- protected:
-  void TearDown() override { FaultInjector::instance().reset(); }
-};
+using RecoveryTest = ::testing::Test;
 
 TEST_F(RecoveryTest, NanGradientTriggersRollbackAndRecovers) {
   // Reference run, no faults.
+  RuntimeContext ref_ctx;
   PlacementDB clean = smallInstance();
-  const GpResult ref = runPlacer(clean, recoveryConfig());
+  const GpResult ref = runPlacer(clean, recoveryConfig(), ref_ctx);
   ASSERT_TRUE(ref.status.ok());
   ASSERT_TRUE(ref.converged);
 
   // Same instance with one NaN injected into the gradient mid-run.
+  RuntimeContext ctx;
   PlacementDB faulty = smallInstance();
-  FaultInjector::instance().arm("nesterov.grad",
-                                {FaultKind::kNaN, /*atTick=*/40, /*count=*/1});
-  const GpResult res = runPlacer(faulty, recoveryConfig());
+  ctx.faults().arm("nesterov.grad",
+                   {FaultKind::kNaN, /*atTick=*/40, /*count=*/1});
+  const GpResult res = runPlacer(faulty, recoveryConfig(), ctx);
 
-  EXPECT_EQ(FaultInjector::instance().fireCount("nesterov.grad"), 1);
+  EXPECT_EQ(ctx.faults().fireCount("nesterov.grad"), 1);
   EXPECT_TRUE(res.status.ok()) << res.status.toString();
   EXPECT_GE(res.recoveries, 1);
   EXPECT_TRUE(res.converged);
@@ -79,14 +80,16 @@ TEST_F(RecoveryTest, NanGradientTriggersRollbackAndRecovers) {
 }
 
 TEST_F(RecoveryTest, GradientSpikeTriggersRollbackAndRecovers) {
+  RuntimeContext ref_ctx;
   PlacementDB clean = smallInstance(23);
-  const GpResult ref = runPlacer(clean, recoveryConfig());
+  const GpResult ref = runPlacer(clean, recoveryConfig(), ref_ctx);
   ASSERT_TRUE(ref.converged);
 
+  RuntimeContext ctx;
   PlacementDB faulty = smallInstance(23);
-  FaultInjector::instance().arm(
+  ctx.faults().arm(
       "nesterov.grad", {FaultKind::kSpike, /*atTick=*/60, /*count=*/2, 1e12});
-  const GpResult res = runPlacer(faulty, recoveryConfig());
+  const GpResult res = runPlacer(faulty, recoveryConfig(), ctx);
 
   EXPECT_TRUE(res.status.ok()) << res.status.toString();
   EXPECT_TRUE(res.converged);
@@ -95,14 +98,15 @@ TEST_F(RecoveryTest, GradientSpikeTriggersRollbackAndRecovers) {
 }
 
 TEST_F(RecoveryTest, PersistentFaultExhaustsBudgetAndReturnsBestCheckpoint) {
+  RuntimeContext ctx;
   PlacementDB db = smallInstance();
   // Every gradient evaluation from pass 30 on is poisoned: recovery cannot
   // succeed, so the placer must exhaust its budget and hand back the best
   // checkpoint with a NumericalDivergence status.
-  FaultInjector::instance().arm("nesterov.grad",
-                                {FaultKind::kNaN, /*atTick=*/30, /*count=*/-1});
+  ctx.faults().arm("nesterov.grad",
+                   {FaultKind::kNaN, /*atTick=*/30, /*count=*/-1});
   GpConfig cfg = recoveryConfig();
-  const GpResult res = runPlacer(db, cfg);
+  const GpResult res = runPlacer(db, cfg, ctx);
 
   EXPECT_EQ(res.status.code(), StatusCode::kNumericalDivergence)
       << res.status.toString();
@@ -115,24 +119,26 @@ TEST_F(RecoveryTest, PersistentFaultExhaustsBudgetAndReturnsBestCheckpoint) {
 }
 
 TEST_F(RecoveryTest, FftFaultIsCaughtByGradientHealthCheck) {
+  RuntimeContext ctx;
   PlacementDB db = smallInstance(31);
   // Corrupt a spectral coefficient inside the Poisson solver: the NaN
   // reaches the density gradient and must trip the same recovery path.
-  FaultInjector::instance().arm("fft.forward",
-                                {FaultKind::kNaN, /*atTick=*/200, /*count=*/1});
-  const GpResult res = runPlacer(db, recoveryConfig());
+  ctx.faults().arm("fft.forward",
+                   {FaultKind::kNaN, /*atTick=*/200, /*count=*/1});
+  const GpResult res = runPlacer(db, recoveryConfig(), ctx);
 
-  EXPECT_GE(FaultInjector::instance().fireCount("fft.forward"), 1);
+  EXPECT_GE(ctx.faults().fireCount("fft.forward"), 1);
   EXPECT_TRUE(res.status.ok()) << res.status.toString();
   EXPECT_TRUE(placementInsideRegion(db));
   EXPECT_TRUE(std::isfinite(res.finalHpwl));
 }
 
 TEST_F(RecoveryTest, WatchdogStopsLongStageGracefully) {
+  RuntimeContext ctx;
   PlacementDB db = smallInstance(47);
   GpConfig cfg = recoveryConfig();
   cfg.health.timeBudgetSeconds = 1e-4;  // expires after the first iteration
-  const GpResult res = runPlacer(db, cfg);
+  const GpResult res = runPlacer(db, cfg, ctx);
 
   EXPECT_TRUE(res.timedOut);
   EXPECT_EQ(res.status.code(), StatusCode::kTimeout);
@@ -142,12 +148,13 @@ TEST_F(RecoveryTest, WatchdogStopsLongStageGracefully) {
 }
 
 TEST_F(RecoveryTest, FlowCarriesDivergenceStatusThrough) {
+  RuntimeContext ctx;
   PlacementDB db = smallInstance(53);
-  FaultInjector::instance().arm("nesterov.grad",
-                                {FaultKind::kNaN, /*atTick=*/30, /*count=*/-1});
+  ctx.faults().arm("nesterov.grad",
+                   {FaultKind::kNaN, /*atTick=*/30, /*count=*/-1});
   FlowConfig cfg;
   cfg.runDetail = false;  // keep the degraded layout observable
-  const StatusOr<FlowResult> res = runEplaceFlowChecked(db, cfg);
+  const StatusOr<FlowResult> res = runEplaceFlowChecked(db, cfg, &ctx);
   ASSERT_TRUE(res.ok());  // the flow ran; degradation is in res->status
   EXPECT_EQ(res->status.code(), StatusCode::kNumericalDivergence);
   EXPECT_TRUE(placementInsideRegion(db));
@@ -197,9 +204,8 @@ TEST_F(RecoveryTest, SanitizeClampsStrandedPadAndRecentersNanMovable) {
 }
 
 TEST_F(RecoveryTest, FaultInjectorIsDeterministic) {
-  auto& inj = FaultInjector::instance();
+  FaultInjector inj;
   std::vector<double> a(64, 1.0), b(64, 1.0);
-  inj.reset();
   inj.arm("x", {FaultKind::kNaN, 0, 3});
   for (int i = 0; i < 3; ++i) {
     if (const FaultSpec* f = inj.fire("x")) inj.corrupt(a, *f);

@@ -14,6 +14,7 @@
 #include "legal/legalize.h"
 #include "legal/mlg.h"
 #include "qp/initial_place.h"
+#include "util/context.h"
 #include "util/fault_injector.h"
 #include "wirelength/wl.h"
 
@@ -297,11 +298,10 @@ TEST_F(BookshelfCorruption, NonNumericPlCoordinates) {
 TEST_F(BookshelfCorruption, InjectedMidFileTruncationNeverCrashes) {
   // The "bookshelf.line" fault site simulates the stream dying mid-read;
   // the parser must fail with a typed error, not crash or return garbage.
-  FaultInjector::instance().arm("bookshelf.line",
-                                {FaultKind::kTruncate, /*atTick=*/5, 1});
+  RuntimeContext ctx;
+  ctx.faults().arm("bookshelf.line", {FaultKind::kTruncate, /*atTick=*/5, 1});
   PlacementDB db;
-  const auto res = readBookshelf(dir_ + "/c.aux", db);
-  FaultInjector::instance().reset();
+  const auto res = readBookshelf(dir_ + "/c.aux", db, &ctx);
   EXPECT_FALSE(res.ok());
   EXPECT_EQ(res.code(), StatusCode::kInvalidInput);
 }
@@ -349,17 +349,15 @@ TEST(Robustness, ThrowingPoolTaskSurfacesAsStatusNotTerminate) {
   // boundary must convert that into StatusCode::kInternal instead of
   // letting the exception escape (which would std::terminate from a worker
   // or unwind through main).
-  ThreadPool::setGlobalThreads(4);
-  FaultInjector::instance().arm("parallel.task",
-                                {FaultKind::kNaN, /*atTick=*/3, 1});
+  RuntimeContext ctx(4);
+  ctx.faults().arm("parallel.task", {FaultKind::kNaN, /*atTick=*/3, 1});
   GenSpec spec;
   spec.name = "pooltask";
   spec.numCells = 300;
   spec.seed = 5;
   PlacementDB db = generateCircuit(spec);
-  const StatusOr<FlowResult> res = runEplaceFlowChecked(db, FlowConfig{});
-  FaultInjector::instance().reset();
-  ThreadPool::setGlobalThreads(0);
+  const StatusOr<FlowResult> res =
+      runEplaceFlowChecked(db, FlowConfig{}, &ctx);
   ASSERT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), StatusCode::kInternal);
   EXPECT_NE(res.status().message().find("parallel.task"), std::string::npos)
@@ -369,17 +367,15 @@ TEST(Robustness, ThrowingPoolTaskSurfacesAsStatusNotTerminate) {
 TEST(Robustness, PoolTaskFaultOnOneThreadStillTyped) {
   // Even the single-threaded (inline) execution path honors the site, so
   // chaos sweeps behave the same whatever --threads is.
-  ThreadPool::setGlobalThreads(1);
-  FaultInjector::instance().arm("parallel.task",
-                                {FaultKind::kNaN, /*atTick=*/0, 1});
+  RuntimeContext ctx(1);
+  ctx.faults().arm("parallel.task", {FaultKind::kNaN, /*atTick=*/0, 1});
   GenSpec spec;
   spec.name = "pooltask1";
   spec.numCells = 300;
   spec.seed = 6;
   PlacementDB db = generateCircuit(spec);
-  const StatusOr<FlowResult> res = runEplaceFlowChecked(db, FlowConfig{});
-  FaultInjector::instance().reset();
-  ThreadPool::setGlobalThreads(0);
+  const StatusOr<FlowResult> res =
+      runEplaceFlowChecked(db, FlowConfig{}, &ctx);
   ASSERT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), StatusCode::kInternal);
 }

@@ -1,0 +1,215 @@
+// PlacerSession / runPlacerBatch (ctest label: session): concurrent
+// sessions must be bit-identical to sequential ones at any thread split,
+// faults armed on one session's context must never fire in another, and
+// per-session snapshot streams must not collide. Pair with the tsan-session
+// preset for data-race coverage of the same paths.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bookshelf/bookshelf.h"
+#include "eplace/session.h"
+#include "gen/generator.h"
+
+namespace ep {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Two distinct small instances staged as Bookshelf files so the batch API
+/// exercises its real load path.
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("session_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    writeInstance("alpha", 7, 220);
+    writeInstance("beta", 13, 260);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void writeInstance(const std::string& name, std::uint64_t seed,
+                     std::size_t cells) {
+    GenSpec spec;
+    spec.name = name;
+    spec.numCells = cells;
+    spec.numMovableMacros = 2;
+    spec.seed = seed;
+    ASSERT_TRUE(writeBookshelf(dir_.string(), name, generateCircuit(spec)).ok());
+  }
+
+  [[nodiscard]] std::string aux(const std::string& name) const {
+    return (dir_ / (name + ".aux")).string();
+  }
+
+  [[nodiscard]] std::vector<BatchItem> items() const {
+    return {{aux("alpha"), ""}, {aux("beta"), ""}};
+  }
+
+  static SessionOptions fastSession() {
+    SessionOptions so;
+    so.flow.runDetail = false;
+    so.flow.gp.maxIterations = 120;
+    return so;
+  }
+
+  fs::path dir_;
+};
+
+std::vector<std::uint64_t> positionBits(const PlacementDB& db) {
+  std::vector<std::uint64_t> v;
+  for (const auto& o : db.objects) {
+    v.push_back(std::bit_cast<std::uint64_t>(o.lx));
+    v.push_back(std::bit_cast<std::uint64_t>(o.ly));
+  }
+  return v;
+}
+
+TEST_F(SessionTest, ConcurrentBatchBitIdenticalToSequential) {
+  for (const int totalThreads : {1, 4}) {
+    BatchOptions conc;
+    conc.maxConcurrentSessions = 2;
+    conc.totalThreads = totalThreads;
+    conc.session = fastSession();
+    BatchOptions seq = conc;
+    seq.maxConcurrentSessions = 1;
+
+    const BatchResult a = runPlacerBatch(items(), seq);
+    const BatchResult b = runPlacerBatch(items(), conc);
+    ASSERT_TRUE(a.allOk());
+    ASSERT_TRUE(b.allOk());
+    ASSERT_EQ(a.items.size(), 2u);
+    ASSERT_EQ(b.items.size(), 2u);
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].name, b.items[i].name);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.items[i].flow.finalHpwl),
+                std::bit_cast<std::uint64_t>(b.items[i].flow.finalHpwl))
+          << a.items[i].name << " at totalThreads=" << totalThreads;
+    }
+  }
+}
+
+TEST_F(SessionTest, ConcurrentSessionPositionsMatchSequentialRun) {
+  // Drive two PlacerSessions by hand on separate threads and diff full
+  // position vectors against back-to-back runs — the strongest identity,
+  // beyond the HPWL bits the batch test checks.
+  auto runOne = [&](const std::string& name, int threads) {
+    SessionOptions so = fastSession();
+    so.name = name;
+    so.threads = threads;
+    PlacerSession s(so);
+    EXPECT_TRUE(s.load(aux(name)).ok());
+    EXPECT_TRUE(s.place().ok());
+    return positionBits(s.db());
+  };
+
+  const std::vector<std::uint64_t> refAlpha = runOne("alpha", 2);
+  const std::vector<std::uint64_t> refBeta = runOne("beta", 2);
+
+  std::vector<std::uint64_t> gotAlpha, gotBeta;
+  std::thread ta([&] { gotAlpha = runOne("alpha", 2); });
+  std::thread tb([&] { gotBeta = runOne("beta", 2); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(refAlpha, gotAlpha);
+  EXPECT_EQ(refBeta, gotBeta);
+}
+
+TEST_F(SessionTest, FaultArmedInOneSessionNeverFiresInAnother) {
+  SessionOptions so = fastSession();
+  so.name = "faulty";
+  PlacerSession faulty(so);
+  faulty.context().faults().arm(
+      "nesterov.grad", {FaultKind::kNaN, /*atTick=*/30, /*count=*/1});
+
+  so.name = "clean";
+  PlacerSession clean(so);
+
+  ASSERT_TRUE(faulty.load(aux("alpha")).ok());
+  ASSERT_TRUE(clean.load(aux("alpha")).ok());
+
+  // Run concurrently: isolation must hold while both are in flight.
+  StatusOr<FlowResult> fr = Status::internal("not run");
+  StatusOr<FlowResult> cr = Status::internal("not run");
+  std::thread tf([&] { fr = faulty.place(); });
+  std::thread tc([&] { cr = clean.place(); });
+  tf.join();
+  tc.join();
+
+  EXPECT_EQ(faulty.context().faults().fireCount("nesterov.grad"), 1);
+  EXPECT_EQ(clean.context().faults().fireCount("nesterov.grad"), 0);
+  ASSERT_TRUE(cr.ok());
+  EXPECT_TRUE(cr->status.ok()) << cr->status.toString();
+  ASSERT_TRUE(fr.ok());
+
+  // The reference run saw no fault, so the faulty session's recovery and
+  // the clean session's result are both well-formed — and a third untouched
+  // run matches the clean one bit-for-bit.
+  PlacerSession again(so);
+  ASSERT_TRUE(again.load(aux("alpha")).ok());
+  ASSERT_TRUE(again.place().ok());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(cr->finalHpwl),
+            std::bit_cast<std::uint64_t>(again.result()->finalHpwl));
+}
+
+TEST_F(SessionTest, PerSessionSnapshotDirectoriesDoNotCollide) {
+  const fs::path snapRoot = dir_ / "snaps";
+  BatchOptions opt;
+  opt.maxConcurrentSessions = 2;
+  opt.session = fastSession();
+  opt.session.sup.saveEvery = 10;
+  opt.snapshotRoot = snapRoot.string();
+
+  const BatchResult res = runPlacerBatch(items(), opt);
+  ASSERT_TRUE(res.allOk());
+
+  // Each session checkpointed under its own subdirectory, and both streams
+  // produced at least one durable snapshot.
+  for (const char* name : {"alpha", "beta"}) {
+    const fs::path sub = snapRoot / name;
+    ASSERT_TRUE(fs::is_directory(sub)) << sub;
+    std::size_t count = 0;
+    for (const auto& e : fs::directory_iterator(sub)) {
+      EXPECT_NE(e.path().string().find(name), std::string::npos);
+      ++count;
+    }
+    EXPECT_GT(count, 0u) << sub;
+  }
+}
+
+TEST_F(SessionTest, PlaceWithoutLoadIsTypedError) {
+  PlacerSession s(fastSession());
+  const auto run = s.place();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(s.result(), nullptr);
+}
+
+TEST_F(SessionTest, AdoptFinalizesAndPlaces) {
+  GenSpec spec;
+  spec.name = "adopted";
+  spec.numCells = 150;
+  spec.seed = 3;
+  SessionOptions so = fastSession();
+  so.threads = 2;
+  PlacerSession s(so);
+  ASSERT_TRUE(s.adopt(generateCircuit(spec)).ok());
+  const auto run = s.place();
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(std::isfinite(run->finalHpwl));
+  EXPECT_NE(s.result(), nullptr);
+}
+
+}  // namespace
+}  // namespace ep

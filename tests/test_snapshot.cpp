@@ -30,10 +30,7 @@ class SnapshotTest : public ::testing::Test {
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
-  void TearDown() override {
-    FaultInjector::instance().reset();
-    fs::remove_all(dir_);
-  }
+  void TearDown() override { fs::remove_all(dir_); }
 
   [[nodiscard]] std::string path(const std::string& name) const {
     return (dir_ / name).string();
@@ -164,21 +161,23 @@ TEST_F(SnapshotTest, MissingFileIsIoError) {
 }
 
 TEST_F(SnapshotTest, WriteFaultSiteBitFlipIsCaughtByReader) {
-  FaultInjector::instance().arm("snapshot.write",
-                                {FaultKind::kNaN, /*atTick=*/0, /*count=*/1});
+  FaultInjector faults;
+  faults.arm("snapshot.write", {FaultKind::kNaN, /*atTick=*/0, /*count=*/1});
   const std::string p = path("a.epsnap");
-  ASSERT_TRUE(writeSnapshotFile(p, sample()).ok());  // write itself succeeds
-  EXPECT_EQ(FaultInjector::instance().fireCount("snapshot.write"), 1);
+  // write itself succeeds
+  ASSERT_TRUE(writeSnapshotFile(p, sample(), &faults).ok());
+  EXPECT_EQ(faults.fireCount("snapshot.write"), 1);
   const auto rd = readSnapshotFile(p);
   ASSERT_FALSE(rd.ok());
   EXPECT_EQ(rd.status().code(), StatusCode::kInvalidInput);
 }
 
 TEST_F(SnapshotTest, WriteFaultSiteTruncationIsCaughtByReader) {
-  FaultInjector::instance().arm(
-      "snapshot.write", {FaultKind::kTruncate, /*atTick=*/0, /*count=*/1});
+  FaultInjector faults;
+  faults.arm("snapshot.write",
+             {FaultKind::kTruncate, /*atTick=*/0, /*count=*/1});
   const std::string p = path("a.epsnap");
-  ASSERT_TRUE(writeSnapshotFile(p, sample()).ok());
+  ASSERT_TRUE(writeSnapshotFile(p, sample(), &faults).ok());
   const auto rd = readSnapshotFile(p);
   ASSERT_FALSE(rd.ok());
   EXPECT_EQ(rd.status().code(), StatusCode::kInvalidInput);

@@ -15,6 +15,7 @@
 #include "eplace/flow.h"
 #include "eplace/supervisor.h"
 #include "gen/generator.h"
+#include "util/context.h"
 #include "util/fault_injector.h"
 #include "wirelength/wl.h"
 
@@ -92,10 +93,7 @@ class SupervisorTest : public ::testing::Test {
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
-  void TearDown() override {
-    FaultInjector::instance().reset();
-    fs::remove_all(dir_);
-  }
+  void TearDown() override { fs::remove_all(dir_); }
 
   [[nodiscard]] std::string snapDir() const { return dir_.string(); }
 
@@ -287,12 +285,14 @@ TEST_F(SupervisorTest, LegalizeFaultRetriesThenFallsBackToGreedy) {
   // Corrupt every Abacus legalization pass: the supervisor must retry,
   // then fall back to the greedy (Tetris-only) legalizer and still deliver
   // a legal placement with an OK typed status.
-  FaultInjector::instance().arm(
+  RuntimeContext ctx;
+  ctx.faults().arm(
       "legalize.displace",
       {FaultKind::kSpike, /*atTick=*/0, /*count=*/-1, /*magnitude=*/1e9});
   PlacementDB db = stdInstance();
   SupervisorReport report;
-  const auto run = runSupervisedFlow(db, traceConfig(nullptr), {}, &report);
+  const auto run =
+      runSupervisedFlow(db, traceConfig(nullptr), {}, &report, &ctx);
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->status.ok()) << run->status.toString();
   EXPECT_TRUE(run->legality.legal) << run->legality.firstIssue;
@@ -305,11 +305,13 @@ TEST_F(SupervisorTest, LegalizeFaultRetriesThenFallsBackToGreedy) {
 }
 
 TEST_F(SupervisorTest, DetailFaultRollsBackToLegalizedPlacement) {
-  FaultInjector::instance().arm(
-      "detail.swap", {FaultKind::kNaN, /*atTick=*/0, /*count=*/-1});
+  RuntimeContext ctx;
+  ctx.faults().arm("detail.swap",
+                   {FaultKind::kNaN, /*atTick=*/0, /*count=*/-1});
   PlacementDB db = stdInstance();
   SupervisorReport report;
-  const auto run = runSupervisedFlow(db, traceConfig(nullptr), {}, &report);
+  const auto run =
+      runSupervisedFlow(db, traceConfig(nullptr), {}, &report, &ctx);
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->status.ok()) << run->status.toString();
   EXPECT_TRUE(run->legality.legal) << run->legality.firstIssue;
