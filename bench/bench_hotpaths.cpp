@@ -19,6 +19,8 @@
 //  * "batch_2x": two concurrent placer sessions (4 threads split between
 //    them) against the same two jobs run back-to-back; wall seconds,
 //    speedup, and whether both orders were bit-identical per design.
+//  * "serve_roundtrip": eplace_serve daemon overhead — ping round-trip ns
+//    over the AF_UNIX socket and submit->wait seconds on a tiny job.
 #include <atomic>
 #include <cinttypes>
 #include <filesystem>
@@ -39,6 +41,8 @@
 #include "eval/metrics.h"
 #include "gen/generator.h"
 #include "qp/initial_place.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
 #include "util/context.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -250,6 +254,58 @@ int main(int argc, char** argv) {
   }
   fs::remove_all(batchDir);
 
+  // --- serve round-trip: protocol overhead of the placement daemon ----------
+  // ping ns = pure wire + dispatch cost; seconds_per_job = submit->wait on a
+  // tiny job, i.e. what the daemon adds around the placement itself.
+  double servePingNs = 0.0;
+  double serveSecondsPerJob = 0.0;
+  bool serveOk = true;
+  {
+    const fs::path serveRoot = fs::temp_directory_path() / "bench_serve";
+    fs::remove_all(serveRoot);
+    serve::ServeOptions sopt;
+    sopt.socketPath =
+        (fs::temp_directory_path() / "bench_serve.sock").string();
+    sopt.root = serveRoot.string();
+    sopt.workers = 1;
+    sopt.logLevel = LogLevel::kOff;
+    fs::remove(sopt.socketPath);
+    serve::ServeDaemon daemon(sopt);
+    if (!daemon.start().ok()) {
+      std::fprintf(stderr, "serve daemon failed to start; serve row is 0\n");
+      serveOk = false;
+    } else {
+      serve::ServeClient client;
+      serveOk = client.connect(sopt.socketPath).ok();
+      if (serveOk) {
+        const int pings = smoke ? 50 : 2000;
+        (void)client.ping();  // warm-up
+        servePingNs = timeNs(pings, [&] { (void)client.ping(); });
+        const int jobs = smoke ? 1 : 4;
+        serve::JobSpec tiny;
+        tiny.name = "bench_tiny";
+        tiny.hasGen = true;
+        tiny.gen.numCells = smoke ? 120 : 300;
+        tiny.gen.seed = 7;
+        tiny.gpMaxIterations = smoke ? 1 : 30;
+        tiny.runDetail = false;
+        Timer jt;
+        for (int j = 0; j < jobs && serveOk; ++j) {
+          auto id = client.submit(tiny);
+          serveOk = id.ok() && client.wait(*id, 300.0).ok();
+        }
+        serveSecondsPerJob = jt.seconds() / jobs;
+        std::printf("serve: ping %.0f ns, %.3f s/job (%d tiny jobs)%s\n",
+                    servePingNs, serveSecondsPerJob, jobs,
+                    serveOk ? "" : " [FAILED]");
+      }
+      daemon.requestShutdown();
+      daemon.wait();
+    }
+    fs::remove_all(serveRoot);
+    fs::remove(sopt.socketPath);
+  }
+
   // --- emit JSON ------------------------------------------------------------
   FILE* f = std::fopen("BENCH_hotpaths.json", "w");
   if (f == nullptr) {
@@ -292,6 +348,10 @@ int main(int argc, char** argv) {
                batchConcSeconds > 0.0 ? batchSeqSeconds / batchConcSeconds
                                       : 0.0,
                batchIdentical ? "true" : "false");
+  std::fprintf(f,
+               "  \"serve_roundtrip\": {\"ping_ns\": %.0f, "
+               "\"seconds_per_job\": %.4f, \"ok\": %s},\n",
+               servePingNs, serveSecondsPerJob, serveOk ? "true" : "false");
   // Steady-state contract: every timed kernel must run allocation-free
   // after its warm-up call (the Nesterov inner loop is exactly these
   // kernels plus element-wise vector updates).
@@ -301,8 +361,9 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"bit_identical\": %s\n", bitIdentical ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("wrote BENCH_hotpaths.json (bit_identical=%s, batch=%s)\n",
+  std::printf("wrote BENCH_hotpaths.json (bit_identical=%s, batch=%s, "
+              "serve=%s)\n",
               bitIdentical ? "true" : "false",
-              batchIdentical ? "true" : "false");
-  return bitIdentical && batchIdentical ? 0 : 1;
+              batchIdentical ? "true" : "false", serveOk ? "true" : "false");
+  return bitIdentical && batchIdentical && serveOk ? 0 : 1;
 }

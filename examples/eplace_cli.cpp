@@ -31,10 +31,11 @@
 //     --log-level <lvl>      debug | info | warn | error | off (default warn)
 //     --verbose              shorthand for --log-level info
 //
-// Exit codes follow the ep::Status taxonomy (docs/ROBUSTNESS.md):
+// Exit codes follow ep::statusExitCode (docs/ROBUSTNESS.md):
 //   0 success   1 usage/unknown error   2 InvalidInput   3 Io
 //   4 NumericalDivergence   5 Timeout   6 placed but not legal
 //   7 Internal (a hot-path task threw; converted at the flow boundary)
+//   8 Cancelled   9 ResourceExhausted   10 Unavailable
 //
 // With no arguments it demonstrates the full loop on a generated circuit:
 // write Bookshelf, read it back, place, and emit the placed .pl — i.e. the
@@ -62,23 +63,9 @@
 
 namespace {
 
-int exitCodeFor(ep::StatusCode code) {
-  switch (code) {
-    case ep::StatusCode::kOk:
-      return 0;
-    case ep::StatusCode::kInvalidInput:
-      return 2;
-    case ep::StatusCode::kIo:
-      return 3;
-    case ep::StatusCode::kNumericalDivergence:
-      return 4;
-    case ep::StatusCode::kTimeout:
-      return 5;
-    case ep::StatusCode::kInternal:
-      return 7;
-  }
-  return 1;
-}
+// The process exit code is the shared taxonomy mapping (ep::statusExitCode);
+// 6 is reserved by this CLI for "placed but not legal".
+int exitCodeFor(ep::StatusCode code) { return ep::statusExitCode(code); }
 
 /// Parses "site=kind@tick" or "site=kind@tickxCount"; armed on the run
 /// context once it exists (after --threads / --log-level are known).

@@ -313,7 +313,7 @@ void GlobalPlacer::runFillerOnly(int iterations) {
       ncfg, [&eng](std::span<double> v) { eng.project(v); }, &ctx_.pool());
   const auto v0 = eng.startVector(none);
   opt.initialize(v0);
-  for (int k = 0; k < iterations; ++k) opt.step();
+  for (int k = 0; k < iterations && !ctx_.cancelled(); ++k) opt.step();
   if (!allFinite(opt.solution())) {
     // Fillers are an optimizer-internal device; a blown-up prelude must not
     // poison cGP. Keep the (finite) input distribution instead.
@@ -426,6 +426,23 @@ GpResult GlobalPlacer::run(TraceFn trace, const GpRunControl& ctl) {
 
   int iter = startIter;
   for (; iter < cfg_.maxIterations; ++iter) {
+    // Cooperative cancellation: polled alongside the health watchdog so a
+    // cancel lands within one iteration. The best-so-far (or current, when
+    // finite) state is returned exactly like a watchdog timeout — durable
+    // mid-stage snapshots written before the cancel stay valid, so a
+    // preempted job resumes the same trajectory bit-exactly.
+    if (ctx_.cancelled()) {
+      result.status = Status::cancelled(
+          "stage cancelled (" + ctx_.cancelReason() +
+          "); best-so-far returned");
+      if (!allFinite(opt.solution())) {
+        opt.restore(best.snap);
+        eng.lambda = best.lambda;
+      }
+      ctx_.log().warn("GP: cancelled at iter %d (%s)", iter,
+                      ctx_.cancelReason().c_str());
+      break;
+    }
     const auto info = opt.step();
 
     double curHpwl, tau;

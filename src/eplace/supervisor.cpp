@@ -30,6 +30,16 @@ const char* flowStageName(FlowStage s) {
   return "?";
 }
 
+const char* supervisorEventKindName(SupervisorEvent::Kind k) {
+  switch (k) {
+    case SupervisorEvent::Kind::kStageStart: return "stage_start";
+    case SupervisorEvent::Kind::kStageFinish: return "stage_finish";
+    case SupervisorEvent::Kind::kSnapshot: return "snapshot";
+    case SupervisorEvent::Kind::kResume: return "resume";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr const char* kSnapPrefix = "snap_";
@@ -363,10 +373,15 @@ struct Supervisor {
     st.ctx = &rc;
   }
 
-  /// A stage may continue only while both its own budget and the context's
-  /// session-wide deadline have time left.
+  void emit(const SupervisorEvent& ev) {
+    if (sup.onProgress) sup.onProgress(ev);
+  }
+
+  /// A stage may continue only while its own budget, the context's
+  /// session-wide deadline, and the cancel token all have slack. A
+  /// cancelled context stops retries exactly like an exhausted budget.
   [[nodiscard]] bool budgetLeft(const StagePolicy& pol, const Timer& t) const {
-    if (rc.deadlineExceeded()) return false;
+    if (rc.cancelled() || rc.deadlineExceeded()) return false;
     return pol.timeBudgetSeconds <= 0.0 || t.seconds() < pol.timeBudgetSeconds;
   }
 
@@ -382,6 +397,11 @@ struct Supervisor {
                     s.toString().c_str());
       return;
     }
+    SupervisorEvent ev;
+    ev.kind = SupervisorEvent::Kind::kSnapshot;
+    ev.stage = next;
+    ev.snapshotSeq = nextSeq;
+    emit(ev);
     ++nextSeq;
     ++report.snapshotsWritten;
     prune();
@@ -477,6 +497,10 @@ struct Supervisor {
     }
     report.resumed = true;
     report.resumeStage = rd.next;
+    SupervisorEvent ev;
+    ev.kind = SupervisorEvent::Kind::kResume;
+    ev.stage = rd.next;
+    emit(ev);
   }
 
   // --- stages --------------------------------------------------------------
@@ -598,9 +622,13 @@ struct Supervisor {
     st.cfg.mlg = base;
     if (!legal) {
       // Keep the best annealed layout (less overlap than stage entry) but
-      // record the violated invariant.
-      rep.status = Status::numericalDivergence(
-          "mLG left macro overlap after every attempt");
+      // record the violated invariant. A cancel that cut the retries short
+      // is labeled as such, not as divergence.
+      rep.status = rc.cancelled()
+                       ? Status::cancelled("mLG cancelled (" +
+                                           rc.cancelReason() + ")")
+                       : Status::numericalDivergence(
+                             "mLG left macro overlap after every attempt");
       appendNote(rep, "macro overlap remains");
       if (st.res.status.ok()) st.res.status = rep.status;
     }
@@ -660,8 +688,12 @@ struct Supervisor {
     }
     if (!legalOk) {
       restorePositions(db, entry);
-      rep.status = Status::numericalDivergence(
-          "legalization failed the legality/HPWL gate on every path");
+      rep.status = rc.cancelled()
+                       ? Status::cancelled("cDP cancelled (" +
+                                           rc.cancelReason() + ")")
+                       : Status::numericalDivergence(
+                             "legalization failed the legality/HPWL gate on "
+                             "every path");
       appendNote(rep, "kept global placement result");
       if (st.res.status.ok()) st.res.status = rep.status;
     } else {
@@ -693,6 +725,14 @@ struct Supervisor {
     }
     rc.stats().add("supervisor.attempts", static_cast<double>(rep.attempts));
     if (rep.fellBack) rc.stats().add("supervisor.fallbacks", 1.0);
+    SupervisorEvent ev;
+    ev.kind = SupervisorEvent::Kind::kStageFinish;
+    ev.stage = rep.stage;
+    ev.attempts = rep.attempts;
+    ev.seconds = rep.seconds;
+    ev.status = rep.status;
+    ev.fellBack = rep.fellBack;
+    emit(ev);
     report.stages.push_back(std::move(rep));
   }
 
@@ -711,6 +751,22 @@ struct Supervisor {
       }
     }
     while (next != FlowStage::kDone) {
+      if (rc.cancelled()) {
+        if (st.res.status.ok()) {
+          st.res.status = Status::cancelled("flow cancelled before " +
+                                            std::string(flowStageName(next)) +
+                                            " (" + rc.cancelReason() + ")");
+        }
+        rc.log().warn("supervisor: cancelled before %s (%s)",
+                      flowStageName(next), rc.cancelReason().c_str());
+        break;
+      }
+      {
+        SupervisorEvent ev;
+        ev.kind = SupervisorEvent::Kind::kStageStart;
+        ev.stage = next;
+        emit(ev);
+      }
       switch (next) {
         case FlowStage::kMip:
           runMip();
@@ -739,6 +795,17 @@ struct Supervisor {
           break;
         case FlowStage::kDone:
           break;
+      }
+      if (rc.cancelled()) {
+        // Do NOT write the boundary snapshot: the durable stream keeps the
+        // last pre-cancel (mid-stage) snapshot, so a resumed run replays the
+        // remaining iterations of the interrupted stage bit-exactly instead
+        // of accepting its truncated result as a stage boundary.
+        if (st.res.status.ok()) {
+          st.res.status =
+              Status::cancelled("flow cancelled (" + rc.cancelReason() + ")");
+        }
+        break;
       }
       saveSnapshot(next, nullptr);
     }

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,31 @@ struct StagePolicy {
   double timeBudgetSeconds = 0;  ///< whole-stage wall budget; 0 = unbounded
 };
 
+/// One streaming progress notification from the supervisor. The serving
+/// layer forwards these to watchers as NDJSON events; a CLI could render a
+/// progress bar from them. Emitted synchronously on the supervisor's driver
+/// thread — handlers must be cheap and must not throw.
+struct SupervisorEvent {
+  enum class Kind : std::uint8_t {
+    kStageStart,   ///< about to run `stage`
+    kStageFinish,  ///< `stage` accepted (attempts/seconds/status populated)
+    kSnapshot,     ///< durable snapshot `snapshotSeq` written toward `stage`
+    kResume,       ///< run restored from a snapshot; `stage` is the cursor
+  };
+  Kind kind = Kind::kStageStart;
+  FlowStage stage = FlowStage::kMip;
+  int attempts = 0;      ///< attempts consumed (finish events)
+  double seconds = 0.0;  ///< stage wall seconds (finish events)
+  Status status;         ///< accepted stage outcome (finish events)
+  bool fellBack = false;
+  int snapshotSeq = -1;  ///< file sequence number (snapshot events)
+};
+
+/// "stage_start" / "stage_finish" / "snapshot" / "resume".
+const char* supervisorEventKindName(SupervisorEvent::Kind k);
+
+using SupervisorProgressFn = std::function<void(const SupervisorEvent&)>;
+
 struct SupervisorConfig {
   StagePolicy mip{1, 0.0};  ///< deterministic; a retry would not differ
   StagePolicy mgp{2, 0.0};
@@ -81,6 +107,9 @@ struct SupervisorConfig {
   double detailRegressionTol = 1e-9;
   bool allowFallbacks = true;
   std::uint64_t perturbSeed = 0x5EEDCAFEULL;  ///< retry-jitter RNG stream
+  /// Streaming progress hook (stage boundaries, snapshots, resume). Empty =
+  /// no notifications. See SupervisorEvent for the callback contract.
+  SupervisorProgressFn onProgress;
 };
 
 /// Outcome of one supervised stage (one row of the end-of-flow report).

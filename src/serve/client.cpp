@@ -1,0 +1,190 @@
+#include "serve/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace ep::serve {
+
+Status ServeClient::connect(const std::string& socketPath,
+                            double timeoutSeconds) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.empty() || socketPath.size() >= sizeof(addr.sun_path)) {
+    return Status::invalidInput("socket path empty or too long");
+  }
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeoutSeconds);
+  while (true) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return Status::ioError("socket() failed");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      fd_ = fd;
+      return Status::okStatus();
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::unavailable("cannot connect to " + socketPath + ": " +
+                                 std::strerror(errno));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rxBuf_.clear();
+}
+
+StatusOr<std::string> ServeClient::readLine(double timeoutSeconds) {
+  if (fd_ < 0) return Status::unavailable("not connected");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeoutSeconds);
+  while (true) {
+    const std::size_t nl = rxBuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = rxBuf_.substr(0, nl);
+      rxBuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const auto left = deadline - std::chrono::steady_clock::now();
+    if (left <= std::chrono::steady_clock::duration::zero()) {
+      return Status::timeout("no response line within the timeout");
+    }
+    const int waitMs = static_cast<int>(std::min<long long>(
+        200,
+        std::chrono::duration_cast<std::chrono::milliseconds>(left).count() +
+            1));
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, waitMs);
+    if (pr < 0 && errno != EINTR) {
+      return Status::ioError("poll failed on daemon connection");
+    }
+    if (pr <= 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) return Status::ioError("daemon closed the connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Status::ioError("recv failed on daemon connection");
+    }
+    rxBuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+StatusOr<std::string> ServeClient::callRaw(const std::string& line,
+                                           double timeoutSeconds) {
+  if (fd_ < 0) return Status::unavailable("not connected");
+  std::string buf = line;
+  buf += '\n';
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return Status::ioError("send failed on daemon connection");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return readLine(timeoutSeconds);
+}
+
+StatusOr<JsonValue> ServeClient::call(const JsonValue& request,
+                                      double timeoutSeconds) {
+  const StatusOr<std::string> raw =
+      callRaw(writeJson(request), timeoutSeconds);
+  if (!raw.ok()) return raw.status();
+  StatusOr<JsonValue> parsed = parseJson(*raw);
+  if (!parsed.ok()) {
+    return Status::internal("daemon sent unparseable response: " +
+                            parsed.status().message());
+  }
+  return parsed;
+}
+
+Status ServeClient::ping() {
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str("ping"));
+  const StatusOr<JsonValue> resp = call(req, 5.0);
+  if (!resp.ok()) return resp.status();
+  return statusFromResponse(*resp);
+}
+
+StatusOr<std::uint64_t> ServeClient::submit(const JobSpec& spec) {
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str("submit"));
+  req.set("job", jobSpecToJson(spec));
+  const StatusOr<JsonValue> resp = call(req);
+  if (!resp.ok()) return resp.status();
+  const Status s = statusFromResponse(*resp);
+  if (!s.ok()) return s;
+  const double id = resp->getNumber("id", 0.0);
+  if (id < 1) return Status::internal("submit response carries no job id");
+  return static_cast<std::uint64_t>(id);
+}
+
+Status ServeClient::cancel(std::uint64_t id) {
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str("cancel"));
+  req.set("id", JsonValue::number(static_cast<double>(id)));
+  const StatusOr<JsonValue> resp = call(req);
+  if (!resp.ok()) return resp.status();
+  return statusFromResponse(*resp);
+}
+
+StatusOr<JobOutcome> ServeClient::wait(std::uint64_t id,
+                                       double timeoutSeconds) {
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str("wait"));
+  req.set("id", JsonValue::number(static_cast<double>(id)));
+  req.set("timeout", JsonValue::number(timeoutSeconds));
+  // Client-side slack past the daemon-side bound so the daemon's typed
+  // kTimeout wins over a transport timeout.
+  const StatusOr<JsonValue> resp = call(req, timeoutSeconds + 10.0);
+  if (!resp.ok()) return resp.status();
+  const Status s = statusFromResponse(*resp);
+  if (!s.ok()) return s;
+  const JsonValue* result = resp->find("result");
+  if (result == nullptr) {
+    return Status::internal("wait response carries no result");
+  }
+  JobOutcome out;
+  const Status ps = outcomeFromJson(*result, &out);
+  if (!ps.ok()) return ps;
+  return out;
+}
+
+StatusOr<JsonValue> ServeClient::stats() {
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str("stats"));
+  const StatusOr<JsonValue> resp = call(req, 10.0);
+  if (!resp.ok()) return resp.status();
+  const Status s = statusFromResponse(*resp);
+  if (!s.ok()) return s;
+  return resp;
+}
+
+Status ServeClient::shutdownDaemon() {
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str("shutdown"));
+  const StatusOr<JsonValue> resp = call(req, 10.0);
+  if (!resp.ok()) return resp.status();
+  return statusFromResponse(*resp);
+}
+
+}  // namespace ep::serve

@@ -1,0 +1,101 @@
+// ServeDaemon — fault-isolated placement service over a local socket.
+//
+// One daemon = one listening AF_UNIX socket + one durable state root. The
+// acceptor thread hands each connection to its own reader thread speaking
+// the NDJSON protocol (serve/protocol.h); accepted jobs flow through a
+// bounded AdmissionQueue (full queue -> typed kResourceExhausted, the
+// acceptor NEVER blocks) into a fixed pool of job workers. Every job runs
+// in its own PlacerSession — its own RuntimeContext, thread pool, fault
+// injector, log prefix and stats — so a poisoned or cancelled job fails
+// with a typed status while its neighbors produce results bit-identical to
+// solo runs.
+//
+// Durability contract (see serve/journal.h and docs/SERVING.md): a submit
+// is acknowledged only after the job spec is fsync'd into the journal, and
+// the journal entry is removed only after the result file exists. Jobs
+// checkpoint through the FlowSupervisor into per-job snapshot directories,
+// so a daemon killed with SIGKILL mid-batch restarts, re-admits every
+// unfinished job, resumes each from its newest valid snapshot, and
+// finishes them bit-exactly. Graceful shutdown stops admission, lets
+// running jobs drain for ServeOptions::drainSeconds, then cooperatively
+// cancels the stragglers as "preempted" — their journals survive, so the
+// next start resumes them instead of losing them.
+//
+// Fault sites owned by this layer (armed on the DAEMON context):
+//   "serve.request"  corrupts/truncates one raw request line before parsing
+//   "serve.accept"   rejects one admission with kUnavailable
+// Both degrade a single request; the daemon itself never crashes on them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/log.h"
+#include "util/status.h"
+
+namespace ep {
+class RuntimeContext;
+}
+
+namespace ep::serve {
+
+struct ServeOptions {
+  /// AF_UNIX socket path (must fit sun_path, ~100 bytes; keep it short).
+  std::string socketPath;
+  /// Durable state root: journal, results, snapshots, stats dump.
+  std::string root;
+  int workers = 2;        ///< concurrent placement jobs
+  int queueCapacity = 64; ///< admission bound (beyond-running backlog)
+  std::size_t maxRequestBytes = 64 * 1024;  ///< request line cap
+  int jobThreads = 1;     ///< per-job session pool size
+  /// Graceful-shutdown drain budget before running jobs are preempted
+  /// (checkpointed + cancelled, resumed by the next start).
+  double drainSeconds = 30.0;
+  /// Mid-stage snapshot cadence (GP iterations) when a job does not set
+  /// its own save_every.
+  int defaultSaveEvery = 25;
+  LogLevel logLevel = LogLevel::kWarn;
+  bool logTimestamps = true;
+};
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(ServeOptions opt);
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+  /// Joins everything (equivalent to requestShutdown() + wait()).
+  ~ServeDaemon();
+
+  /// Recovers the journal, binds the socket, starts acceptor + workers.
+  /// kInvalidInput / kIo on an unusable configuration; the daemon is
+  /// serving when this returns OK.
+  Status start();
+
+  /// Begins graceful shutdown (async-signal-UNSAFE; signal handlers set a
+  /// flag and call this from the main thread). Idempotent.
+  void requestShutdown();
+
+  /// True once shutdown has been requested (signal, wire, or API).
+  [[nodiscard]] bool stopping() const;
+
+  /// Blocks until shutdown completes: admission closed, running jobs
+  /// drained or preempted at the drain deadline, stats dumped to
+  /// <root>/serve_stats.json.
+  void wait();
+
+  /// Daemon-level runtime: arm "serve.request"/"serve.accept" faults here,
+  /// read the serve.* stats counters, adjust logging. Valid for the
+  /// daemon's lifetime.
+  [[nodiscard]] RuntimeContext& context();
+
+  /// Jobs re-admitted from the journal by start().
+  [[nodiscard]] int recoveredJobs() const;
+  [[nodiscard]] const ServeOptions& options() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ep::serve

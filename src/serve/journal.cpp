@@ -1,0 +1,181 @@
+#include "serve/journal.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ep::serve {
+
+namespace {
+
+constexpr const char* kJobPrefix = "job_";
+constexpr const char* kJsonSuffix = ".json";
+
+void makeDirs(const std::string& path) {
+  std::string cur;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!cur.empty() && cur != "/") ::mkdir(cur.c_str(), 0755);
+    }
+    if (i < path.size()) cur += path[i];
+  }
+}
+
+std::string jobFileName(std::uint64_t id) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%s%llu%s", kJobPrefix,
+                static_cast<unsigned long long>(id), kJsonSuffix);
+  return buf;
+}
+
+/// Id encoded in "job_<id>.json", or 0 on any mismatch (ids start at 1).
+std::uint64_t jobIdOf(const std::string& name) {
+  const std::size_t plen = std::string(kJobPrefix).size();
+  const std::size_t slen = std::string(kJsonSuffix).size();
+  if (name.size() <= plen + slen) return 0;
+  if (name.compare(0, plen, kJobPrefix) != 0) return 0;
+  if (name.compare(name.size() - slen, slen, kJsonSuffix) != 0) return 0;
+  std::uint64_t id = 0;
+  for (std::size_t i = plen; i < name.size() - slen; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return 0;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return id;
+}
+
+std::vector<std::uint64_t> listJobIds(const std::string& dir) {
+  std::vector<std::uint64_t> ids;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return ids;
+  while (const dirent* e = ::readdir(d)) {
+    const std::uint64_t id = jobIdOf(e->d_name);
+    if (id > 0) ids.push_back(id);
+  }
+  ::closedir(d);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// tmp -> flush -> fsync -> rename, the same crash-safety recipe as the
+/// snapshot container: a SIGKILL at any instant leaves either the previous
+/// file or the complete new one.
+Status writeFileDurably(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::ioError("cannot open " + tmp);
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return Status::ioError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::ioError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::okStatus();
+}
+
+StatusOr<JsonValue> readJsonFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return Status::ioError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parseJson(buf.str());
+}
+
+bool fileExists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+Status JobStore::init() {
+  makeDirs(root_ + "/jobs");
+  makeDirs(root_ + "/results");
+  makeDirs(root_ + "/snaps");
+  if (!fileExists(root_ + "/jobs")) {
+    return Status::ioError("cannot create job store under " + root_);
+  }
+  return Status::okStatus();
+}
+
+std::string JobStore::snapshotDirFor(std::uint64_t id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "/snaps/job_%llu",
+                static_cast<unsigned long long>(id));
+  return root_ + buf;
+}
+
+Status JobStore::writePending(std::uint64_t id, const JobSpec& spec) {
+  JsonValue v = jobSpecToJson(spec);
+  v.set("id", JsonValue::number(static_cast<double>(id)));
+  return writeFileDurably(root_ + "/jobs/" + jobFileName(id),
+                          writeJson(v) + "\n");
+}
+
+void JobStore::removePending(std::uint64_t id) {
+  std::remove((root_ + "/jobs/" + jobFileName(id)).c_str());
+}
+
+Status JobStore::writeResult(const JobOutcome& outcome) {
+  return writeFileDurably(root_ + "/results/" + jobFileName(outcome.id),
+                          writeJson(outcomeToJson(outcome)) + "\n");
+}
+
+bool JobStore::hasResult(std::uint64_t id) const {
+  return fileExists(root_ + "/results/" + jobFileName(id));
+}
+
+StatusOr<JobOutcome> JobStore::readResult(std::uint64_t id) const {
+  const auto v = readJsonFile(root_ + "/results/" + jobFileName(id));
+  if (!v.ok()) return v.status();
+  JobOutcome out;
+  const Status s = outcomeFromJson(*v, &out);
+  if (!s.ok()) return s;
+  return out;
+}
+
+std::vector<JobStore::PendingJob> JobStore::recoverPending(
+    int* corrupt) const {
+  std::vector<PendingJob> pending;
+  int bad = 0;
+  for (const std::uint64_t id : listJobIds(root_ + "/jobs")) {
+    if (hasResult(id)) continue;  // finished; journal removal raced the kill
+    const auto v = readJsonFile(root_ + "/jobs/" + jobFileName(id));
+    if (!v.ok()) {
+      ++bad;
+      continue;
+    }
+    PendingJob p;
+    p.id = id;
+    if (!jobSpecFromJson(*v, &p.spec).ok()) {
+      ++bad;
+      continue;
+    }
+    pending.push_back(std::move(p));
+  }
+  if (corrupt != nullptr) *corrupt = bad;
+  return pending;
+}
+
+std::uint64_t JobStore::maxJobId() const {
+  std::uint64_t mx = 0;
+  for (const char* sub : {"/jobs", "/results"}) {
+    const auto ids = listJobIds(root_ + sub);
+    if (!ids.empty()) mx = std::max(mx, ids.back());
+  }
+  return mx;
+}
+
+}  // namespace ep::serve

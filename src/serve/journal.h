@@ -1,0 +1,65 @@
+// Durable job journal for crash-resume of the placement daemon.
+//
+// Layout under one state root (ServeOptions::root):
+//
+//   <root>/jobs/job_<id>.json      accepted-but-unfinished JobSpec
+//   <root>/results/job_<id>.json   terminal JobOutcome
+//   <root>/snaps/job_<id>/         FlowSupervisor snapshot stream
+//
+// Invariant: a job's journal entry is written (and fsync'd) BEFORE its
+// submit is acknowledged, and removed only after its result file exists (or
+// the client cancelled it). A daemon killed at ANY instant therefore leaves
+// every acknowledged-but-unfinished job as jobs/ entry + snapshot stream;
+// recoverPending() replays those on restart, and mid-stage snapshots make
+// the rerun finish bit-exactly where the killed run would have. Files are
+// single-line JSON written tmp -> fsync -> rename (the snapshot container's
+// crash-safety recipe) so a torn write leaves the previous state, never a
+// half-parsed entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace ep::serve {
+
+class JobStore {
+ public:
+  explicit JobStore(std::string root) : root_(std::move(root)) {}
+
+  /// Creates the directory tree; call once before any other method.
+  Status init();
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] std::string snapshotDirFor(std::uint64_t id) const;
+
+  /// Durably records an accepted job (fsync'd before the caller acks).
+  Status writePending(std::uint64_t id, const JobSpec& spec);
+  void removePending(std::uint64_t id);
+
+  Status writeResult(const JobOutcome& outcome);
+  [[nodiscard]] bool hasResult(std::uint64_t id) const;
+  StatusOr<JobOutcome> readResult(std::uint64_t id) const;
+
+  struct PendingJob {
+    std::uint64_t id = 0;
+    JobSpec spec;
+  };
+  /// Journal entries without a result file, ascending id. Unreadable
+  /// entries are dropped with a count in *corrupt (never fatal: one bad
+  /// journal record must not block daemon startup).
+  std::vector<PendingJob> recoverPending(int* corrupt = nullptr) const;
+
+  /// Highest id seen anywhere in the store (0 when empty); the daemon
+  /// starts allocating at maxJobId()+1 so recovered and new jobs never
+  /// collide.
+  [[nodiscard]] std::uint64_t maxJobId() const;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace ep::serve

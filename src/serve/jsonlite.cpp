@@ -1,0 +1,366 @@
+#include "serve/jsonlite.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ep::serve {
+
+void JsonValue::set(std::string key, JsonValue value) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string JsonValue::getString(std::string_view key, std::string def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isString() ? v->asString() : std::move(def);
+}
+
+double JsonValue::getNumber(std::string_view key, double def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isNumber() ? v->asNumber() : def;
+}
+
+bool JsonValue::getBool(std::string_view key, bool def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isBool() ? v->asBool() : def;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded string_view. Every advance is
+/// bounds-checked; errors carry the byte offset for fuzzer triage.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t maxDepth;
+
+  explicit Parser(std::string_view t, std::size_t depth)
+      : text(t), maxDepth(depth) {}
+
+  [[nodiscard]] Status fail(const std::string& what) const {
+    return Status::invalidInput("json: " + what + " at byte " +
+                                std::to_string(pos));
+  }
+
+  [[nodiscard]] bool atEnd() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skipWs() {
+    while (!atEnd()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (atEnd() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consumeWord(std::string_view w) {
+    if (text.substr(pos, w.size()) != w) return false;
+    pos += w.size();
+    return true;
+  }
+
+  Status parseValue(JsonValue& out, std::size_t depth) {
+    if (depth > maxDepth) return fail("nesting too deep");
+    skipWs();
+    if (atEnd()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return parseObject(out, depth);
+    if (c == '[') return parseArray(out, depth);
+    if (c == '"') {
+      std::string s;
+      const Status st = parseString(s);
+      if (!st.ok()) return st;
+      out = JsonValue::str(std::move(s));
+      return Status::okStatus();
+    }
+    if (consumeWord("null")) {
+      out = JsonValue::null();
+      return Status::okStatus();
+    }
+    if (consumeWord("true")) {
+      out = JsonValue::boolean(true);
+      return Status::okStatus();
+    }
+    if (consumeWord("false")) {
+      out = JsonValue::boolean(false);
+      return Status::okStatus();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parseNumber(out);
+    return fail("unexpected character");
+  }
+
+  Status parseNumber(JsonValue& out) {
+    const std::size_t start = pos;
+    if (consume('-')) {
+      // sign handled; digits follow
+    }
+    if (atEnd() || peek() < '0' || peek() > '9') return fail("bad number");
+    if (peek() == '0') {
+      ++pos;  // JSON forbids leading zeros: 0 stands alone before ./e
+      if (!atEnd() && peek() >= '0' && peek() <= '9') {
+        return fail("leading zero");
+      }
+    } else {
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (consume('.')) {
+      if (atEnd() || peek() < '0' || peek() > '9') return fail("bad number");
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-')) ++pos;
+      if (atEnd() || peek() < '0' || peek() > '9') return fail("bad number");
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    // The slice is a valid JSON number grammar-wise; strtod cannot overrun
+    // because we pass a NUL-terminated copy of just the slice.
+    const std::string slice(text.substr(start, pos - start));
+    const double v = std::strtod(slice.c_str(), nullptr);
+    if (!std::isfinite(v)) return fail("number out of range");
+    out = JsonValue::number(v);
+    return Status::okStatus();
+  }
+
+  static void appendUtf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status parseHex4(unsigned& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (atEnd()) return fail("truncated \\u escape");
+      const char c = text[pos++];
+      unsigned d = 0;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        return fail("bad \\u escape");
+      }
+      out = (out << 4) | d;
+    }
+    return Status::okStatus();
+  }
+
+  Status parseString(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (true) {
+      if (atEnd()) return fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return Status::okStatus();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (atEnd()) return fail("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          Status st = parseHex4(cp);
+          if (!st.ok()) return st;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair: require the low half immediately after.
+            if (!consume('\\') || !consume('u')) {
+              return fail("lone high surrogate");
+            }
+            unsigned lo = 0;
+            st = parseHex4(lo);
+            if (!st.ok()) return st;
+            if (lo < 0xDC00 || lo > 0xDFFF) return fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+  }
+
+  Status parseArray(JsonValue& out, std::size_t depth) {
+    consume('[');
+    out = JsonValue::array();
+    skipWs();
+    if (consume(']')) return Status::okStatus();
+    while (true) {
+      JsonValue elem;
+      const Status st = parseValue(elem, depth + 1);
+      if (!st.ok()) return st;
+      out.push(std::move(elem));
+      skipWs();
+      if (consume(']')) return Status::okStatus();
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  Status parseObject(JsonValue& out, std::size_t depth) {
+    consume('{');
+    out = JsonValue::object();
+    skipWs();
+    if (consume('}')) return Status::okStatus();
+    while (true) {
+      skipWs();
+      std::string key;
+      Status st = parseString(key);
+      if (!st.ok()) return st;
+      skipWs();
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue val;
+      st = parseValue(val, depth + 1);
+      if (!st.ok()) return st;
+      out.set(std::move(key), std::move(val));
+      skipWs();
+      if (consume('}')) return Status::okStatus();
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+};
+
+void writeString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void writeNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  // Integral doubles (job ids, counters) print exactly; everything else
+  // gets a round-trippable 17-digit form.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+void writeValue(std::string& out, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out += v.asBool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      writeNumber(out, v.asNumber());
+      break;
+    case JsonValue::Kind::kString:
+      writeString(out, v.asString());
+      break;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        writeValue(out, e);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        writeString(out, k);
+        out += ':';
+        writeValue(out, e);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<JsonValue> parseJson(std::string_view text, const JsonLimits& lim) {
+  Parser p(text, lim.maxDepth);
+  JsonValue v;
+  const Status st = p.parseValue(v, 0);
+  if (!st.ok()) return st;
+  p.skipWs();
+  if (!p.atEnd()) return p.fail("trailing garbage");
+  return v;
+}
+
+std::string writeJson(const JsonValue& v) {
+  std::string out;
+  writeValue(out, v);
+  return out;
+}
+
+}  // namespace ep::serve

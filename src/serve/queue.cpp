@@ -1,0 +1,68 @@
+#include "serve/queue.h"
+
+#include <string>
+
+namespace ep::serve {
+
+Status AdmissionQueue::tryPush(std::uint64_t id, int priority) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::unavailable("queue closed");
+    if (byPriority_.size() >= capacity_) {
+      return Status::resourceExhausted(
+          "admission queue full (" + std::to_string(capacity_) +
+          " queued); retry later");
+    }
+    const Key key{-static_cast<long long>(priority), nextSeq_++};
+    byPriority_.emplace(key, id);
+    byId_.emplace(id, key);
+  }
+  cv_.notify_one();
+  return Status::okStatus();
+}
+
+void AdmissionQueue::pushRecovered(std::uint64_t id, int priority) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    const Key key{-static_cast<long long>(priority), nextSeq_++};
+    byPriority_.emplace(key, id);
+    byId_.emplace(id, key);
+  }
+  cv_.notify_one();
+}
+
+bool AdmissionQueue::pop(std::uint64_t* id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !byPriority_.empty(); });
+  if (closed_) return false;
+  const auto it = byPriority_.begin();
+  *id = it->second;
+  byId_.erase(it->second);
+  byPriority_.erase(it);
+  return true;
+}
+
+bool AdmissionQueue::tryErase(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = byId_.find(id);
+  if (it == byId_.end()) return false;
+  byPriority_.erase(it->second);
+  byId_.erase(it);
+  return true;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byPriority_.size();
+}
+
+}  // namespace ep::serve

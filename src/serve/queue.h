@@ -1,0 +1,66 @@
+// Bounded priority admission queue for the placement daemon.
+//
+// The backpressure contract (docs/SERVING.md): admission NEVER blocks the
+// caller. tryPush() on a full queue returns kResourceExhausted immediately
+// — the acceptor thread turns that into a typed wire rejection, the client
+// retries later. Only the worker side blocks (pop() waits for work).
+// Ordering is priority-descending, FIFO within a priority (a submission
+// sequence number breaks ties), so two equal-priority jobs run in admission
+// order regardless of map internals. Crash-recovered jobs re-enter through
+// pushRecovered(), which bypasses the capacity check: jobs that were
+// already admitted before the crash must not be bounced by a full queue on
+// restart.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ep::serve {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Non-blocking admission; kResourceExhausted when full, kUnavailable
+  /// after close().
+  Status tryPush(std::uint64_t id, int priority);
+
+  /// Capacity-exempt admission for journal recovery (still rejected after
+  /// close()).
+  void pushRecovered(std::uint64_t id, int priority);
+
+  /// Blocks for the highest-priority job. Returns false when the queue is
+  /// closed (remaining entries stay queued — the daemon journals them as
+  /// preempted so a restart re-admits them).
+  bool pop(std::uint64_t* id);
+
+  /// Removes a still-queued job (client cancel); false when not queued.
+  bool tryErase(std::uint64_t id);
+
+  /// Stops admission and wakes every blocked pop().
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  /// (-priority, seq): map order = priority desc, then admission order.
+  using Key = std::pair<long long, std::uint64_t>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::uint64_t nextSeq_ = 0;
+  std::map<Key, std::uint64_t> byPriority_;
+  std::map<std::uint64_t, Key> byId_;
+};
+
+}  // namespace ep::serve

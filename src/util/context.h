@@ -7,7 +7,11 @@
 //   * the root Rng stream (seed material for stochastic components),
 //   * a LogSink (per-session prefix + severity filter),
 //   * a StatsRegistry (named counters/gauges for telemetry),
-//   * an optional wall-clock deadline shared by every stage watchdog.
+//   * an optional wall-clock deadline shared by every stage watchdog,
+//   * a cooperative cancel token: any thread may requestCancel(), long
+//     loops (the Nesterov iteration, stage watchdogs) poll cancelled()
+//     alongside deadlineExceeded() and stop at the next safe point with a
+//     typed kCancelled status — positions stay finite, snapshots intact.
 //
 // Ownership rules (see docs/ARCHITECTURE.md, "Runtime context & session"):
 // a context outlives everything it is handed to; engines and stage
@@ -20,6 +24,7 @@
 // (PlacerSession does this for you).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -125,6 +130,33 @@ class RuntimeContext {
     clock_.reset();
   }
 
+  /// Requests cooperative cancellation. Safe from any thread (the serving
+  /// layer calls it from its control plane while the flow runs); the first
+  /// caller's reason wins. Idempotent.
+  void requestCancel(const std::string& reason = "cancel requested") {
+    {
+      std::lock_guard<std::mutex> lock(cancelMu_);
+      if (cancelReason_.empty()) cancelReason_ = reason;
+    }
+    cancelRequested_.store(true, std::memory_order_release);
+  }
+  /// Cheap poll for long-running loops (one relaxed atomic load).
+  [[nodiscard]] bool cancelled() const {
+    return cancelRequested_.load(std::memory_order_acquire);
+  }
+  /// Why requestCancel() was called; empty while not cancelled.
+  [[nodiscard]] std::string cancelReason() const {
+    std::lock_guard<std::mutex> lock(cancelMu_);
+    return cancelReason_;
+  }
+  /// Re-arms the token for context reuse (tests, pooled runtimes). Only
+  /// from single-threaded setup — never while a flow is in flight.
+  void clearCancel() {
+    cancelRequested_.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(cancelMu_);
+    cancelReason_.clear();
+  }
+
   /// The shared fallback context: hardware-sized pool, unprefixed default
   /// log sink, no deadline. Created on first use; ep::compat can set its
   /// thread count before that point. Single-tenant convenience only —
@@ -144,6 +176,9 @@ class RuntimeContext {
   StatsRegistry stats_;
   Timer clock_;
   double wallBudgetSeconds_ = 0.0;
+  std::atomic<bool> cancelRequested_{false};
+  mutable std::mutex cancelMu_;
+  std::string cancelReason_;
 };
 
 /// nullptr-tolerant resolver used by library entry points:

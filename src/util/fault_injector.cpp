@@ -79,7 +79,7 @@ std::span<const char* const> knownFaultSites() {
   static constexpr const char* kSites[] = {
       "nesterov.grad",     "fft.forward", "bookshelf.line",
       "legalize.displace", "detail.swap", "snapshot.write",
-      "parallel.task",
+      "parallel.task",     "serve.request", "serve.accept",
   };
   return kSites;
 }

@@ -12,6 +12,10 @@
 //   "snapshot.write"    serialized snapshot bytes (bit flip / truncation)
 //   "parallel.task"     a ThreadPool worker task throws; the pool must
 //                       propagate it as ep::Status, not std::terminate
+//   "serve.request"     one raw request line of the placement daemon (bit
+//                       flip / truncation before parsing; typed rejection)
+//   "serve.accept"      job admission in the daemon (firing rejects the
+//                       submit with kUnavailable; neighbors unaffected)
 // With no armed sites the hot-path cost is one branch on an atomic bool, so
 // the instrumentation stays in release builds. fire/corrupt are serialized
 // by an internal mutex because instrumented kernels (e.g. fft.forward) now

@@ -16,8 +16,55 @@ const char* statusCodeName(StatusCode code) {
       return "Io";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool statusCodeFromName(std::string_view name, StatusCode* out) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,        StatusCode::kInvalidInput,
+      StatusCode::kNumericalDivergence, StatusCode::kTimeout,
+      StatusCode::kIo,        StatusCode::kInternal,
+      StatusCode::kCancelled, StatusCode::kResourceExhausted,
+      StatusCode::kUnavailable,
+  };
+  for (const StatusCode c : kAll) {
+    if (name == statusCodeName(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+int statusExitCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidInput:
+      return 2;
+    case StatusCode::kIo:
+      return 3;
+    case StatusCode::kNumericalDivergence:
+      return 4;
+    case StatusCode::kTimeout:
+      return 5;
+    case StatusCode::kInternal:
+      return 7;
+    case StatusCode::kCancelled:
+      return 8;
+    case StatusCode::kResourceExhausted:
+      return 9;
+    case StatusCode::kUnavailable:
+      return 10;
+  }
+  return 1;  // unknown kinds are a generic failure, never Internal
 }
 
 std::string Status::toString() const {

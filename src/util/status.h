@@ -3,19 +3,28 @@
 // Library entry points that can fail (parsing, validation, the flow itself)
 // return ep::Status or ep::StatusOr<T> instead of throwing or returning bare
 // strings, so callers can branch on a stable error-code taxonomy:
-//   kInvalidInput          malformed instance or file content
+//   kInvalidInput          malformed instance, file or request content
 //   kNumericalDivergence   the optimizer blew up and recovery was exhausted
 //   kTimeout               a wall-clock or iteration budget expired
 //   kIo                    a file could not be opened / written
 //   kInternal              an invariant broke inside the engine (e.g. a
 //                          worker task of the thread pool threw)
-// The CLI maps each code to a distinct process exit code (see
-// docs/ROBUSTNESS.md).
+//   kCancelled             cooperative cancellation was requested on the
+//                          RuntimeContext and the work stopped at a safe point
+//   kResourceExhausted     a bounded resource (admission queue, memory cap)
+//                          is full; retry later — nothing was corrupted
+//   kUnavailable           the service is not taking work (shutting down,
+//                          draining, or admission fault-injected)
+// Every kind maps to one documented process exit code / daemon wire code via
+// statusExitCode() (docs/ROBUSTNESS.md, docs/SERVING.md); unknown kinds map
+// to the generic failure code 1 instead of collapsing into kInternal.
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace ep {
@@ -27,10 +36,26 @@ enum class StatusCode : std::uint8_t {
   kTimeout,
   kIo,
   kInternal,
+  kCancelled,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Stable human-readable name of a code ("Ok", "InvalidInput", ...).
 const char* statusCodeName(StatusCode code);
+
+/// Reverse of statusCodeName: parses a wire-format code name into *out.
+/// Returns false (and leaves *out alone) on anything unknown, so clients
+/// surface foreign codes instead of mislabeling them.
+bool statusCodeFromName(std::string_view name, StatusCode* out);
+
+/// The documented process exit code / daemon wire code of each kind:
+///   Ok=0, InvalidInput=2, Io=3, NumericalDivergence=4, Timeout=5,
+///   Internal=7, Cancelled=8, ResourceExhausted=9, Unavailable=10.
+/// (1 is the generic usage/unknown failure, 6 is the CLI's "placed but not
+/// legal" — neither belongs to a status kind.) Unknown/future kinds return 1
+/// rather than masquerading as Internal.
+int statusExitCode(StatusCode code);
 
 class Status {
  public:
@@ -53,6 +78,15 @@ class Status {
   }
   static Status internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status cancelled(std::string msg) {
+    return {StatusCode::kCancelled, std::move(msg)};
+  }
+  static Status resourceExhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
