@@ -21,6 +21,9 @@
 //    speedup, and whether both orders were bit-identical per design.
 //  * "serve_roundtrip": eplace_serve daemon overhead — ping round-trip ns
 //    over the AF_UNIX socket and submit->wait seconds on a tiny job.
+//  * "budget_overhead": the hottest kernels re-timed with a MemoryBudget
+//    attached — budgets charge only on arena growth (warm-up), so the
+//    steady-state deltas must be noise and bytes_charged_steady_state 0.
 #include <atomic>
 #include <cinttypes>
 #include <filesystem>
@@ -43,7 +46,9 @@
 #include "qp/initial_place.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "model/placement_view.h"
 #include "util/context.h"
+#include "util/memory_budget.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 #include "wirelength/wl.h"
@@ -183,6 +188,43 @@ int main(int argc, char** argv) {
       });
     }));
     std::printf("threads=%d done (%zu cells, grid %zu^2)\n", nt, nVars, dim);
+  }
+
+  // --- budget overhead: the same hot kernels with governance armed ----------
+  // MemoryBudget charges happen only on arena growth (one relaxed atomic
+  // per growth event) and growth only happens at warm-up, so the
+  // steady-state delta must be noise. These rows are the recorded proof:
+  // ns/op budgeted vs unbudgeted for the two hottest kernels, plus the
+  // arena borrow itself, plus the number of bytes charged inside the timed
+  // region (must be 0).
+  KernelRow densityBudgeted{}, waBudgeted{};
+  double arenaPlainNs = 0.0, arenaBudgetNs = 0.0;
+  std::uint64_t budgetTimedDelta = 0;
+  {
+    MemoryBudget benchBudget;
+    benchBudget.setLimit(std::size_t{4} << 30);  // generous: never breaches
+    ScratchArena& arena = db.view().arena();
+    ThreadPool pool(1);
+    ThreadPool* p = &pool;
+    const int borrowReps = smoke ? 10 : 20000;
+    (void)arena.doubles("bench.buf", nVars);  // warm-up growth
+    arenaPlainNs =
+        timeNs(borrowReps, [&] { (void)arena.doubles("bench.buf", nVars); });
+    arena.setBudget(&benchBudget);
+    arenaBudgetNs =
+        timeNs(borrowReps, [&] { (void)arena.doubles("bench.buf", nVars); });
+    const std::uint64_t used0 = benchBudget.usedBytes();
+    densityBudgeted = measure("density_update_budgeted", 1, kernelReps,
+                              [&] { density.update(charges, p); });
+    waBudgeted = measure("wa_gradient_budgeted", 1, kernelReps, [&] {
+      wlEval.waGrad(view, gamma, gamma, gx, gy, p);
+    });
+    budgetTimedDelta = benchBudget.usedBytes() - used0;
+    arena.setBudget(nullptr);
+    std::printf("budget overhead: density %.1f ns, wa %.1f ns, arena "
+                "%.1f->%.1f ns, %" PRIu64 " bytes charged steady-state\n",
+                densityBudgeted.nsPerOp, waBudgeted.nsPerOp, arenaPlainNs,
+                arenaBudgetNs, budgetTimedDelta);
   }
 
   // --- end-to-end mGP + cGP on a mixed-size instance ------------------------
@@ -352,6 +394,28 @@ int main(int argc, char** argv) {
                "  \"serve_roundtrip\": {\"ping_ns\": %.0f, "
                "\"seconds_per_job\": %.4f, \"ok\": %s},\n",
                servePingNs, serveSecondsPerJob, serveOk ? "true" : "false");
+  {
+    // Baselines for the overhead ratio: the unbudgeted 1-thread rows of
+    // the same kernels, measured above.
+    double densityPlain = 0.0, waPlain = 0.0;
+    for (const auto& k : kernels) {
+      if (k.threads != 1) continue;
+      if (k.name == "density_update") densityPlain = k.nsPerOp;
+      if (k.name == "wa_gradient") waPlain = k.nsPerOp;
+    }
+    std::fprintf(
+        f,
+        "  \"budget_overhead\": {\"density_update_ns\": %.1f, "
+        "\"density_update_budgeted_ns\": %.1f, \"wa_gradient_ns\": %.1f, "
+        "\"wa_gradient_budgeted_ns\": %.1f, \"arena_borrow_ns\": %.1f, "
+        "\"arena_borrow_budgeted_ns\": %.1f, "
+        "\"budgeted_allocs_per_op\": %.2f, "
+        "\"bytes_charged_steady_state\": %" PRIu64 "},\n",
+        densityPlain, densityBudgeted.nsPerOp, waPlain, waBudgeted.nsPerOp,
+        arenaPlainNs, arenaBudgetNs,
+        densityBudgeted.allocsPerOp + waBudgeted.allocsPerOp,
+        budgetTimedDelta);
+  }
   // Steady-state contract: every timed kernel must run allocation-free
   // after its warm-up call (the Nesterov inner loop is exactly these
   // kernels plus element-wise vector updates).

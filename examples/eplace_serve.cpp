@@ -60,6 +60,8 @@ bool parseInjection(const std::string& arg, std::string* site,
     spec->kind = ep::FaultKind::kSpike;
   } else if (kind == "trunc") {
     spec->kind = ep::FaultKind::kTruncate;
+  } else if (kind == "error") {
+    spec->kind = ep::FaultKind::kError;  // io.* sites: typed error return
   } else {
     return false;
   }

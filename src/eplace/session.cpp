@@ -19,6 +19,7 @@ RuntimeOptions toRuntimeOptions(const SessionOptions& opt) {
   ro.logLevel = opt.logLevel;
   ro.logTimestamps = opt.logTimestamps;
   ro.wallBudgetSeconds = opt.wallBudgetSeconds;
+  ro.memBudgetBytes = opt.memBudgetMb << 20;
   return ro;
 }
 
@@ -60,11 +61,34 @@ StatusOr<FlowResult> PlacerSession::place() {
   if (!loaded_) {
     return Status::invalidInput("no instance loaded; call load() or adopt()");
   }
+  // Memory governance: the view/CSR arrays are the session's O(cells+pins)
+  // base cost — charge them up front so an oversized instance fails here
+  // with a typed status instead of OOMing mid-flow — and meter all arena
+  // growth (kernel scratch, GP state, density maps) through the context
+  // budget for the duration of the run. Accounting runs even without a
+  // limit so peak-bytes reporting works for unbudgeted jobs.
+  MemoryBudget& mb = ctx_.memory();
+  db_.view().arena().setBudget(&mb);
+  ScopedCharge base(mb, db_.view().footprintBytes());
+  if (mb.limited() && !base.ok()) {
+    return Status::resourceExhausted(
+        "memory budget " + std::to_string(mb.limitBytes()) +
+        " B cannot hold the placement view (" +
+        std::to_string(db_.view().footprintBytes()) + " B)");
+  }
   report_ = SupervisorReport{};
-  StatusOr<FlowResult> run =
-      opt_.supervised
-          ? runSupervisedFlow(db_, opt_.flow, opt_.sup, &report_, &ctx_)
-          : runEplaceFlowChecked(db_, opt_.flow, &ctx_);
+  StatusOr<FlowResult> run = [&]() -> StatusOr<FlowResult> {
+    try {
+      return opt_.supervised
+                 ? runSupervisedFlow(db_, opt_.flow, opt_.sup, &report_, &ctx_)
+                 : runEplaceFlowChecked(db_, opt_.flow, &ctx_);
+    } catch (const MemoryBudgetExceeded& e) {
+      // The supervised path converts breaches itself (with degradation
+      // first); this is the unsupervised flow's backstop — typed, never
+      // an abort.
+      return Status::resourceExhausted(e.what());
+    }
+  }();
   if (run.ok()) {
     result_ = *run;
     hasResult_ = true;

@@ -42,6 +42,11 @@ struct SessionOptions {
   /// Wall-clock budget for the whole session; <= 0 = unbounded. Stage
   /// watchdogs clamp their own budgets to what remains.
   double wallBudgetSeconds = 0.0;
+  /// Memory cap in MiB for the session's big allocations (view/CSR build,
+  /// arena growth, snapshot buffers, bin grid); 0 = unlimited. A breach is
+  /// a typed kResourceExhausted outcome — the supervisor first degrades
+  /// (coarser bin grid, reduced checkpoint retention), then fails cleanly.
+  std::size_t memBudgetMb = 0;
   /// Run under the FlowSupervisor (per-stage retries, fallbacks, durable
   /// snapshots) instead of the plain checked flow.
   bool supervised = false;

@@ -9,8 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "density/bingrid.h"
 #include "util/context.h"
+#include "util/io.h"
 #include "util/log.h"
+#include "util/memory_budget.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/snapshot.h"
@@ -36,6 +39,7 @@ const char* supervisorEventKindName(SupervisorEvent::Kind k) {
     case SupervisorEvent::Kind::kStageFinish: return "stage_finish";
     case SupervisorEvent::Kind::kSnapshot: return "snapshot";
     case SupervisorEvent::Kind::kResume: return "resume";
+    case SupervisorEvent::Kind::kSnapshotFailed: return "snapshot_failed";
   }
   return "?";
 }
@@ -360,6 +364,16 @@ struct Supervisor {
   GpCheckpointState resumeGp;
   bool hasResumeGp = false;
   FlowStage resumeGpStage = FlowStage::kMgp;
+  /// Checkpoint retention; starts at sup.keepSnapshots and is reduced to 1
+  /// when a memory-budget retry needs headroom (degraded retention).
+  int keepSnapshots;
+  /// Consecutive checkpoint write failures; 3 in a row (or one persistent
+  /// ENOSPC) degrades the run to snapshot-less mode.
+  int snapFailures = 0;
+  bool snapshotsDisabled = false;
+  /// A GP stage exhausted its budget-degradation ladder: stop the flow
+  /// cleanly instead of re-breaching in the next stage.
+  bool memAborted = false;
 
   Supervisor(RuntimeContext& rcIn, PlacementDB& database,
              const FlowConfig& cfg, const SupervisorConfig& supervision,
@@ -368,7 +382,8 @@ struct Supervisor {
         db(database),
         sup(supervision),
         report(rep),
-        jitter(sup.perturbSeed) {
+        jitter(sup.perturbSeed),
+        keepSnapshots(supervision.keepSnapshots) {
     st.cfg = cfg;
     st.ctx = &rc;
   }
@@ -385,18 +400,73 @@ struct Supervisor {
     return pol.timeBudgetSeconds <= 0.0 || t.seconds() < pol.timeBudgetSeconds;
   }
 
+  /// Serialization cost of the next checkpoint, charged against the memory
+  /// budget while the buffers are live. Dominated by positions + optimizer
+  /// vectors; the 4 KiB pad covers headers/CRCs/filler metadata.
+  [[nodiscard]] std::size_t snapshotBytesEstimate(
+      const GpCheckpointState* gp) const {
+    std::size_t b = 2 * db.objects.size() * sizeof(double) +
+                    2 * st.fillers.cx.size() * sizeof(double) + 4096;
+    if (gp != nullptr) b += 5 * gp->opt.u.size() * sizeof(double);
+    return b;
+  }
+
+  /// Degrades the run to snapshot-less mode: checkpoints stop, the run
+  /// itself continues (and stays resumable from whatever was written).
+  void disableSnapshots(const std::string& why) {
+    if (snapshotsDisabled) return;
+    snapshotsDisabled = true;
+    rc.stats().add("supervisor.snapshotsDisabled", 1.0);
+    rc.log().warn(
+        "supervisor: degrading to snapshot-less mode (%s); the run "
+        "continues un-checkpointed",
+        why.c_str());
+  }
+
   void saveSnapshot(FlowStage next, const GpCheckpointState* gp) {
-    if (sup.snapshotDir.empty()) return;
+    if (sup.snapshotDir.empty() || snapshotsDisabled) return;
+    // The serialization buffers are a real allocation spike on big
+    // instances; meter them so a tightly budgeted job is not OOM-killed by
+    // its own checkpoints. An unpayable checkpoint is permanent (the state
+    // only grows), so degrade immediately instead of failing every interval.
+    ScopedCharge charge(rc.memory(), snapshotBytesEstimate(gp));
+    if (rc.memory().limited() && !charge.ok()) {
+      disableSnapshots("memory budget cannot hold checkpoint buffers");
+      SupervisorEvent ev;
+      ev.kind = SupervisorEvent::Kind::kSnapshotFailed;
+      ev.stage = next;
+      ev.status = Status::resourceExhausted(
+          "checkpoint skipped: memory budget exhausted");
+      emit(ev);
+      return;
+    }
     const SnapshotData snap = buildSnapshot(db, st, next, macrosFrozen,
                                             jitter, gp, rc.pool().threads());
     const std::string path = sup.snapshotDir + "/" + snapFileName(nextSeq);
     const Status s = writeSnapshotFile(path, snap, &rc.faults());
     if (!s.ok()) {
-      // A failing checkpoint must never fail the placement itself.
+      // A failing checkpoint must never fail the placement itself: emit a
+      // recovery event, keep running un-checkpointed, and retry at the
+      // next interval — unless the failure is persistent (a full disk
+      // stays full, and three consecutive failures are treated the same),
+      // in which case stop trying.
+      ++snapFailures;
+      rc.stats().add("supervisor.snapshotFailures", 1.0);
       rc.log().warn("supervisor: snapshot write failed: %s",
                     s.toString().c_str());
+      SupervisorEvent ev;
+      ev.kind = SupervisorEvent::Kind::kSnapshotFailed;
+      ev.stage = next;
+      ev.status = s;
+      emit(ev);
+      if (io::isNoSpace(s)) {
+        disableSnapshots("no space on the snapshot device");
+      } else if (snapFailures >= 3) {
+        disableSnapshots("3 consecutive snapshot write failures");
+      }
       return;
     }
+    snapFailures = 0;
     SupervisorEvent ev;
     ev.kind = SupervisorEvent::Kind::kSnapshot;
     ev.stage = next;
@@ -409,7 +479,7 @@ struct Supervisor {
 
   void prune() {
     auto files = listSnapshotFiles(sup.snapshotDir);
-    const int keep = std::max(1, sup.keepSnapshots);
+    const int keep = std::max(1, keepSnapshots);
     while (static_cast<int>(files.size()) > keep) {
       std::remove((sup.snapshotDir + "/" + files.front()).c_str());
       files.erase(files.begin());
@@ -532,17 +602,41 @@ struct Supervisor {
     const GpConfig baseGp = st.cfg.gp;
     const FillerSet entryFillers = st.fillers;
     bool accepted = false;
+    bool memBreach = false;
     for (int attempt = 0; attempt < std::max(1, pol.maxAttempts); ++attempt) {
       if (attempt > 0) {
         restorePositions(db, entry);
         st.fillers = entryFillers;
-        // Perturbed retry: relaxed density goal, re-seeded fillers.
-        st.cfg.gp.targetOverflow =
-            baseGp.targetOverflow +
-            static_cast<double>(attempt) * sup.overflowRetryRelax;
-        st.cfg.gp.fillerSeed =
-            baseGp.fillerSeed + 7919ULL * static_cast<std::uint64_t>(attempt);
-        appendNote(rep, "retry with relaxed target overflow");
+        if (memBreach) {
+          // Budget-breach retry: halve the bin-grid resolution (the grid
+          // and its spectral workspaces are the dominant non-linear cost)
+          // and drop checkpoint retention to one file so the retry has the
+          // headroom the failed attempt lacked. The charge-before-allocate
+          // contract means the breach left no stray bytes charged.
+          const std::size_t n = db.movable().size() + st.fillers.cx.size();
+          const std::size_t curNx = st.cfg.gp.gridNx != 0
+                                        ? st.cfg.gp.gridNx
+                                        : BinGrid::chooseResolution(n);
+          const std::size_t curNy = st.cfg.gp.gridNy != 0
+                                        ? st.cfg.gp.gridNy
+                                        : BinGrid::chooseResolution(n);
+          st.cfg.gp.gridNx = std::max<std::size_t>(32, curNx / 2);
+          st.cfg.gp.gridNy = std::max<std::size_t>(32, curNy / 2);
+          keepSnapshots = 1;
+          appendNote(rep, "memory retry with coarser bin grid");
+          rc.log().warn(
+              "supervisor: %s memory budget breach; retrying with %zux%zu "
+              "bin grid and reduced checkpoint retention",
+              flowStageName(stage), st.cfg.gp.gridNx, st.cfg.gp.gridNy);
+        } else {
+          // Perturbed retry: relaxed density goal, re-seeded fillers.
+          st.cfg.gp.targetOverflow =
+              baseGp.targetOverflow +
+              static_cast<double>(attempt) * sup.overflowRetryRelax;
+          st.cfg.gp.fillerSeed =
+              baseGp.fillerSeed + 7919ULL * static_cast<std::uint64_t>(attempt);
+          appendNote(rep, "retry with relaxed target overflow");
+        }
       }
       if (pol.timeBudgetSeconds > 0.0) {
         st.cfg.gp.health.timeBudgetSeconds =
@@ -560,10 +654,19 @@ struct Supervisor {
         };
       }
       ++rep.attempts;
-      if (isMgp) {
-        flowStageMgp(db, st, ctl);
-      } else {
-        flowStageCgp(db, st, ctl);
+      memBreach = false;
+      try {
+        if (isMgp) {
+          flowStageMgp(db, st, ctl);
+        } else {
+          flowStageCgp(db, st, ctl);
+        }
+      } catch (const MemoryBudgetExceeded& e) {
+        memBreach = true;
+        rep.status = Status::resourceExhausted(e.what());
+        rc.stats().add("supervisor.memBreaches", 1.0);
+        if (!budgetLeft(pol, t)) break;
+        continue;
       }
       const GpResult& r = isMgp ? st.res.mgpResult : st.res.cgpResult;
       const bool gate = movablesFiniteInCore(db);
@@ -586,10 +689,18 @@ struct Supervisor {
     if (!accepted) {
       restorePositions(db, entry);
       st.fillers = entryFillers;
-      rep.status = Status::numericalDivergence(
-          std::string(flowStageName(stage)) +
-          " failed the finite/in-core invariant gate on every attempt");
-      appendNote(rep, "rolled back to stage-entry positions");
+      if (memBreach) {
+        // Every rung of the degradation ladder re-breached: fail this run
+        // cleanly with a typed status (positions restored, nothing
+        // corrupted) and stop the flow — later stages would breach too.
+        memAborted = true;
+        appendNote(rep, "rolled back; memory budget exhausted on every grid");
+      } else {
+        rep.status = Status::numericalDivergence(
+            std::string(flowStageName(stage)) +
+            " failed the finite/in-core invariant gate on every attempt");
+        appendNote(rep, "rolled back to stage-entry positions");
+      }
       if (st.res.status.ok()) st.res.status = rep.status;
     }
     rep.seconds = t.seconds();
@@ -796,6 +907,15 @@ struct Supervisor {
         case FlowStage::kDone:
           break;
       }
+      if (memAborted) {
+        // The degradation ladder (coarser grids, reduced retention) could
+        // not fit the budget; every later stage would re-breach, so end
+        // the flow with the typed kResourceExhausted already recorded.
+        rc.log().warn("supervisor: stopping flow after memory budget "
+                      "exhaustion in %s",
+                      flowStageName(report.stages.back().stage));
+        break;
+      }
       if (rc.cancelled()) {
         // Do NOT write the boundary snapshot: the durable stream keeps the
         // last pre-cancel (mid-stage) snapshot, so a resumed run replays the
@@ -869,6 +989,10 @@ StatusOr<FlowResult> runSupervisedFlow(PlacementDB& db, const FlowConfig& cfg,
   // thread pool) surfaces as a typed status instead of std::terminate.
   try {
     return sv.run();
+  } catch (const MemoryBudgetExceeded& e) {
+    // A breach outside the GP degradation ladder (view rebuild, legalizer
+    // scratch) is still a typed per-job outcome, never an abort.
+    return Status::resourceExhausted(e.what());
   } catch (const std::exception& e) {
     return Status::internal(std::string("flow aborted by exception: ") +
                             e.what());

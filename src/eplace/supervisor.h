@@ -69,6 +69,11 @@ struct SupervisorEvent {
     kStageFinish,  ///< `stage` accepted (attempts/seconds/status populated)
     kSnapshot,     ///< durable snapshot `snapshotSeq` written toward `stage`
     kResume,       ///< run restored from a snapshot; `stage` is the cursor
+    kSnapshotFailed,  ///< a checkpoint could not be written (`status` says
+                      ///< why); the run continues un-checkpointed and
+                      ///< retries at the next interval unless the failure
+                      ///< is persistent (ENOSPC), which degrades the run
+                      ///< to snapshot-less mode
   };
   Kind kind = Kind::kStageStart;
   FlowStage stage = FlowStage::kMip;
@@ -79,7 +84,8 @@ struct SupervisorEvent {
   int snapshotSeq = -1;  ///< file sequence number (snapshot events)
 };
 
-/// "stage_start" / "stage_finish" / "snapshot" / "resume".
+/// "stage_start" / "stage_finish" / "snapshot" / "resume" /
+/// "snapshot_failed".
 const char* supervisorEventKindName(SupervisorEvent::Kind k);
 
 using SupervisorProgressFn = std::function<void(const SupervisorEvent&)>;

@@ -10,13 +10,23 @@ namespace {
 
 template <typename T>
 std::span<T> borrow(std::map<std::string, std::vector<T>, std::less<>>& pool,
-                    std::string_view key, std::size_t n, long& growth) {
+                    std::string_view key, std::size_t n, long& growth,
+                    MemoryBudget* budget) {
   auto it = pool.find(key);
   if (it == pool.end()) {
     it = pool.emplace(std::string(key), std::vector<T>()).first;
   }
   auto& buf = it->second;
-  if (n > buf.capacity()) ++growth;
+  if (n > buf.capacity()) {
+    // Charge the delta before growing; reserve(n) allocates exactly n
+    // elements, so the accounting is exact and a rejected charge leaves
+    // the old buffer (and the budget) untouched.
+    if (budget != nullptr) {
+      budget->chargeOrThrow((n - buf.capacity()) * sizeof(T));
+    }
+    buf.reserve(n);
+    ++growth;
+  }
   buf.resize(n);  // within capacity this never reallocates
   return {buf.data(), n};
 }
@@ -24,12 +34,12 @@ std::span<T> borrow(std::map<std::string, std::vector<T>, std::less<>>& pool,
 }  // namespace
 
 std::span<double> ScratchArena::doubles(std::string_view key, std::size_t n) {
-  return borrow(d_, key, n, growth_);
+  return borrow(d_, key, n, growth_, budget_);
 }
 
 std::span<std::int32_t> ScratchArena::ints(std::string_view key,
                                            std::size_t n) {
-  return borrow(i_, key, n, growth_);
+  return borrow(i_, key, n, growth_, budget_);
 }
 
 std::size_t ScratchArena::capacityBytes() const {
@@ -117,6 +127,20 @@ void PlacementView::build(const PlacementDB& db) {
   }
 
   built_ = true;
+}
+
+std::size_t PlacementView::footprintBytes() const {
+  const auto d = [](const std::vector<double>& v) {
+    return v.capacity() * sizeof(double);
+  };
+  const auto i = [](const std::vector<std::int32_t>& v) {
+    return v.capacity() * sizeof(std::int32_t);
+  };
+  return d(w_) + d(h_) + d(area_) + d(lx_) + d(ly_) + kind_.capacity() +
+         fixed_.capacity() + i(movable_) + i(objToMovable_) +
+         i(netPinStart_) + i(pinObj_) + i(pinNet_) + d(pinOx_) + d(pinOy_) +
+         d(netWeight_) + i(objPinStart_) + i(objPinIds_) + i(objNetStart_) +
+         i(objNetIds_);
 }
 
 void PlacementView::syncPositionsFromDb(const PlacementDB& db) {

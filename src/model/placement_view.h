@@ -31,6 +31,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/memory_budget.h"
+
 namespace ep {
 
 class PlacementDB;
@@ -56,10 +58,19 @@ class ScratchArena {
   /// construction (growth == heap traffic). Flat counter == full reuse.
   [[nodiscard]] long growthEvents() const { return growth_; }
 
+  /// Attaches a memory budget: every growth event charges exactly the new
+  /// bytes it reserves *before* allocating, throwing MemoryBudgetExceeded
+  /// on a breach (the supervisor converts it to kResourceExhausted at the
+  /// stage boundary). Steady-state borrows — the only thing kernels do
+  /// after warm-up — never touch the budget. nullptr detaches.
+  void setBudget(MemoryBudget* budget) { budget_ = budget; }
+  [[nodiscard]] MemoryBudget* budget() const { return budget_; }
+
  private:
   std::map<std::string, std::vector<double>, std::less<>> d_;
   std::map<std::string, std::vector<std::int32_t>, std::less<>> i_;
   long growth_ = 0;
+  MemoryBudget* budget_ = nullptr;  // not owned; context outlives the view
 };
 
 /// Immutable-topology, mutable-position SoA snapshot of a PlacementDB.
@@ -159,6 +170,11 @@ class PlacementView {
     lx_[static_cast<std::size_t>(obj)] = newLx;
     ly_[static_cast<std::size_t>(obj)] = newLy;
   }
+
+  /// Bytes held by the view's own arrays (geometry + all three CSRs),
+  /// i.e. the O(cells + pins) construction cost a budgeted session charges
+  /// up front. Excludes the arena, which meters itself per growth event.
+  [[nodiscard]] std::size_t footprintBytes() const;
 
   /// Per-run scratch pool shared by the kernels driving this view. Only
   /// one engine/evaluator pair may lease a key namespace at a time; keys

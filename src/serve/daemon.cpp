@@ -19,11 +19,13 @@
 #include <utility>
 #include <vector>
 
+#include "density/bingrid.h"
 #include "eplace/session.h"
 #include "gen/generator.h"
 #include "serve/journal.h"
 #include "serve/queue.h"
 #include "util/context.h"
+#include "util/io.h"
 
 namespace ep::serve {
 
@@ -50,6 +52,24 @@ bool sendLine(int fd, const std::string& line) {
 }
 
 bool sendJson(int fd, const JsonValue& v) { return sendLine(fd, writeJson(v)); }
+
+/// Admission-time capacity estimate (bytes) for a gen job. The spec names
+/// its cell count, so the daemon can reject a job whose mem_budget_mb
+/// cannot possibly hold the placement state at submit instead of burning a
+/// worker slot on a guaranteed mid-run breach. Aux jobs (cells unknown
+/// until the file is parsed) skip this and rely on mid-run enforcement.
+/// Deliberately conservative-but-loose: linear terms only, sized to catch
+/// order-of-magnitude mismatches, not to shave the last MiB.
+std::size_t estimateJobBytes(const GenJobSpec& gen) {
+  const std::size_t n =
+      static_cast<std::size_t>(gen.numCells + gen.numMovableMacros);
+  // View geometry + CSR (~28 doubles/object at average pin degree ~4) plus
+  // Nesterov state and arena scratch over movables + fillers (~2x objects).
+  const std::size_t perObject = 40 * sizeof(double);
+  const std::size_t m = BinGrid::chooseResolution(2 * n);
+  const std::size_t grid = m * m * sizeof(double) * 8;  // density planes
+  return n * perObject + grid + (std::size_t{1} << 20);  // +1 MiB fixed
+}
 
 enum class JobState : unsigned char { kQueued, kRunning, kDone };
 
@@ -101,7 +121,12 @@ struct ServeDaemon::Impl {
           return ro;
         }()),
         store(opt.root),
-        queue(static_cast<std::size_t>(std::max(1, opt.queueCapacity))) {}
+        queue(static_cast<std::size_t>(std::max(1, opt.queueCapacity))) {
+    // Journal/result writes go through the daemon context's io.* fault
+    // sites, so storage-fault containment on the durability path is
+    // testable end to end.
+    store.setFaults(&ctx.faults());
+  }
 
   // --- job table helpers ---------------------------------------------------
 
@@ -160,6 +185,11 @@ struct ServeDaemon::Impl {
     st.add("serve.jobs.retries", outcome.retries);
     st.add("serve.jobs.recoveries", outcome.recoveries);
     if (outcome.resumed) st.add("serve.jobs.resumedRuns", 1);
+    st.add("serve.jobs.peakBytes",
+           static_cast<double>(outcome.peakBytes));
+    if (outcome.status.code() == StatusCode::kResourceExhausted) {
+      st.add("serve.jobs.done.resourceExhausted", 1);
+    }
   }
 
   // --- the job worker ------------------------------------------------------
@@ -210,6 +240,7 @@ struct ServeDaemon::Impl {
     so.logLevel = opt.logLevel;
     so.logTimestamps = opt.logTimestamps;
     so.wallBudgetSeconds = spec.deadlineSeconds;
+    so.memBudgetMb = static_cast<std::size_t>(spec.memBudgetMb);
     so.supervised = true;
     so.sup.snapshotDir = store.snapshotDirFor(id);
     if (recoveredJob) so.sup.resumeDir = so.sup.snapshotDir;
@@ -288,6 +319,7 @@ struct ServeDaemon::Impl {
       }
       out.resumed = session.report().resumed;
     }
+    out.peakBytes = session.context().memory().peakBytes();
     out.wallSeconds = wall.seconds();
 
     bool preempted = false;
@@ -332,6 +364,23 @@ struct ServeDaemon::Impl {
       return errorResponse(
           Status::unavailable("admission fault injected (serve.accept)"));
     }
+    // Capacity check at admission: a gen job's size is known from its spec,
+    // so an impossible mem_budget_mb is a submit-time rejection, not a
+    // worker-slot-burning mid-run breach.
+    if (spec.memBudgetMb > 0 && spec.auxPath.empty()) {
+      const std::size_t need = estimateJobBytes(spec.gen);
+      const std::size_t cap =
+          static_cast<std::size_t>(spec.memBudgetMb) << 20;
+      if (need > cap) {
+        ctx.stats().add("serve.jobs.rejected.mem", 1);
+        return errorResponse(Status::resourceExhausted(
+            "job needs an estimated " +
+            std::to_string((need + (1 << 20) - 1) >> 20) +
+            " MiB but mem_budget_mb grants " +
+            std::to_string(spec.memBudgetMb) +
+            " MiB; raise the budget or shrink the job"));
+      }
+    }
     std::uint64_t id = 0;
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -344,12 +393,21 @@ struct ServeDaemon::Impl {
       JobRecord& slot = jobs.emplace(id, std::move(r)).first->second;
       addEventLocked(slot, "queued", nullptr);
     }
-    // Journal BEFORE ack: an acknowledged job survives any crash.
+    // Journal BEFORE ack: an acknowledged job survives any crash. A
+    // failed journal write (disk fault, ENOSPC) rejects THIS submit with
+    // kUnavailable — the durability invariant is never weakened to "maybe
+    // journaled" — while the daemon itself stays healthy for retries.
     const Status js = store.writePending(id, spec);
     if (!js.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      jobs.erase(id);
-      return errorResponse(js);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        jobs.erase(id);
+      }
+      ctx.stats().add("serve.jobs.rejected.journal", 1);
+      ctx.log().error("journal write failed for submit: %s",
+                      js.toString().c_str());
+      return errorResponse(Status::unavailable(
+          "journal write failed (" + js.message() + "); submit again"));
     }
     const Status qs = queue.tryPush(id, spec.priority);
     if (!qs.ok()) {
@@ -811,11 +869,11 @@ struct ServeDaemon::Impl {
       v.set(name, JsonValue::number(value));
     }
     const std::string path = opt.root + "/serve_stats.json";
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (f != nullptr) {
-      const std::string text = writeJson(v) + "\n";
-      std::fwrite(text.data(), 1, text.size(), f);
-      std::fclose(f);
+    const Status ws =
+        io::writeFileDurably(path, writeJson(v) + "\n", &ctx.faults());
+    if (!ws.ok()) {
+      ctx.log().warn("stats dump to %s failed: %s", path.c_str(),
+                     ws.toString().c_str());
     }
     ctx.log().info("shutdown: %.0f accepted, %.0f ok, %.0f failed, %.0f "
                    "cancelled, %.0f preempted, %.0f rejected-full",

@@ -24,7 +24,17 @@
 // Fault sites owned by this layer (armed on the DAEMON context):
 //   "serve.request"  corrupts/truncates one raw request line before parsing
 //   "serve.accept"   rejects one admission with kUnavailable
-// Both degrade a single request; the daemon itself never crashes on them.
+// The journal and stats writers additionally honor the shared durable-I/O
+// sites "io.write"/"io.fsync"/"io.rename"/"io.enospc" (util/io.h): a
+// journal write failure rejects that one submit with kUnavailable. All of
+// these degrade a single request; the daemon itself never crashes on them.
+//
+// Resource governance: a job may carry mem_budget_mb (JobSpec). Gen jobs
+// are capacity-checked at admission (estimated bytes from the cell count
+// vs the cap -> kResourceExhausted at submit); every budgeted job is also
+// enforced mid-run by its session's MemoryBudget, failing alone with
+// kResourceExhausted while neighbors stay bit-identical. Outcomes report
+// the session's peak metered bytes.
 #pragma once
 
 #include <cstdint>

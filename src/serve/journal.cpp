@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/io.h"
+
 namespace ep::serve {
 
 namespace {
@@ -63,28 +65,6 @@ std::vector<std::uint64_t> listJobIds(const std::string& dir) {
   return ids;
 }
 
-/// tmp -> flush -> fsync -> rename, the same crash-safety recipe as the
-/// snapshot container: a SIGKILL at any instant leaves either the previous
-/// file or the complete new one.
-Status writeFileDurably(const std::string& path, const std::string& text) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return Status::ioError("cannot open " + tmp);
-  const bool wrote =
-      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
-      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-  std::fclose(f);
-  if (!wrote) {
-    std::remove(tmp.c_str());
-    return Status::ioError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::ioError("cannot rename " + tmp + " over " + path);
-  }
-  return Status::okStatus();
-}
-
 StatusOr<JsonValue> readJsonFile(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f.good()) return Status::ioError("cannot open " + path);
@@ -120,8 +100,10 @@ std::string JobStore::snapshotDirFor(std::uint64_t id) const {
 Status JobStore::writePending(std::uint64_t id, const JobSpec& spec) {
   JsonValue v = jobSpecToJson(spec);
   v.set("id", JsonValue::number(static_cast<double>(id)));
-  return writeFileDurably(root_ + "/jobs/" + jobFileName(id),
-                          writeJson(v) + "\n");
+  // ep::io owns the tmp -> fsync -> rename -> parent-fsync recipe plus
+  // bounded retry; transient storage hiccups never bounce an admission.
+  return io::writeFileDurably(root_ + "/jobs/" + jobFileName(id),
+                              writeJson(v) + "\n", faults_);
 }
 
 void JobStore::removePending(std::uint64_t id) {
@@ -129,8 +111,9 @@ void JobStore::removePending(std::uint64_t id) {
 }
 
 Status JobStore::writeResult(const JobOutcome& outcome) {
-  return writeFileDurably(root_ + "/results/" + jobFileName(outcome.id),
-                          writeJson(outcomeToJson(outcome)) + "\n");
+  return io::writeFileDurably(root_ + "/results/" + jobFileName(outcome.id),
+                              writeJson(outcomeToJson(outcome)) + "\n",
+                              faults_);
 }
 
 bool JobStore::hasResult(std::uint64_t id) const {

@@ -24,7 +24,11 @@
 #include "serve/protocol.h"
 #include "util/status.h"
 
-namespace ep::serve {
+namespace ep {
+
+class FaultInjector;
+
+namespace serve {
 
 class JobStore {
  public:
@@ -32,6 +36,11 @@ class JobStore {
 
   /// Creates the directory tree; call once before any other method.
   Status init();
+
+  /// Routes journal/result writes through the injector's io.* sites (the
+  /// daemon passes its own context's injector), so storage faults on the
+  /// durability path are testable. nullptr (default) disables injection.
+  void setFaults(FaultInjector* faults) { faults_ = faults; }
 
   [[nodiscard]] const std::string& root() const { return root_; }
   [[nodiscard]] std::string snapshotDirFor(std::uint64_t id) const;
@@ -60,6 +69,8 @@ class JobStore {
 
  private:
   std::string root_;
+  FaultInjector* faults_ = nullptr;  // not owned
 };
 
-}  // namespace ep::serve
+}  // namespace serve
+}  // namespace ep

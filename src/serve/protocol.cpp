@@ -27,6 +27,8 @@ bool faultKindFromName(const std::string& name, FaultKind* out) {
     *out = FaultKind::kSpike;
   } else if (name == "trunc") {
     *out = FaultKind::kTruncate;
+  } else if (name == "error") {
+    *out = FaultKind::kError;
   } else {
     return false;
   }
@@ -38,6 +40,7 @@ const char* faultKindName(FaultKind k) {
     case FaultKind::kNaN: return "nan";
     case FaultKind::kSpike: return "spike";
     case FaultKind::kTruncate: return "trunc";
+    case FaultKind::kError: return "error";
   }
   return "nan";
 }
@@ -140,6 +143,13 @@ Status jobSpecFromJson(const JsonValue& v, JobSpec* out) {
   }
   out->gpMaxIterations = static_cast<int>(gpIters);
   out->runDetail = v.getBool("run_detail", true);
+  if (const JsonValue* mb = v.find("mem_budget_mb")) {
+    std::uint64_t u = 0;
+    if (!toU64(*mb, &u) || u > 1'000'000) {
+      return Status::invalidInput("mem_budget_mb out of range");
+    }
+    out->memBudgetMb = u;
+  }
   if (const JsonValue* inj = v.find("inject")) {
     if (!inj->isArray()) return Status::invalidInput("inject must be a list");
     for (const JsonValue& e : inj->items()) {
@@ -152,7 +162,8 @@ Status jobSpecFromJson(const JsonValue& v, JobSpec* out) {
         return Status::invalidInput("inject entry needs a site");
       }
       if (!faultKindFromName(e.getString("kind", "nan"), &is.spec.kind)) {
-        return Status::invalidInput("inject kind must be nan|spike|trunc");
+        return Status::invalidInput(
+            "inject kind must be nan|spike|trunc|error");
       }
       is.spec.atTick = static_cast<long>(e.getNumber("tick", 0.0));
       is.spec.count = static_cast<int>(e.getNumber("count", 1.0));
@@ -189,6 +200,10 @@ JsonValue jobSpecToJson(const JobSpec& spec) {
     v.set("gp_max_iterations", JsonValue::number(spec.gpMaxIterations));
   }
   if (!spec.runDetail) v.set("run_detail", JsonValue::boolean(false));
+  if (spec.memBudgetMb > 0) {
+    v.set("mem_budget_mb",
+          JsonValue::number(static_cast<double>(spec.memBudgetMb)));
+  }
   if (!spec.injections.empty()) {
     JsonValue arr = JsonValue::array();
     for (const InjectSpec& is : spec.injections) {
@@ -221,6 +236,9 @@ JsonValue outcomeToJson(const JobOutcome& out) {
   v.set("retries", JsonValue::number(out.retries));
   v.set("recoveries", JsonValue::number(out.recoveries));
   v.set("resumed", JsonValue::boolean(out.resumed));
+  if (out.peakBytes > 0) {
+    v.set("peak_bytes", JsonValue::number(static_cast<double>(out.peakBytes)));
+  }
   return v;
 }
 
@@ -249,6 +267,11 @@ Status outcomeFromJson(const JsonValue& v, JobOutcome* out) {
   out->retries = static_cast<int>(v.getNumber("retries", 0.0));
   out->recoveries = static_cast<int>(v.getNumber("recoveries", 0.0));
   out->resumed = v.getBool("resumed", false);
+  if (const JsonValue* pb = v.find("peak_bytes")) {
+    if (!toU64(*pb, &out->peakBytes)) {
+      return Status::invalidInput("outcome.peak_bytes malformed");
+    }
+  }
   return Status::okStatus();
 }
 

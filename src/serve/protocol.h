@@ -65,6 +65,12 @@ struct JobSpec {
   int saveEvery = 0;
   int gpMaxIterations = 0;  ///< 0 = flow default
   bool runDetail = true;
+  /// Memory cap in MiB for the job's session (view/CSR build, arena
+  /// growth, snapshot buffers, bin grid); 0 = unlimited. Gen jobs whose
+  /// admission-time capacity estimate exceeds the cap are rejected
+  /// kResourceExhausted at submit; a mid-run breach fails the job alone
+  /// with the same typed status.
+  std::uint64_t memBudgetMb = 0;
   std::vector<InjectSpec> injections;
 };
 
@@ -82,6 +88,9 @@ struct JobOutcome {
   int retries = 0;     ///< supervisor attempts beyond the first, all stages
   int recoveries = 0;  ///< GP divergence rollbacks (mGP + cGP)
   bool resumed = false;  ///< continued from a durable snapshot
+  /// High-water mark of the session's budget-metered bytes (view/CSR +
+  /// arena + checkpoints + bin grid); reported even for uncapped jobs.
+  std::uint64_t peakBytes = 0;
 };
 
 struct Request {

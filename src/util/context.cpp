@@ -21,6 +21,7 @@ RuntimeContext::RuntimeContext(RuntimeOptions opt)
       wallBudgetSeconds_(opt_.wallBudgetSeconds) {
   ownSink_.setTimestamps(opt_.logTimestamps);
   pool_.setFaultInjector(&faults_);
+  memory_.setLimit(opt_.memBudgetBytes);
 }
 
 RuntimeContext::RuntimeContext(int threads)

@@ -34,6 +34,7 @@
 
 #include "util/fault_injector.h"
 #include "util/log.h"
+#include "util/memory_budget.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -89,6 +90,10 @@ struct RuntimeOptions {
   /// Wall-clock budget in seconds from context construction; <= 0 means no
   /// deadline. Stage watchdogs clamp their own budgets to what remains.
   double wallBudgetSeconds = 0.0;
+  /// Memory cap in bytes for this context's big allocations (arena growth,
+  /// view/CSR construction, snapshot buffers, bin grid); 0 = unlimited.
+  /// Breaches surface as kResourceExhausted, never as bad_alloc aborts.
+  std::size_t memBudgetBytes = 0;
 };
 
 class RuntimeContext {
@@ -107,6 +112,8 @@ class RuntimeContext {
   [[nodiscard]] const LogSink& log() const { return *sink_; }
   [[nodiscard]] StatsRegistry& stats() { return stats_; }
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
+  [[nodiscard]] MemoryBudget& memory() { return memory_; }
+  [[nodiscard]] const MemoryBudget& memory() const { return memory_; }
 
   /// Fresh 64-bit seed from the root stream (setup-time use only; the root
   /// Rng is not synchronized).
@@ -174,6 +181,7 @@ class RuntimeContext {
   LogSink ownSink_;
   LogSink* sink_ = &ownSink_;  // processDefault aliases defaultLogSink()
   StatsRegistry stats_;
+  MemoryBudget memory_;
   Timer clock_;
   double wallBudgetSeconds_ = 0.0;
   std::atomic<bool> cancelRequested_{false};

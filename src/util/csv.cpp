@@ -20,13 +20,17 @@ CsvWriter::CsvWriter(const std::string& path,
 
 CsvWriter::~CsvWriter() {
   if (out_ == nullptr) return;
-  std::fflush(out_);
-  ::fsync(fileno(out_));
+  // A trace that could not be made durable is exactly the artifact someone
+  // will trust after a crash — say so instead of closing silently.
+  if (std::fflush(out_) != 0 || ::fsync(fileno(out_)) != 0) {
+    logWarn("CsvWriter: could not sync %s on close; trace may be incomplete",
+            path_.c_str());
+  }
   std::fclose(out_);
 }
 
 bool CsvWriter::writable() {
-  if (out_ != nullptr && std::ferror(out_) == 0) return true;
+  if (out_ != nullptr && !failed_ && std::ferror(out_) == 0) return true;
   if (!warnedDrop_) {
     warnedDrop_ = true;
     logWarn("CsvWriter: %s is not writable, dropping all rows", path_.c_str());
@@ -35,8 +39,9 @@ bool CsvWriter::writable() {
 }
 
 void CsvWriter::endRow() {
-  std::fputc('\n', out_);
-  std::fflush(out_);
+  if (std::fputc('\n', out_) == EOF || std::fflush(out_) != 0) {
+    failed_ = true;  // writable() warns once on the next row
+  }
 }
 
 void CsvWriter::row(const std::vector<double>& cells) {
@@ -46,7 +51,9 @@ void CsvWriter::row(const std::vector<double>& cells) {
             columns_);
   }
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    std::fprintf(out_, "%s%.6g", i ? "," : "", cells[i]);
+    if (std::fprintf(out_, "%s%.6g", i ? "," : "", cells[i]) < 0) {
+      failed_ = true;
+    }
   }
   endRow();
 }
@@ -54,7 +61,9 @@ void CsvWriter::row(const std::vector<double>& cells) {
 void CsvWriter::row(const std::vector<std::string>& cells) {
   if (!writable()) return;
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    std::fprintf(out_, "%s%s", i ? "," : "", cells[i].c_str());
+    if (std::fprintf(out_, "%s%s", i ? "," : "", cells[i].c_str()) < 0) {
+      failed_ = true;
+    }
   }
   endRow();
 }

@@ -24,6 +24,12 @@ class CsvWriter {
 
   [[nodiscard]] bool ok() const { return out_ != nullptr; }
 
+  /// True while the stream has accepted every byte so far. Goes false —
+  /// stickily — on the first failed write/flush, so a caller can tell a
+  /// complete trace from a silently truncated one even though row() never
+  /// returns a status.
+  [[nodiscard]] bool healthy() const { return out_ != nullptr && !failed_; }
+
   /// Writes one row; numeric cells are formatted with %.6g. Rows written
   /// while the stream is bad are dropped, with a single warning naming the
   /// path (not one per row — traces can be hundreds of rows long). Each row
@@ -40,6 +46,7 @@ class CsvWriter {
   std::string path_;
   std::size_t columns_ = 0;
   bool warnedDrop_ = false;
+  bool failed_ = false;  // sticky: a write/flush/fsync error occurred
 };
 
 }  // namespace ep

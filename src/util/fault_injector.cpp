@@ -56,13 +56,17 @@ void FaultInjector::corrupt(std::span<double> data, const FaultSpec& spec) {
       data[idx] = (data[idx] == 0.0 ? 1.0 : data[idx]) * spec.magnitude;
       break;
     case FaultKind::kTruncate:
-      break;  // stream-site semantics; nothing to corrupt in a buffer
+    case FaultKind::kError:
+      break;  // stream/error-site semantics; nothing to corrupt in a buffer
   }
 }
 
 void FaultInjector::corruptBytes(std::span<std::uint8_t> data,
                                  const FaultSpec& spec) {
-  if (data.empty() || spec.kind == FaultKind::kTruncate) return;
+  if (data.empty() || spec.kind == FaultKind::kTruncate ||
+      spec.kind == FaultKind::kError) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const std::size_t idx = static_cast<std::size_t>(
       rng_.below(static_cast<std::uint64_t>(data.size())));
@@ -77,9 +81,11 @@ long FaultInjector::fireCount(const std::string& site) const {
 
 std::span<const char* const> knownFaultSites() {
   static constexpr const char* kSites[] = {
-      "nesterov.grad",     "fft.forward", "bookshelf.line",
-      "legalize.displace", "detail.swap", "snapshot.write",
+      "nesterov.grad",     "fft.forward",   "bookshelf.line",
+      "legalize.displace", "detail.swap",   "snapshot.write",
       "parallel.task",     "serve.request", "serve.accept",
+      "io.write",          "io.fsync",      "io.rename",
+      "io.enospc",
   };
   return kSites;
 }

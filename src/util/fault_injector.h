@@ -16,6 +16,15 @@
 //                       flip / truncation before parsing; typed rejection)
 //   "serve.accept"      job admission in the daemon (firing rejects the
 //                       submit with kUnavailable; neighbors unaffected)
+//   "io.write"          ep::io durable write reports a short write (EIO)
+//   "io.fsync"          ep::io fsync fails (EIO); transient, retried
+//   "io.rename"         ep::io rename-into-place fails (EIO); retried
+//   "io.enospc"         ep::io attempt fails with ENOSPC — persistent,
+//                       never retried; isNoSpace() recognizes it and the
+//                       supervisor degrades to snapshot-less mode
+// The io.* sites take FaultKind::kError: the site returns a typed error
+// instead of corrupting data. Arm with count=1 to fail one attempt (the
+// retry succeeds) or count=-1 to exhaust the retry policy.
 // With no armed sites the hot-path cost is one branch on an atomic bool, so
 // the instrumentation stays in release builds. fire/corrupt are serialized
 // by an internal mutex because instrumented kernels (e.g. fft.forward) now
@@ -44,6 +53,8 @@ enum class FaultKind : std::uint8_t {
   kNaN,       ///< overwrite one entry with a quiet NaN
   kSpike,     ///< multiply one entry by `magnitude`
   kTruncate,  ///< report EOF / cut the stream short (stream sites only)
+  kError,     ///< the site returns a typed error; no data is corrupted
+              ///< (io.* sites, admission rejections)
 };
 
 struct FaultSpec {

@@ -1,0 +1,139 @@
+#include "util/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/fault_injector.h"
+#include "util/log.h"
+
+namespace ep::io {
+
+namespace {
+
+constexpr const char* kNoSpaceTag = "(ENOSPC)";
+
+Status ioError(const std::string& what, const std::string& path, int err) {
+  return Status::ioError(what + " " + path + ": " + std::strerror(err) +
+                         (err == ENOSPC || err == EDQUOT
+                              ? std::string(" ") + kNoSpaceTag
+                              : std::string()));
+}
+
+/// Checks the error-kind fault sites for one attempt. Returns 0 when no
+/// site fires, otherwise the errno the attempt should fail with.
+/// `stage` selects which site is consulted.
+int injectedErrno(FaultInjector* faults, const char* site) {
+  if (faults == nullptr || !faults->active()) return 0;
+  const FaultSpec* f = faults->fire(site);
+  if (f == nullptr) return 0;
+  return std::strcmp(site, "io.enospc") == 0 ? ENOSPC : EIO;
+}
+
+/// One full tmp+write+fsync+rename attempt. Returns OK or a typed kIo
+/// status; guarantees the tmp file is gone on failure.
+Status writeOnce(const std::string& path, const void* data, std::size_t n,
+                 FaultInjector* faults) {
+  // "io.enospc" fails the attempt before any bytes move, modelling a full
+  // disk: persistent, recognized by isNoSpace(), never retried.
+  if (const int err = injectedErrno(faults, "io.enospc")) {
+    return ioError("cannot write", path, err);
+  }
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) return ioError("cannot create", tmp, errno);
+
+  bool wrote = true;
+  int err = 0;
+  if (const int ie = injectedErrno(faults, "io.write")) {
+    wrote = false;
+    err = ie;  // synthetic short write
+  } else if (std::fwrite(data, 1, n, out) != n) {
+    wrote = false;
+    err = errno != 0 ? errno : EIO;
+  }
+  if (wrote && std::fflush(out) != 0) {
+    wrote = false;
+    err = errno != 0 ? errno : EIO;
+  }
+  if (wrote) {
+    if (const int ie = injectedErrno(faults, "io.fsync")) {
+      wrote = false;
+      err = ie;
+    } else if (::fsync(fileno(out)) != 0) {
+      wrote = false;
+      err = errno != 0 ? errno : EIO;
+    }
+  }
+  if (std::fclose(out) != 0 && wrote) {
+    wrote = false;
+    err = errno != 0 ? errno : EIO;
+  }
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return ioError("cannot write", tmp, err);
+  }
+
+  if (const int ie = injectedErrno(faults, "io.rename")) {
+    std::remove(tmp.c_str());
+    return ioError("cannot rename into place", path, ie);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int renameErr = errno != 0 ? errno : EIO;
+    std::remove(tmp.c_str());
+    return ioError("cannot rename into place", path, renameErr);
+  }
+  syncParentDir(path);
+  return {};
+}
+
+}  // namespace
+
+Status writeFileDurably(const std::string& path, const void* data,
+                        std::size_t n, FaultInjector* faults,
+                        const RetryPolicy& retry) {
+  const int attempts = retry.maxAttempts < 1 ? 1 : retry.maxAttempts;
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Deterministic exponential backoff: 1x, 2x, 4x, ... the base.
+      ::usleep(static_cast<useconds_t>(retry.backoffMicros)
+               << (attempt - 1));
+      logDebug("io: retrying write of %s (attempt %d/%d): %s", path.c_str(),
+               attempt + 1, attempts, last.message().c_str());
+    }
+    last = writeOnce(path, data, n, faults);
+    if (last.ok()) return last;
+    // A full disk will not empty itself inside our backoff window;
+    // surface it immediately so the caller can degrade.
+    if (isNoSpace(last)) return last;
+  }
+  return last;
+}
+
+Status writeFileDurably(const std::string& path, const std::string& text,
+                        FaultInjector* faults, const RetryPolicy& retry) {
+  return writeFileDurably(path, text.data(), text.size(), faults, retry);
+}
+
+void syncParentDir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+bool isNoSpace(const Status& s) {
+  return s.code() == StatusCode::kIo &&
+         s.message().find(kNoSpaceTag) != std::string::npos;
+}
+
+}  // namespace ep::io

@@ -1,0 +1,78 @@
+// ep::io — checked, fault-injectable durable file I/O.
+//
+// Every durability guarantee the repo advertises (journal-before-ack,
+// CRC snapshots, fsync'd CSV traces, stats dumps) bottoms out in the same
+// recipe: write a tmp file, flush, fsync, rename into place, fsync the
+// parent directory. This layer owns that recipe once, with three
+// properties the inlined copies lacked:
+//
+//   * every syscall result is checked and surfaces as a typed Status
+//     (kIo) naming the path and errno — no silent truncation;
+//   * transient failures (EIO-class write/fsync/rename errors) are
+//     retried a bounded, deterministic number of times with exponential
+//     backoff; persistent no-space failures are recognized as such
+//     (isNoSpace) and never retried, so callers can degrade instead of
+//     spinning against a full disk;
+//   * four FaultInjector sites make every failure mode reachable from
+//     tests without touching the filesystem:
+//       "io.write"   fwrite reports a short write (synthetic EIO)
+//       "io.fsync"   fsync fails (synthetic EIO)
+//       "io.rename"  rename into place fails (synthetic EIO)
+//       "io.enospc"  the attempt fails with ENOSPC — persistent, not
+//                    retried, recognized by isNoSpace()
+//     All four use FaultKind::kError (the site returns a typed error;
+//     no data is corrupted). A count=1 spec fails exactly one attempt,
+//     proving the retry path; count=-1 exhausts the policy and yields
+//     the final typed kIo.
+//
+// Adopters: snapshot.cpp, serve/journal.cpp, the daemon's stats/result
+// writers, and CsvWriter's error surfacing. See docs/ROBUSTNESS.md,
+// "Storage-fault containment".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace ep {
+
+class FaultInjector;
+
+namespace io {
+
+/// Bounded deterministic retry for transient storage errors. Attempt k
+/// (0-based) sleeps backoffMicros << (k-1) before retrying, so the default
+/// policy waits 100us then 200us — enough to step over a transient EIO in
+/// tests and real life without turning a dead disk into a hang.
+struct RetryPolicy {
+  int maxAttempts = 3;     ///< total attempts (>= 1)
+  int backoffMicros = 100; ///< base backoff before the first retry
+};
+
+/// Atomically and durably replaces `path` with `n` bytes: tmp file +
+/// checked fwrite + fflush + fsync + rename + parent-directory fsync.
+/// Transient failures are retried per `retry`; no-space failures are not.
+/// On any failure the tmp file is removed and `path` is untouched (the
+/// previous contents, if any, survive).
+Status writeFileDurably(const std::string& path, const void* data,
+                        std::size_t n, FaultInjector* faults = nullptr,
+                        const RetryPolicy& retry = {});
+
+/// Convenience overload for text payloads (journal/result/stats JSON).
+Status writeFileDurably(const std::string& path, const std::string& text,
+                        FaultInjector* faults = nullptr,
+                        const RetryPolicy& retry = {});
+
+/// fsync the directory containing `path` so a completed rename survives
+/// power loss. Best-effort by design: some filesystems reject directory
+/// fsync, and the rename itself already happened.
+void syncParentDir(const std::string& path);
+
+/// True when `s` is the persistent out-of-space class of I/O failure
+/// (ENOSPC/EDQUOT, or the injected "io.enospc" fault). The supervisor uses
+/// this to stop checkpointing instead of retrying forever.
+[[nodiscard]] bool isNoSpace(const Status& s);
+
+}  // namespace io
+}  // namespace ep

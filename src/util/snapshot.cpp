@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "util/fault_injector.h"
+#include "util/io.h"
 #include "util/log.h"
 
 namespace ep {
@@ -24,17 +25,6 @@ Status ioError(const std::string& what, const std::string& path) {
 
 Status badSnapshot(const std::string& path, const std::string& why) {
   return Status::invalidInput("snapshot " + path + ": " + why);
-}
-
-/// fsync the directory containing `path` so the rename itself is durable.
-void syncParentDir(const std::string& path) {
-  const auto slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
 }
 
 }  // namespace
@@ -178,22 +168,9 @@ Status writeSnapshotFile(const std::string& path, const SnapshotData& snap,
     }
   }
 
-  const std::string tmp = path + ".tmp";
-  std::FILE* out = std::fopen(tmp.c_str(), "wb");
-  if (out == nullptr) return ioError("cannot create", tmp);
-  const bool wrote =
-      std::fwrite(file.data(), 1, file.size(), out) == file.size() &&
-      std::fflush(out) == 0 && ::fsync(fileno(out)) == 0;
-  if (std::fclose(out) != 0 || !wrote) {
-    std::remove(tmp.c_str());
-    return ioError("cannot write", tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return ioError("cannot rename into place", path);
-  }
-  syncParentDir(path);
-  return {};
+  // The tmp+fsync+rename recipe (and the io.* fault sites / retry policy
+  // that make it testable) lives in ep::io.
+  return io::writeFileDurably(path, file.data(), file.size(), faults);
 }
 
 StatusOr<SnapshotData> readSnapshotFile(const std::string& path) {

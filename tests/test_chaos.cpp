@@ -49,12 +49,19 @@ class ChaosTest : public ::testing::TestWithParam<const char*> {
 TEST_P(ChaosTest, SingleFaultNeverCrashesTheSupervisedFlow) {
   const std::string site = GetParam();
 
-  // Stream sites corrupt bytes/lines; numeric sites corrupt values.
+  // Stream sites corrupt bytes/lines; numeric sites corrupt values; io.*
+  // sites return typed errors from the durable-write path. The io.* faults
+  // are armed persistently (count = -1) so every attempt fails and the
+  // retry policy exhausts — the strongest storage-fault case: the
+  // supervisor must degrade to snapshot-less mode and still finish.
   FaultSpec spec;
+  const bool ioSite = site.rfind("io.", 0) == 0;
   const bool streamSite = site == "bookshelf.line" || site == "snapshot.write";
-  spec.kind = streamSite ? FaultKind::kTruncate : FaultKind::kNaN;
-  spec.atTick = site == "bookshelf.line" ? 50 : 3;
-  spec.count = 1;
+  spec.kind = ioSite          ? FaultKind::kError
+              : streamSite    ? FaultKind::kTruncate
+                              : FaultKind::kNaN;
+  spec.atTick = site == "bookshelf.line" ? 50 : (ioSite ? 0 : 3);
+  spec.count = ioSite ? -1 : 1;
 
   GenSpec gen;
   gen.name = "chaos";

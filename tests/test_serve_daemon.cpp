@@ -558,3 +558,100 @@ TEST_F(ServeDaemonTest, KillNineMidBatchThenRestartFinishesBitExact) {
   daemon.requestShutdown();
   daemon.wait();
 }
+
+namespace {
+
+/// Overwrites a file with garbage of the same length (defeats both the
+/// snapshot CRC and the journal's JSON parse without changing sizes).
+void corruptFile(const fs::path& p) {
+  const auto n = static_cast<std::size_t>(fs::file_size(p));
+  std::string garbage(n > 0 ? n : 16, '\xa5');
+  std::FILE* f = std::fopen(p.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << p;
+  std::fwrite(garbage.data(), 1, garbage.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+// Worst-case restart: the daemon is SIGKILLed mid-batch and EVERY durable
+// artifact it would resume from is then corrupted — all snapshots of the
+// running job, plus the queued job's journal entry. The restart must not
+// crash-loop: the corrupt journal entry is dropped with a warning (typed
+// absence, not a crash), and the job whose snapshots are all invalid is
+// re-run from scratch to a bit-exact result.
+TEST_F(ServeDaemonTest, CorruptSnapshotsAndJournalAtRestartNeverCrashLoop) {
+  const int iters = 600;
+  const std::uint64_t solo = soloBits(kSeed, iters);
+
+  const pid_t pid = spawnDaemon(sock_, root_);
+  ASSERT_GT(pid, 0);
+  {
+    ServeClient client;
+    ASSERT_TRUE(client.connect(sock_, 15.0).ok());
+    JobSpec spec = cleanJob("victim", kSeed, iters);
+    spec.saveEvery = 5;
+    ASSERT_TRUE(client.submit(spec).ok());
+    ASSERT_TRUE(client.submit(spec).ok());
+    const std::string snapDir = root_ + "/snaps/job_1";
+    int completed = 0;
+    for (int i = 0; i < 1500 && completed < 2; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      completed = 0;
+      if (fs::exists(snapDir)) {
+        for (const auto& e : fs::directory_iterator(snapDir)) {
+          if (e.path().extension() == ".epsnap") ++completed;
+        }
+      }
+    }
+    ASSERT_GE(completed, 2) << "no snapshots appeared before the kill";
+  }
+  ASSERT_EQ(kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  fs::remove(sock_);
+
+  // Poison everything the restart would trust.
+  int corrupted = 0;
+  for (const char* dir : {"/snaps/job_1", "/snaps/job_2"}) {
+    if (!fs::exists(root_ + dir)) continue;
+    for (const auto& e : fs::directory_iterator(root_ + dir)) {
+      if (!e.is_regular_file()) continue;
+      corruptFile(e.path());
+      ++corrupted;
+    }
+  }
+  ASSERT_GT(corrupted, 0);
+  ASSERT_TRUE(fs::exists(root_ + "/jobs/job_2.json"));
+  corruptFile(root_ + "/jobs/job_2.json");
+
+  // Restart on the poisoned root. Job 1 (intact journal, corrupt
+  // snapshots) is re-admitted and re-run from scratch; job 2 (corrupt
+  // journal) is skipped with a warning. Neither crashes the daemon.
+  ServeOptions opt = baseOptions();
+  ServeDaemon daemon(opt);
+  ASSERT_TRUE(daemon.start().ok());
+  EXPECT_EQ(daemon.recoveredJobs(), 1);
+  ServeClient client;
+  ASSERT_TRUE(client.connect(sock_).ok());
+  EXPECT_TRUE(client.ping().ok());
+
+  auto out = client.wait(1, 600.0);
+  ASSERT_TRUE(out.ok()) << out.status().toString();
+  EXPECT_TRUE(out->status.ok()) << out->status.toString();
+  EXPECT_EQ(out->hpwlBits, solo);
+  EXPECT_FALSE(out->resumed) << "no valid snapshot existed to resume from";
+
+  // The dropped job is a typed absence on the wire, not a crash.
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str("result"));
+  req.set("id", JsonValue::number(2.0));
+  auto resp = client.call(req, 30.0);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->getBool("ok", true));
+  EXPECT_EQ(statusFromResponse(*resp).code(), StatusCode::kInvalidInput);
+
+  daemon.requestShutdown();
+  daemon.wait();
+}
