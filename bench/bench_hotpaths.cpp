@@ -41,6 +41,7 @@
 #include "density/electro.h"
 #include "eplace/flow.h"
 #include "eplace/session.h"
+#include "eplace/supervisor.h"
 #include "eval/metrics.h"
 #include "gen/generator.h"
 #include "qp/initial_place.h"
@@ -48,8 +49,11 @@
 #include "serve/daemon.h"
 #include "model/placement_view.h"
 #include "util/context.h"
+#include "util/io.h"
+#include "util/jsonlite.h"
 #include "util/memory_budget.h"
 #include "util/parallel.h"
+#include "util/run_record.h"
 #include "util/timer.h"
 #include "wirelength/wl.h"
 
@@ -239,12 +243,22 @@ int main(int argc, char** argv) {
   flowCfg.runDetail = false;
   if (smoke) flowCfg.gp.maxIterations = 1;  // does-it-run gate only
   if (smoke) flowCfg.gp.minIterations = 0;
+  std::filesystem::create_directories("bench_results");
   for (const int nt : threadCounts) {
     RuntimeContext ctx(nt);
     PlacementDB run = generateCircuit(flowSpec);
     const std::uint64_t a0 = allocCount();
     const FlowResult res = runEplaceFlow(run, flowCfg, &ctx);
     const std::uint64_t flowAllocs = allocCount() - a0;
+    // Accumulate a structured run record per thread count so regression
+    // tooling can diff bench runs the same way it diffs CLI/serve runs.
+    const RunRecord rec = buildRunRecord(run, res, nullptr, &ctx, false);
+    const Status recWr = writeRunRecordFile(
+        "bench_results/hotpaths_flow_t" + std::to_string(nt) + ".json", rec);
+    if (!recWr.ok()) {
+      std::fprintf(stderr, "record write failed: %s\n",
+                   recWr.toString().c_str());
+    }
     endToEnd.push_back(
         {nt, res.mgp.seconds, res.cgp.seconds, res.finalHpwl, flowAllocs});
     if (std::bit_cast<std::uint64_t>(res.finalHpwl) !=
@@ -348,52 +362,61 @@ int main(int argc, char** argv) {
     fs::remove(sopt.socketPath);
   }
 
-  // --- emit JSON ------------------------------------------------------------
-  FILE* f = std::fopen("BENCH_hotpaths.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_hotpaths.json\n");
-    return 1;
+  // --- emit JSON (shared jsonlite writer: escaping and NaN/Inf handling
+  // live in one place, and the output is parseable by the same codec the
+  // regression tooling uses) -------------------------------------------------
+  JsonValue root = JsonValue::object();
+  root.set("smoke", JsonValue::boolean(smoke));
+  root.set("hw_concurrency",
+           JsonValue::number(std::thread::hardware_concurrency()));
+  root.set("cells", JsonValue::number(static_cast<double>(nVars)));
+  root.set("grid", JsonValue::number(static_cast<double>(dim)));
+  {
+    JsonValue arr = JsonValue::array();
+    for (const auto& k : kernels) {
+      JsonValue row = JsonValue::object();
+      row.set("name", JsonValue::str(k.name));
+      row.set("threads", JsonValue::number(k.threads));
+      row.set("ns_per_op", JsonValue::number(k.nsPerOp));
+      row.set("allocs_per_op", JsonValue::number(k.allocsPerOp));
+      arr.push(std::move(row));
+    }
+    root.set("kernels", std::move(arr));
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-  std::fprintf(f, "  \"hw_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"cells\": %zu,\n", nVars);
-  std::fprintf(f, "  \"grid\": %zu,\n", dim);
-  std::fprintf(f, "  \"kernels\": [\n");
-  for (std::size_t i = 0; i < kernels.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"threads\": %d, "
-                 "\"ns_per_op\": %.1f, \"allocs_per_op\": %.2f}%s\n",
-                 kernels[i].name.c_str(), kernels[i].threads,
-                 kernels[i].nsPerOp, kernels[i].allocsPerOp,
-                 i + 1 < kernels.size() ? "," : "");
+  {
+    JsonValue arr = JsonValue::array();
+    for (const auto& e : endToEnd) {
+      JsonValue row = JsonValue::object();
+      row.set("threads", JsonValue::number(e.threads));
+      row.set("mgp_seconds", JsonValue::number(e.mgpSeconds));
+      row.set("cgp_seconds", JsonValue::number(e.cgpSeconds));
+      row.set("final_hpwl", JsonValue::number(e.finalHpwl));
+      row.set("flow_allocs",
+              JsonValue::number(static_cast<double>(e.flowAllocs)));
+      arr.push(std::move(row));
+    }
+    root.set("end_to_end", std::move(arr));
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"end_to_end\": [\n");
-  for (std::size_t i = 0; i < endToEnd.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"threads\": %d, \"mgp_seconds\": %.4f, "
-                 "\"cgp_seconds\": %.4f, \"final_hpwl\": %.17g, "
-                 "\"flow_allocs\": %" PRIu64 "}%s\n",
-                 endToEnd[i].threads, endToEnd[i].mgpSeconds,
-                 endToEnd[i].cgpSeconds, endToEnd[i].finalHpwl,
-                 endToEnd[i].flowAllocs,
-                 i + 1 < endToEnd.size() ? "," : "");
+  {
+    JsonValue b = JsonValue::object();
+    b.set("sessions", JsonValue::number(2));
+    b.set("total_threads", JsonValue::number(4));
+    b.set("sequential_seconds", JsonValue::number(batchSeqSeconds));
+    b.set("concurrent_seconds", JsonValue::number(batchConcSeconds));
+    b.set("speedup",
+          JsonValue::number(batchConcSeconds > 0.0
+                                ? batchSeqSeconds / batchConcSeconds
+                                : 0.0));
+    b.set("bit_identical", JsonValue::boolean(batchIdentical));
+    root.set("batch_2x", std::move(b));
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f,
-               "  \"batch_2x\": {\"sessions\": 2, \"total_threads\": 4, "
-               "\"sequential_seconds\": %.4f, \"concurrent_seconds\": "
-               "%.4f, \"speedup\": %.3f, \"bit_identical\": %s},\n",
-               batchSeqSeconds, batchConcSeconds,
-               batchConcSeconds > 0.0 ? batchSeqSeconds / batchConcSeconds
-                                      : 0.0,
-               batchIdentical ? "true" : "false");
-  std::fprintf(f,
-               "  \"serve_roundtrip\": {\"ping_ns\": %.0f, "
-               "\"seconds_per_job\": %.4f, \"ok\": %s},\n",
-               servePingNs, serveSecondsPerJob, serveOk ? "true" : "false");
+  {
+    JsonValue s = JsonValue::object();
+    s.set("ping_ns", JsonValue::number(servePingNs));
+    s.set("seconds_per_job", JsonValue::number(serveSecondsPerJob));
+    s.set("ok", JsonValue::boolean(serveOk));
+    root.set("serve_roundtrip", std::move(s));
+  }
   {
     // Baselines for the overhead ratio: the unbudgeted 1-thread rows of
     // the same kernels, measured above.
@@ -403,28 +426,35 @@ int main(int argc, char** argv) {
       if (k.name == "density_update") densityPlain = k.nsPerOp;
       if (k.name == "wa_gradient") waPlain = k.nsPerOp;
     }
-    std::fprintf(
-        f,
-        "  \"budget_overhead\": {\"density_update_ns\": %.1f, "
-        "\"density_update_budgeted_ns\": %.1f, \"wa_gradient_ns\": %.1f, "
-        "\"wa_gradient_budgeted_ns\": %.1f, \"arena_borrow_ns\": %.1f, "
-        "\"arena_borrow_budgeted_ns\": %.1f, "
-        "\"budgeted_allocs_per_op\": %.2f, "
-        "\"bytes_charged_steady_state\": %" PRIu64 "},\n",
-        densityPlain, densityBudgeted.nsPerOp, waPlain, waBudgeted.nsPerOp,
-        arenaPlainNs, arenaBudgetNs,
-        densityBudgeted.allocsPerOp + waBudgeted.allocsPerOp,
-        budgetTimedDelta);
+    JsonValue b = JsonValue::object();
+    b.set("density_update_ns", JsonValue::number(densityPlain));
+    b.set("density_update_budgeted_ns",
+          JsonValue::number(densityBudgeted.nsPerOp));
+    b.set("wa_gradient_ns", JsonValue::number(waPlain));
+    b.set("wa_gradient_budgeted_ns", JsonValue::number(waBudgeted.nsPerOp));
+    b.set("arena_borrow_ns", JsonValue::number(arenaPlainNs));
+    b.set("arena_borrow_budgeted_ns", JsonValue::number(arenaBudgetNs));
+    b.set("budgeted_allocs_per_op",
+          JsonValue::number(densityBudgeted.allocsPerOp +
+                            waBudgeted.allocsPerOp));
+    b.set("bytes_charged_steady_state",
+          JsonValue::number(static_cast<double>(budgetTimedDelta)));
+    root.set("budget_overhead", std::move(b));
   }
   // Steady-state contract: every timed kernel must run allocation-free
   // after its warm-up call (the Nesterov inner loop is exactly these
   // kernels plus element-wise vector updates).
   double steadyAllocs = 0.0;
   for (const auto& k : kernels) steadyAllocs += k.allocsPerOp;
-  std::fprintf(f, "  \"steady_state_kernel_allocs\": %.2f,\n", steadyAllocs);
-  std::fprintf(f, "  \"bit_identical\": %s\n", bitIdentical ? "true" : "false");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  root.set("steady_state_kernel_allocs", JsonValue::number(steadyAllocs));
+  root.set("bit_identical", JsonValue::boolean(bitIdentical));
+  const Status benchWr =
+      io::writeFileDurably("BENCH_hotpaths.json", writeJson(root) + "\n");
+  if (!benchWr.ok()) {
+    std::fprintf(stderr, "cannot write BENCH_hotpaths.json: %s\n",
+                 benchWr.toString().c_str());
+    return 1;
+  }
   std::printf("wrote BENCH_hotpaths.json (bit_identical=%s, batch=%s, "
               "serve=%s)\n",
               bitIdentical ? "true" : "false",

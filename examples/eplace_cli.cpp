@@ -28,6 +28,9 @@
 //                            per line, # comments) instead of a single design
 //     --sessions <k>         concurrent placer sessions for --batch
 //                            (default 2); --threads is split across them
+//     --record-out <path>    write the structured run record (JSON, see
+//                            docs/OBSERVABILITY.md) there; in --batch mode
+//                            <path> is a directory getting <name>.json each
 //     --log-level <lvl>      debug | info | warn | error | off (default warn)
 //     --verbose              shorthand for --log-level info
 //
@@ -117,7 +120,7 @@ bool readManifest(const std::string& path, std::vector<ep::BatchItem>* out) {
 int place(ep::RuntimeContext& ctx, ep::PlacementDB& db,
           const ep::FlowConfig& cfg, const std::string& outDir,
           const std::string& plotPath, bool supervised,
-          const ep::SupervisorConfig& sup) {
+          const ep::SupervisorConfig& sup, const std::string& recordOut) {
   ep::SupervisorReport report;
   const ep::StatusOr<ep::FlowResult> run =
       supervised ? ep::runSupervisedFlow(db, cfg, sup, &report, &ctx)
@@ -125,6 +128,16 @@ int place(ep::RuntimeContext& ctx, ep::PlacementDB& db,
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().toString().c_str());
     return exitCodeFor(run.status().code());
+  }
+  if (!recordOut.empty()) {
+    const ep::RunRecord rec = ep::buildRunRecord(
+        db, *run, supervised ? &report : nullptr, &ctx, supervised);
+    const ep::Status wr = ep::writeRunRecordFile(recordOut, rec, &ctx.faults());
+    if (!wr.ok()) {
+      std::fprintf(stderr, "record write failed: %s\n", wr.toString().c_str());
+      return exitCodeFor(wr.code());
+    }
+    std::printf("wrote %s\n", recordOut.c_str());
   }
   if (supervised) std::printf("%s\n", report.summary().c_str());
   const ep::FlowResult& res = *run;
@@ -157,7 +170,7 @@ int place(ep::RuntimeContext& ctx, ep::PlacementDB& db,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string aux, outDir, plotPath, batchPath;
+  std::string aux, outDir, plotPath, batchPath, recordOut;
   double density = 0.0;
   int threads = 0;
   int sessions = 2;
@@ -218,6 +231,8 @@ int main(int argc, char** argv) {
       injections.emplace_back(std::move(site), spec);
     } else if (a == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (a == "--record-out" && i + 1 < argc) {
+      recordOut = argv[++i];
     } else if (a == "--batch" && i + 1 < argc) {
       batchPath = argv[++i];
     } else if (a == "--sessions" && i + 1 < argc) {
@@ -270,8 +285,18 @@ int main(int argc, char** argv) {
     std::printf("batch: %zu designs, %d sessions in flight\n", items.size(),
                 opt.maxConcurrentSessions);
     const ep::BatchResult batch = ep::runPlacerBatch(items, opt);
+    if (!recordOut.empty()) std::filesystem::create_directories(recordOut);
     int exit = 0;
     for (const auto& r : batch.items) {
+      if (r.status.ok() && !recordOut.empty()) {
+        const std::string path = recordOut + "/" + r.name + ".json";
+        const ep::Status wr = ep::writeRunRecordFile(path, r.record);
+        if (!wr.ok()) {
+          std::fprintf(stderr, "record write failed: %s\n",
+                       wr.toString().c_str());
+          if (exit == 0) exit = exitCodeFor(wr.code());
+        }
+      }
       if (r.status.ok()) {
         std::printf("%-16s HPWL %.6g, legal=%s, %.2fs%s\n", r.name.c_str(),
                     r.flow.finalHpwl, r.flow.legality.legal ? "yes" : "no",
@@ -333,5 +358,5 @@ int main(int argc, char** argv) {
               db.name.c_str(), db.objects.size(), db.numMovable(),
               db.nets.size(), db.region.width(), db.region.height(),
               db.targetDensity, ctx.pool().threads());
-  return place(ctx, db, cfg, outDir, plotPath, supervised, sup);
+  return place(ctx, db, cfg, outDir, plotPath, supervised, sup, recordOut);
 }

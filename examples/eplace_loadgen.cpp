@@ -25,13 +25,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "eplace/session.h"
 #include "gen/generator.h"
 #include "serve/client.h"
+#include "util/io.h"
+#include "util/jsonlite.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -377,6 +381,37 @@ int main(int argc, char** argv) {
     // Mutated-but-valid lines are counted above; anything else is a bug.
     std::printf("note: %d mutated line(s) parsed as valid requests\n",
                 malformedSent - malformedTypedRejections);
+  }
+
+  // Machine-readable run summary, built with the shared jsonlite writer and
+  // accumulated under bench_results/ alongside the bench run records.
+  {
+    ep::JsonValue sum = ep::JsonValue::object();
+    sum.set("jobs", ep::JsonValue::number(mix.jobs));
+    sum.set("clean_ok", ep::JsonValue::number(cleanOk));
+    sum.set("clean_mismatched", ep::JsonValue::number(cleanMismatch));
+    sum.set("fault_terminal", ep::JsonValue::number(faultTerminal));
+    sum.set("cancels_sent", ep::JsonValue::number(cancelsSent));
+    sum.set("cancels_effective", ep::JsonValue::number(cancelled));
+    sum.set("malformed_sent", ep::JsonValue::number(malformedSent));
+    sum.set("malformed_typed_rejections",
+            ep::JsonValue::number(malformedTypedRejections));
+    sum.set("queue_full_rejections",
+            ep::JsonValue::number(queueFullRejections));
+    sum.set("worst_submit_seconds",
+            ep::JsonValue::number(worstSubmitSeconds));
+    sum.set("submits_gave_up", ep::JsonValue::number(submitRetriesExhausted));
+    sum.set("violations", ep::JsonValue::number(violations));
+    std::error_code ec;
+    std::filesystem::create_directories("bench_results", ec);
+    const ep::Status wr = ep::io::writeFileDurably(
+        "bench_results/loadgen_summary.json", ep::writeJson(sum) + "\n");
+    if (!wr.ok()) {
+      std::fprintf(stderr, "summary write failed: %s\n",
+                   wr.toString().c_str());
+    } else {
+      std::printf("wrote bench_results/loadgen_summary.json\n");
+    }
   }
   return violations == 0 ? 0 : 1;
 }

@@ -91,6 +91,9 @@ StatusOr<FlowResult> PlacerSession::place() {
   }();
   if (run.ok()) {
     result_ = *run;
+    record_ = buildRunRecord(db_, result_,
+                             opt_.supervised ? &report_ : nullptr, &ctx_,
+                             opt_.supervised);
     hasResult_ = true;
   }
   return run;
@@ -140,6 +143,7 @@ BatchResult runPlacerBatch(const std::vector<BatchItem>& items,
           StatusOr<FlowResult> run = session.place();
           if (run.ok()) {
             out.flow = *run;
+            out.record = *session.record();
           } else {
             out.status = run.status();
           }

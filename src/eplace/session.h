@@ -81,6 +81,11 @@ class PlacerSession {
   }
   /// Per-stage story of the last supervised place().
   [[nodiscard]] const SupervisorReport& report() const { return report_; }
+  /// Structured run record of the last successful place(); nullptr before
+  /// that. Serialize with writeRunRecord()/writeRunRecordFile().
+  [[nodiscard]] const RunRecord* record() const {
+    return hasResult_ ? &record_ : nullptr;
+  }
   /// The session's runtime (arm faults, read stats, adjust log level).
   [[nodiscard]] RuntimeContext& context() { return ctx_; }
   [[nodiscard]] const SessionOptions& options() const { return opt_; }
@@ -93,6 +98,7 @@ class PlacerSession {
   bool hasResult_ = false;
   FlowResult result_;
   SupervisorReport report_;
+  RunRecord record_;
 };
 
 // --- concurrent batch ------------------------------------------------------
@@ -123,6 +129,7 @@ struct BatchItemResult {
   std::string name;
   Status status;    ///< load/validate failures; OK covers degraded flows
   FlowResult flow;  ///< valid when status.ok()
+  RunRecord record;  ///< valid when status.ok()
   double seconds = 0.0;
 };
 

@@ -467,6 +467,7 @@ struct Supervisor {
       return;
     }
     snapFailures = 0;
+    bumpStage(next, "snapshots", 1.0);
     SupervisorEvent ev;
     ev.kind = SupervisorEvent::Kind::kSnapshot;
     ev.stage = next;
@@ -584,6 +585,7 @@ struct Supervisor {
     flowStageMip(db, st);
     if (!movablesFiniteInCore(db)) {
       restorePositions(db, entry);
+      bumpStage(FlowStage::kMip, "rollbacks", 1.0);
       rep.status = Status::numericalDivergence(
           "mIP left non-finite or out-of-core positions");
       appendNote(rep, "result discarded; mGP starts from input positions");
@@ -686,9 +688,14 @@ struct Supervisor {
     }
     st.cfg.gp = baseGp;
     if (hasResumeGp && resumeGpStage == stage) hasResumeGp = false;
+    if (accepted) {
+      const GpResult& fin = isMgp ? st.res.mgpResult : st.res.cgpResult;
+      bumpStage(stage, "recoveries", static_cast<double>(fin.recoveries));
+    }
     if (!accepted) {
       restorePositions(db, entry);
       st.fillers = entryFillers;
+      bumpStage(stage, "rollbacks", 1.0);
       if (memBreach) {
         // Every rung of the degradation ladder re-breached: fail this run
         // cleanly with a typed status (positions restored, nothing
@@ -799,6 +806,7 @@ struct Supervisor {
     }
     if (!legalOk) {
       restorePositions(db, entry);
+      bumpStage(FlowStage::kCdp, "rollbacks", 1.0);
       rep.status = rc.cancelled()
                        ? Status::cancelled("cDP cancelled (" +
                                            rc.cancelReason() + ")")
@@ -819,6 +827,7 @@ struct Supervisor {
       if (!detailOk) {
         // Skip-cDP fallback: the legalized placement is the deliverable.
         restorePositions(db, postLegal);
+        bumpStage(FlowStage::kCdp, "rollbacks", 1.0);
         rep.fellBack = true;
         appendNote(rep, "detail placement rolled back (regressed or illegal)");
       }
@@ -829,6 +838,13 @@ struct Supervisor {
     finishStage(rep);
   }
 
+  /// Per-stage named counter: "flow.<stage>.<what>". RunRecord reads these
+  /// from the stats registry instead of re-plumbing every count through
+  /// return values.
+  void bumpStage(FlowStage s, const char* what, double v) {
+    rc.stats().add(std::string("flow.") + flowStageName(s) + "." + what, v);
+  }
+
   void finishStage(StageReport rep) {
     if (!rep.status.ok()) {
       rc.log().warn("supervisor: stage %s degraded: %s",
@@ -836,6 +852,8 @@ struct Supervisor {
     }
     rc.stats().add("supervisor.attempts", static_cast<double>(rep.attempts));
     if (rep.fellBack) rc.stats().add("supervisor.fallbacks", 1.0);
+    bumpStage(rep.stage, "retries",
+              static_cast<double>(std::max(0, rep.attempts - 1)));
     SupervisorEvent ev;
     ev.kind = SupervisorEvent::Kind::kStageFinish;
     ev.stage = rep.stage;
@@ -997,6 +1015,66 @@ StatusOr<FlowResult> runSupervisedFlow(PlacementDB& db, const FlowConfig& cfg,
     return Status::internal(std::string("flow aborted by exception: ") +
                             e.what());
   }
+}
+
+RunRecord buildRunRecord(const PlacementDB& db, const FlowResult& res,
+                         const SupervisorReport* report, RuntimeContext* ctx,
+                         bool supervised) {
+  RuntimeContext& rc = resolveContext(ctx);
+  RunRecord rec;
+  rec.name = db.name;
+  rec.fingerprint = netlistFingerprint(db);
+  rec.seed = rc.seed();
+  rec.threads = rc.threadCount();
+  rec.supervised = supervised;
+
+  const struct {
+    FlowStage stage;
+    const StageMetrics& m;
+    int recoveries;
+  } rows[] = {
+      {FlowStage::kMip, res.mip, 0},
+      {FlowStage::kMgp, res.mgp, res.mgpResult.recoveries},
+      {FlowStage::kMlg, res.mlg, 0},
+      {FlowStage::kCgp, res.cgp, res.cgpResult.recoveries},
+      {FlowStage::kCdp, res.cdp, 0},
+  };
+  for (const auto& row : rows) {
+    StageRecord sr;
+    sr.stage = flowStageName(row.stage);
+    sr.ran = row.m.ran;
+    sr.wallMs = row.m.seconds * 1000.0;
+    sr.iterations = row.m.iterations;
+    sr.hpwl = row.m.hpwl;
+    sr.hpwlBits = doubleBits(row.m.hpwl);
+    sr.overflow = row.m.overflow;
+    sr.recoveries = row.recoveries;
+    if (report != nullptr) {
+      for (const StageReport& rep : report->stages) {
+        if (rep.stage != row.stage) continue;
+        sr.retries += std::max(0, rep.attempts - 1);
+      }
+    }
+    const std::string prefix = std::string("flow.") + sr.stage + ".";
+    sr.rollbacks = static_cast<int>(rc.stats().value(prefix + "rollbacks"));
+    sr.snapshots = static_cast<int>(rc.stats().value(prefix + "snapshots"));
+    rec.stages.push_back(std::move(sr));
+  }
+
+  rec.finalHpwl = res.finalHpwl;
+  rec.finalHpwlBits = doubleBits(res.finalHpwl);
+  rec.finalScaledHpwl = res.finalScaledHpwl;
+  for (const auto& row : rows) {
+    if (row.m.ran) rec.finalOverflow = row.m.overflow;
+  }
+  rec.legal = res.legality.legal;
+  rec.totalSeconds = res.totalSeconds;
+  rec.peakBytes = rc.memory().peakBytes();
+  rec.arenaGrowthEvents = db.view().arena().growthEvents();
+  rec.snapshotsWritten = report != nullptr ? report->snapshotsWritten : 0;
+  rec.status = statusCodeName(res.status.code());
+  for (const auto& [k, v] : rc.stats().snapshot()) rec.stats.emplace_back(k, v);
+  return rec;
 }
 
 }  // namespace ep

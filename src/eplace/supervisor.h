@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "eplace/flow.h"
+#include "util/run_record.h"
 #include "util/status.h"
 
 namespace ep {
@@ -151,5 +152,16 @@ StatusOr<FlowResult> runSupervisedFlow(PlacementDB& db, const FlowConfig& cfg,
                                        const SupervisorConfig& sup = {},
                                        SupervisorReport* report = nullptr,
                                        RuntimeContext* ctx = nullptr);
+
+/// Assembles the structured run record (util/run_record.h) for a finished
+/// flow: per-stage metrics from `res`, retry counts from `report` (pass
+/// nullptr for an unsupervised run), recovery/rollback/snapshot counters
+/// and the stats dump from `ctx`'s registry, fingerprint/seed/threads from
+/// the input and context. Lives here — not in util — because it reads
+/// PlacementDB and FlowResult, which the util layer must not know about.
+RunRecord buildRunRecord(const PlacementDB& db, const FlowResult& res,
+                         const SupervisorReport* report = nullptr,
+                         RuntimeContext* ctx = nullptr,
+                         bool supervised = true);
 
 }  // namespace ep

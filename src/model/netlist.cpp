@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <sstream>
 #include <tuple>
@@ -174,6 +175,76 @@ Status PlacementDB::sanitize(int* repaired) {
   if (finalized_ && fixes > 0) view_.build(*this);
   if (repaired != nullptr) *repaired = fixes;
   return {};
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ULL;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    // Hash the bit pattern, normalizing -0.0 so it equals +0.0.
+    if (v == 0.0) v = 0.0;
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+}  // namespace
+
+std::uint64_t netlistFingerprint(const PlacementDB& db) {
+  Fnv1a f;
+  f.str(db.name);
+  f.f64(db.region.lx);
+  f.f64(db.region.ly);
+  f.f64(db.region.hx);
+  f.f64(db.region.hy);
+  f.f64(db.targetDensity);
+  f.u64(db.objects.size());
+  for (const Object& o : db.objects) {
+    f.u64(static_cast<std::uint64_t>(o.kind));
+    f.u64(o.fixed ? 1 : 0);
+    f.f64(o.w);
+    f.f64(o.h);
+    if (o.fixed) {
+      // Fixed geometry is part of the instance; movable positions are the
+      // solver's output and must not perturb the fingerprint.
+      f.f64(o.lx);
+      f.f64(o.ly);
+    }
+  }
+  f.u64(db.nets.size());
+  for (const Net& n : db.nets) {
+    f.f64(n.weight);
+    f.u64(n.pins.size());
+    for (const PinRef& p : n.pins) {
+      f.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(p.obj)));
+      f.f64(p.ox);
+      f.f64(p.oy);
+    }
+  }
+  f.u64(db.rows.size());
+  for (const Row& r : db.rows) {
+    f.f64(r.lx);
+    f.f64(r.ly);
+    f.f64(r.height);
+    f.f64(r.siteWidth);
+    f.u64(static_cast<std::uint64_t>(r.numSites));
+  }
+  return f.h;
 }
 
 }  // namespace ep

@@ -155,4 +155,12 @@ class PlacementDB {
   bool finalized_ = false;
 };
 
+/// Stable 64-bit FNV-1a fingerprint of the placement *input*: design name,
+/// region, target density, object dims/kinds/fixed flags (fixed positions
+/// included, movable positions excluded — they are outputs), and full net
+/// connectivity with pin offsets and weights. Two runs with equal
+/// fingerprints solved the same instance; run records carry it so the
+/// regression gate refuses to compare records from different inputs.
+[[nodiscard]] std::uint64_t netlistFingerprint(const PlacementDB& db);
+
 }  // namespace ep

@@ -313,6 +313,9 @@ struct ServeDaemon::Impl {
         out.legal = res->legality.legal;
         out.recoveries =
             res->mgpResult.recoveries + res->cgpResult.recoveries;
+        if (session.record() != nullptr) {
+          out.record = runRecordToJson(*session.record());
+        }
       }
       for (const StageReport& sr : session.report().stages) {
         out.retries += std::max(0, sr.attempts - 1);

@@ -1,130 +1,16 @@
-// Minimal JSON codec for the eplace_serve wire protocol and job journal.
-//
-// Scope: exactly what a newline-delimited request/response protocol needs —
-// null/bool/number/string/array/object, strict parsing with bounded depth,
-// and deterministic serialization (object members keep insertion order, so
-// a journal entry round-trips byte-identically). This is NOT a
-// general-purpose JSON library: no streaming, no comments, no BOM handling,
-// numbers are IEEE doubles. Malformed input is rejected with a typed
-// kInvalidInput status and a byte offset, never with UB or unbounded
-// recursion — the protocol fuzzer (tests/test_serve.cpp) hammers this
-// parser with corrupted and adversarial lines.
+// Compatibility shim: the JSON codec moved to util/jsonlite.h so run
+// records, bench reports and the regression gate can share it without
+// linking the serve layer. Serve code keeps using ep::serve::JsonValue
+// via these aliases; new code should include util/jsonlite.h directly.
 #pragma once
 
-#include <cstddef>
-#include <string>
-#include <string_view>
-#include <utility>
-#include <vector>
-
-#include "util/status.h"
+#include "util/jsonlite.h"
 
 namespace ep::serve {
 
-class JsonValue {
- public:
-  enum class Kind : unsigned char {
-    kNull,
-    kBool,
-    kNumber,
-    kString,
-    kArray,
-    kObject,
-  };
-
-  JsonValue() = default;
-
-  static JsonValue null() { return JsonValue(); }
-  static JsonValue boolean(bool b) {
-    JsonValue v;
-    v.kind_ = Kind::kBool;
-    v.bool_ = b;
-    return v;
-  }
-  static JsonValue number(double n) {
-    JsonValue v;
-    v.kind_ = Kind::kNumber;
-    v.num_ = n;
-    return v;
-  }
-  static JsonValue str(std::string s) {
-    JsonValue v;
-    v.kind_ = Kind::kString;
-    v.str_ = std::move(s);
-    return v;
-  }
-  static JsonValue array() {
-    JsonValue v;
-    v.kind_ = Kind::kArray;
-    return v;
-  }
-  static JsonValue object() {
-    JsonValue v;
-    v.kind_ = Kind::kObject;
-    return v;
-  }
-
-  [[nodiscard]] Kind kind() const { return kind_; }
-  [[nodiscard]] bool isNull() const { return kind_ == Kind::kNull; }
-  [[nodiscard]] bool isBool() const { return kind_ == Kind::kBool; }
-  [[nodiscard]] bool isNumber() const { return kind_ == Kind::kNumber; }
-  [[nodiscard]] bool isString() const { return kind_ == Kind::kString; }
-  [[nodiscard]] bool isArray() const { return kind_ == Kind::kArray; }
-  [[nodiscard]] bool isObject() const { return kind_ == Kind::kObject; }
-
-  /// Value accessors return the neutral element on kind mismatch; protocol
-  /// handlers validate kinds explicitly before trusting a field.
-  [[nodiscard]] bool asBool() const { return isBool() && bool_; }
-  [[nodiscard]] double asNumber() const { return isNumber() ? num_ : 0.0; }
-  [[nodiscard]] const std::string& asString() const { return str_; }
-
-  [[nodiscard]] const std::vector<JsonValue>& items() const { return arr_; }
-  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
-  members() const {
-    return obj_;
-  }
-
-  /// Object lookup; nullptr when absent or not an object.
-  [[nodiscard]] const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : obj_) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-
-  /// Appends/overwrites an object member (insertion order preserved).
-  void set(std::string key, JsonValue value);
-  /// Appends an array element.
-  void push(JsonValue value) { arr_.push_back(std::move(value)); }
-
-  // Typed member helpers with defaults (object receivers only).
-  [[nodiscard]] std::string getString(std::string_view key,
-                                      std::string def = "") const;
-  [[nodiscard]] double getNumber(std::string_view key, double def = 0) const;
-  [[nodiscard]] bool getBool(std::string_view key, bool def = false) const;
-
- private:
-  Kind kind_ = Kind::kNull;
-  bool bool_ = false;
-  double num_ = 0.0;
-  std::string str_;
-  std::vector<JsonValue> arr_;
-  std::vector<std::pair<std::string, JsonValue>> obj_;
-};
-
-struct JsonLimits {
-  /// Maximum container nesting; deeper input is rejected (kInvalidInput)
-  /// instead of recursing without bound on attacker-controlled lines.
-  std::size_t maxDepth = 16;
-};
-
-/// Parses one complete JSON value; trailing non-whitespace is an error.
-StatusOr<JsonValue> parseJson(std::string_view text,
-                              const JsonLimits& limits = {});
-
-/// Compact single-line serialization (no trailing newline). Doubles that
-/// are integral in [-2^53, 2^53] print without an exponent/fraction, so
-/// ids round-trip exactly; non-finite numbers serialize as null.
-std::string writeJson(const JsonValue& v);
+using ep::JsonLimits;
+using ep::JsonValue;
+using ep::parseJson;
+using ep::writeJson;
 
 }  // namespace ep::serve

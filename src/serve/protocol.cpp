@@ -239,6 +239,7 @@ JsonValue outcomeToJson(const JobOutcome& out) {
   if (out.peakBytes > 0) {
     v.set("peak_bytes", JsonValue::number(static_cast<double>(out.peakBytes)));
   }
+  if (!out.record.isNull()) v.set("record", out.record);
   return v;
 }
 
@@ -271,6 +272,12 @@ Status outcomeFromJson(const JsonValue& v, JobOutcome* out) {
     if (!toU64(*pb, &out->peakBytes)) {
       return Status::invalidInput("outcome.peak_bytes malformed");
     }
+  }
+  if (const JsonValue* rec = v.find("record")) {
+    if (!rec->isObject()) {
+      return Status::invalidInput("outcome.record must be an object");
+    }
+    out->record = *rec;
   }
   return Status::okStatus();
 }

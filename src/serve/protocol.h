@@ -91,6 +91,11 @@ struct JobOutcome {
   /// High-water mark of the session's budget-metered bytes (view/CSR +
   /// arena + checkpoints + bin grid); reported even for uncapped jobs.
   std::uint64_t peakBytes = 0;
+  /// Structured run record (util/run_record.h) of the completed placement,
+  /// as JSON; null when the job never produced a placement. Round-trips
+  /// through the result message and the results journal, so watch clients
+  /// and `result` pollers both see it.
+  JsonValue record;
 };
 
 struct Request {

@@ -119,6 +119,12 @@ class RuntimeContext {
   /// Rng is not synchronized).
   [[nodiscard]] std::uint64_t nextSeed() { return rng_.next(); }
 
+  /// The root seed this context was constructed with (recorded in run
+  /// records so a baseline is reproducible from the record alone).
+  [[nodiscard]] std::uint64_t seed() const { return opt_.seed; }
+  /// Worker-thread cap the pool was built with.
+  [[nodiscard]] int threadCount() const { return pool_.threads(); }
+
   /// Seconds since construction.
   [[nodiscard]] double elapsedSeconds() const { return clock_.seconds(); }
   /// Seconds until the wall-clock deadline; +inf when no budget is set.

@@ -1,10 +1,10 @@
-#include "serve/jsonlite.h"
+#include "util/jsonlite.h"
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-namespace ep::serve {
+namespace ep {
 
 void JsonValue::set(std::string key, JsonValue value) {
   kind_ = Kind::kObject;
@@ -363,4 +363,4 @@ std::string writeJson(const JsonValue& v) {
   return out;
 }
 
-}  // namespace ep::serve
+}  // namespace ep

@@ -1,0 +1,147 @@
+// ep::RunRecord — one structured, machine-readable record per placement.
+//
+// The paper's headline claims are quantitative (HPWL, overflow trajectory,
+// per-stage runtime), so every supervised run emits one JSON document
+// capturing what actually happened: netlist fingerprint, seed, thread
+// count, per-stage {wall_ms, iterations, HPWL, overflow, retries,
+// recoveries, rollbacks, snapshots}, final quality metrics, the context
+// stats-registry dump, arena growth events and peak accounted bytes.
+// Records are written durably via ep::io (CLI --record-out), attached to
+// serve job outcomes, and accumulated under bench_results/ by bench and
+// loadgen runs.
+//
+// On top of the record sits the regression gate (compareRunRecords +
+// tools/eplace_regress + ctest -L regression): deterministic fields —
+// HPWL bits, iterations, overflow, retry/rollback counts at fixed
+// seed/threads, which are bit-stable by the PR 3 determinism contract —
+// must match a committed baseline exactly; wall-clock fields are compared
+// as the median of N candidate runs against an upper percentage band, so
+// scheduler noise cannot flake the gate while a real 2x slowdown fails it.
+// Resource figures (peak_bytes, arena growth) are recorded but not gated;
+// they move legitimately with unrelated refactors.
+//
+// This header is layer-pure: util only (jsonlite + io + status). The
+// builder that knows about PlacementDB/FlowResult lives in the eplace
+// layer (supervisor.h: buildRunRecord).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/jsonlite.h"
+#include "util/status.h"
+
+namespace ep {
+
+class FaultInjector;
+
+/// IEEE-754 bit pattern as "0x%016x" — the exact-compare form for doubles.
+/// JSON numbers round-trip through %.17g, but the hex form makes bit
+/// equality auditable in diffs and independent of printf/strtod quality.
+std::string hexBits64(std::uint64_t bits);
+bool parseHexBits64(const std::string& s, std::uint64_t* out);
+
+/// Doubles <-> bit patterns for the *_bits record fields.
+std::uint64_t doubleBits(double v);
+double bitsToDouble(std::uint64_t bits);
+
+struct StageRecord {
+  std::string stage;            ///< "mIP", "mGP", "mLG", "cGP", "cDP"
+  bool ran = false;             ///< false: skipped (kept for schema shape)
+  double wallMs = 0.0;          ///< stage wall time, milliseconds (noisy)
+  long iterations = 0;          ///< optimizer iterations (0 for non-GP)
+  double hpwl = 0.0;            ///< HPWL after the stage
+  std::uint64_t hpwlBits = 0;   ///< bit pattern of `hpwl`
+  double overflow = 0.0;        ///< density overflow after the stage
+  int retries = 0;              ///< supervisor re-attempts (attempts - 1)
+  int recoveries = 0;           ///< in-stage numerical recoveries
+  int rollbacks = 0;            ///< result-discard restores
+  int snapshots = 0;            ///< boundary snapshots written after stage
+};
+
+struct RunRecord {
+  static constexpr int kSchemaVersion = 1;
+
+  int schemaVersion = kSchemaVersion;
+  std::string name;             ///< design / job name
+  std::uint64_t fingerprint = 0;  ///< netlistFingerprint() of the input
+  std::uint64_t seed = 0;
+  int threads = 1;
+  bool supervised = false;
+  std::vector<StageRecord> stages;
+
+  // Final quality.
+  double finalHpwl = 0.0;
+  std::uint64_t finalHpwlBits = 0;
+  double finalScaledHpwl = 0.0;
+  double finalOverflow = 0.0;
+  bool legal = false;
+
+  // Wall clock + resources (recorded, not gated).
+  double totalSeconds = 0.0;
+  std::uint64_t peakBytes = 0;
+  long arenaGrowthEvents = 0;
+  int snapshotsWritten = 0;
+
+  std::string status = "Ok";    ///< StatusCode wire name
+  /// Context stats-registry dump (sorted by key; deterministic order).
+  std::vector<std::pair<std::string, double>> stats;
+};
+
+/// Serialization. toJson always emits every schema field (skipped stages
+/// included), so fromJson can be strict: a missing or unknown field is a
+/// typed kInvalidInput naming the field — schema drift is caught at parse
+/// time, before the gate ever compares values.
+JsonValue runRecordToJson(const RunRecord& rec);
+Status runRecordFromJson(const JsonValue& v, RunRecord* out);
+std::string writeRunRecord(const RunRecord& rec);
+StatusOr<RunRecord> parseRunRecord(std::string_view text);
+
+/// Durable file forms (tmp + fsync + rename via ep::io).
+Status writeRunRecordFile(const std::string& path, const RunRecord& rec,
+                          FaultInjector* faults = nullptr);
+StatusOr<RunRecord> readRunRecordFile(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------------
+
+struct RegressPolicy {
+  /// Upper band for wall-clock fields: median(candidates) must be
+  /// <= baseline * (1 + wallBandFrac). One-sided — getting faster passes.
+  double wallBandFrac = 0.50;
+  /// Compare wall-clock fields at all. Off for cross-machine runs where
+  /// only the deterministic quality fields are meaningful.
+  bool checkWall = true;
+  /// Wall measurements below this floor (ms) are pure scheduler noise and
+  /// are never gated.
+  double minWallMs = 20.0;
+};
+
+struct RegressDiff {
+  std::string field;      ///< e.g. "stages[mGP].hpwl_bits"
+  std::string baseline;   ///< rendered baseline value
+  std::string candidate;  ///< rendered candidate value
+  bool fatal = true;      ///< false: informational only
+};
+
+struct RegressResult {
+  bool pass = true;
+  std::vector<RegressDiff> diffs;
+  /// Human-readable field-level report, one line per diff.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Diffs candidate records against a baseline. Preconditions (fingerprint,
+/// seed, threads, schema version, stage list) must match or the result is
+/// an immediate fatal "incomparable" diff. Deterministic fields must be
+/// identical across *all* candidates and equal to the baseline bit-for-bit;
+/// wall-clock fields compare median(candidates) against the banded
+/// baseline. `candidates` must be non-empty.
+RegressResult compareRunRecords(const RunRecord& baseline,
+                                const std::vector<RunRecord>& candidates,
+                                const RegressPolicy& policy = {});
+
+}  // namespace ep

@@ -27,6 +27,7 @@
 #include "serve/journal.h"
 #include "serve/protocol.h"
 #include "util/fault_injector.h"
+#include "util/run_record.h"
 #include "util/status.h"
 
 namespace fs = std::filesystem;
@@ -122,6 +123,16 @@ TEST_F(ServeDaemonTest, SubmitWaitBitExactVsSolo) {
   EXPECT_EQ(out2->hpwlBits, solo);
   EXPECT_GT(out1->wallSeconds, 0.0);
   EXPECT_FALSE(out1->resumed);
+
+  // Every successful outcome carries a schema-valid RunRecord that survived
+  // the wire round-trip; its deterministic fields agree with the outcome.
+  ASSERT_TRUE(out1->record.isObject());
+  RunRecord rec;
+  const Status recSt = runRecordFromJson(out1->record, &rec);
+  ASSERT_TRUE(recSt.ok()) << recSt.toString();
+  EXPECT_EQ(rec.name, "a");
+  EXPECT_EQ(rec.finalHpwlBits, solo);
+  EXPECT_TRUE(rec.supervised);  // daemon jobs run under the supervisor
 
   daemon.requestShutdown();
   daemon.wait();

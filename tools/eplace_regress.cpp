@@ -1,0 +1,119 @@
+// eplace_regress — noise-aware quality/perf regression gate over RunRecords.
+//
+// Diffs one or more candidate run records (produced by eplace_cli
+// --record-out, the serve daemon, or bench runs) against a committed
+// baseline. Deterministic fields (HPWL bits, iterations, overflow, retry and
+// rollback counts at fixed seed/threads) must match bit-for-bit; wall-clock
+// fields compare the median of the candidates against a one-sided percentage
+// band so scheduler noise cannot flake the gate while a real slowdown still
+// fails it.
+//
+// Usage:
+//   eplace_regress --baseline tests/baselines/cli_demo.json
+//                  --candidate run1.json [--candidate run2.json ...]
+//                  [--wall-band 0.5] [--min-wall-ms 20] [--no-wall]
+//                  [--update]
+//
+// Exit codes: 0 gate passed, 1 gate failed, 2 usage / I/O error.
+//
+// --update (or EP_UPDATE_BASELINES=1 in the environment) rewrites the
+// baseline from the first candidate instead of comparing — the same
+// regeneration workflow as the goldens (EP_UPDATE_GOLDENS).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/run_record.h"
+#include "util/status.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline <file> --candidate <file> "
+               "[--candidate <file> ...]\n"
+               "          [--wall-band <frac>] [--min-wall-ms <ms>] "
+               "[--no-wall] [--update]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baselinePath;
+  std::vector<std::string> candidatePaths;
+  ep::RegressPolicy policy;
+  bool update = false;
+  if (const char* env = std::getenv("EP_UPDATE_BASELINES");
+      env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0') {
+    update = true;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baselinePath = argv[++i];
+    } else if (arg == "--candidate" && i + 1 < argc) {
+      candidatePaths.emplace_back(argv[++i]);
+    } else if (arg == "--wall-band" && i + 1 < argc) {
+      policy.wallBandFrac = std::atof(argv[++i]);
+    } else if (arg == "--min-wall-ms" && i + 1 < argc) {
+      policy.minWallMs = std::atof(argv[++i]);
+    } else if (arg == "--no-wall") {
+      policy.checkWall = false;
+    } else if (arg == "--update") {
+      update = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (baselinePath.empty() || candidatePaths.empty()) return usage(argv[0]);
+
+  std::vector<ep::RunRecord> candidates;
+  candidates.reserve(candidatePaths.size());
+  for (const std::string& path : candidatePaths) {
+    ep::StatusOr<ep::RunRecord> rec = ep::readRunRecordFile(path);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "candidate %s: %s\n", path.c_str(),
+                   rec.status().toString().c_str());
+      return 2;
+    }
+    candidates.push_back(std::move(rec).value());
+  }
+
+  if (update) {
+    const ep::Status wr = ep::writeRunRecordFile(baselinePath, candidates[0]);
+    if (!wr.ok()) {
+      std::fprintf(stderr, "baseline update %s: %s\n", baselinePath.c_str(),
+                   wr.toString().c_str());
+      return 2;
+    }
+    std::printf("baseline updated: %s (from %s)\n", baselinePath.c_str(),
+                candidatePaths[0].c_str());
+    return 0;
+  }
+
+  ep::StatusOr<ep::RunRecord> baseline = ep::readRunRecordFile(baselinePath);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline %s: %s\n", baselinePath.c_str(),
+                 baseline.status().toString().c_str());
+    return 2;
+  }
+
+  const ep::RegressResult res =
+      ep::compareRunRecords(baseline.value(), candidates, policy);
+  const std::string report = res.summary();
+  if (!report.empty()) std::fputs(report.c_str(), stdout);
+  if (res.pass) {
+    std::printf("regression gate PASSED: %s vs %zu candidate run(s)\n",
+                baselinePath.c_str(), candidates.size());
+    return 0;
+  }
+  std::printf("regression gate FAILED: %s vs %zu candidate run(s)\n",
+              baselinePath.c_str(), candidates.size());
+  return 1;
+}
