@@ -44,6 +44,7 @@
 #include "eplace/supervisor.h"
 #include "eval/metrics.h"
 #include "gen/generator.h"
+#include "gen/suites.h"
 #include "qp/initial_place.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
@@ -362,6 +363,76 @@ int main(int argc, char** argv) {
     fs::remove(sopt.socketPath);
   }
 
+  // --- scale sweep: flat vs multilevel supervised flow, 1k -> 100k ----------
+  // The rows behind docs/SCALING.md: wall seconds and accounted peak bytes
+  // per cell count for the flat mGP path and the multilevel V-cycle. A
+  // fresh RuntimeContext per run keeps the MemoryBudget peak per-run (RSS
+  // is process-cumulative and useless here). At 1k the ladder does not
+  // engage (minMovable floor), so that row doubles as an overhead check.
+  struct ScaleRow {
+    std::size_t cells;
+    double seconds[2];           // [flat, multilevel]
+    std::uint64_t peakBytes[2];
+    double hpwl[2];
+    std::size_t levels[2];
+  };
+  std::vector<ScaleRow> scaleRows;
+  {
+    const std::vector<const char*> sweep =
+        smoke ? std::vector<const char*>{"scale_1k"}
+              : std::vector<const char*>{"scale_1k", "scale_10k",
+                                         "scale_100k"};
+    for (const char* name : sweep) {
+      const GenSpec sspec = suiteSpec(name);
+      ScaleRow row{};
+      row.cells = sspec.numCells;
+      for (int ml = 0; ml < 2; ++ml) {
+        RuntimeContext ctx(4);
+        PlacementDB run = generateCircuit(sspec);
+        SupervisorConfig sup;
+        sup.multilevel.enabled = ml == 1;
+        sup.multilevel.minMovable = 5000;
+        FlowConfig scfg;
+        if (smoke) {
+          scfg.gp.maxIterations = 1;
+          scfg.gp.minIterations = 0;
+          scfg.runDetail = false;
+        }
+        Timer st;
+        const auto res = runSupervisedFlow(run, scfg, sup, nullptr, &ctx);
+        row.seconds[ml] = st.seconds();
+        row.peakBytes[ml] = ctx.memory().peakBytes();
+        if (res.ok()) {
+          row.hpwl[ml] = res->finalHpwl;
+          row.levels[ml] = res->mgpLevels.size();
+          const RunRecord rec = buildRunRecord(run, *res, nullptr, &ctx);
+          const Status wr = writeRunRecordFile(
+              std::string("bench_results/hotpaths_scale_") +
+                  std::to_string(row.cells) + (ml ? "_ml" : "_flat") +
+                  ".json",
+              rec);
+          if (!wr.ok()) {
+            std::fprintf(stderr, "record write failed: %s\n",
+                         wr.toString().c_str());
+          }
+        } else {
+          std::fprintf(stderr, "%s %s failed: %s\n", name,
+                       ml ? "multilevel" : "flat",
+                       res.status().toString().c_str());
+        }
+        std::printf("scale %zu cells %s: %.1fs, %.0f MiB accounted, "
+                    "%zu coarse levels\n",
+                    row.cells, ml ? "multilevel" : "flat", row.seconds[ml],
+                    static_cast<double>(row.peakBytes[ml]) / (1 << 20),
+                    row.levels[ml]);
+      }
+      scaleRows.push_back(row);
+    }
+  }
+  // Retention: bench runs accumulate one record per thread count plus two
+  // per sweep size; rotate oldest-first (lexicographic names) past 32.
+  pruneRecordFiles("bench_results", "hotpaths", 32);
+
   // --- emit JSON (shared jsonlite writer: escaping and NaN/Inf handling
   // live in one place, and the output is parseable by the same codec the
   // regression tooling uses) -------------------------------------------------
@@ -416,6 +487,28 @@ int main(int argc, char** argv) {
     s.set("seconds_per_job", JsonValue::number(serveSecondsPerJob));
     s.set("ok", JsonValue::boolean(serveOk));
     root.set("serve_roundtrip", std::move(s));
+  }
+  {
+    JsonValue secs = JsonValue::array();
+    JsonValue rss = JsonValue::array();
+    for (const auto& r : scaleRows) {
+      JsonValue srow = JsonValue::object();
+      srow.set("cells", JsonValue::number(static_cast<double>(r.cells)));
+      srow.set("flat_seconds", JsonValue::number(r.seconds[0]));
+      srow.set("multilevel_seconds", JsonValue::number(r.seconds[1]));
+      srow.set("multilevel_levels",
+               JsonValue::number(static_cast<double>(r.levels[1])));
+      secs.push(std::move(srow));
+      JsonValue rrow = JsonValue::object();
+      rrow.set("cells", JsonValue::number(static_cast<double>(r.cells)));
+      rrow.set("flat_peak_bytes",
+               JsonValue::number(static_cast<double>(r.peakBytes[0])));
+      rrow.set("multilevel_peak_bytes",
+               JsonValue::number(static_cast<double>(r.peakBytes[1])));
+      rss.push(std::move(rrow));
+    }
+    root.set("cells_vs_seconds", std::move(secs));
+    root.set("cells_vs_peak_rss", std::move(rss));
   }
   {
     // Baselines for the overhead ratio: the unbudgeted 1-thread rows of

@@ -18,6 +18,9 @@
 //                            (implies --supervised)
 //     --stage-budget <sec>   per-stage wall budget for the supervisor
 //     --stage-attempts <n>   per-stage retry cap for the supervisor
+//     --multilevel           multilevel V-cycle mGP for large designs
+//                            (implies --supervised; docs/SCALING.md)
+//     --ml-min-movable <n>   movable-count threshold to engage the ladder
 //     --inject <site=kind@tick[xN]>  arm the fault injector, e.g.
 //                            nesterov.grad=nan@40, fft.forward=spike@3,
 //                            bookshelf.line=trunc@10x-1 (N=-1: every pass)
@@ -43,6 +46,7 @@
 // With no arguments it demonstrates the full loop on a generated circuit:
 // write Bookshelf, read it back, place, and emit the placed .pl — i.e. the
 // exact workflow for running the genuine ISPD 2005/2006/MMS releases.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -220,6 +224,20 @@ int main(int argc, char** argv) {
       sup.mlg.maxAttempts = attempts;
       sup.cgp.maxAttempts = attempts;
       sup.cdp.maxAttempts = attempts;
+      supervised = true;
+    } else if (a == "--multilevel") {
+      sup.multilevel.enabled = true;
+      supervised = true;
+    } else if (a == "--ml-min-movable" && i + 1 < argc) {
+      sup.multilevel.minMovable =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+      // Lowering the engage threshold below the ladder's coarsening floor
+      // would silently build zero levels; drag the floor down with it
+      // (never up) so the flag works on small designs too.
+      sup.multilevel.cluster.minMovable =
+          std::min(sup.multilevel.cluster.minMovable,
+                   std::max<std::size_t>(sup.multilevel.minMovable / 2, 64));
+      sup.multilevel.enabled = true;
       supervised = true;
     } else if (a == "--inject" && i + 1 < argc) {
       std::string site;

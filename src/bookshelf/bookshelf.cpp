@@ -1,6 +1,7 @@
 #include "bookshelf/bookshelf.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -9,11 +10,14 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 
+#include "model/capacity.h"
 #include "util/context.h"
 #include "util/fault_injector.h"
 #include "util/log.h"
+#include "util/memory_budget.h"
 
 namespace ep {
 
@@ -78,61 +82,279 @@ Status ioFail(RuntimeContext& rc, const std::string& msg) {
 }
 
 /// Splits "Key : v1 v2" into tokens with ':' treated as whitespace.
-std::vector<std::string> tokens(const std::string& line) {
-  std::string s = line;
-  std::replace(s.begin(), s.end(), ':', ' ');
-  std::istringstream iss(s);
-  std::vector<std::string> out;
-  std::string t;
-  while (iss >> t) out.push_back(t);
-  return out;
+/// Zero-allocation: the views alias the caller's line buffer (valid until
+/// the next LineScanner::next), and `out` is reused across lines — at
+/// 100k+ cells the per-line istringstream of the old tokenizer dominated
+/// parse time.
+void splitTokens(std::string_view line, std::vector<std::string_view>& out) {
+  out.clear();
+  const auto isDelim = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ':';
+  };
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && isDelim(line[i])) ++i;
+    const std::size_t b = i;
+    while (i < line.size() && !isDelim(line[i])) ++i;
+    if (i > b) out.push_back(line.substr(b, i - b));
+  }
 }
 
-/// strtod with a full-consumption check — "12abc" and "abc" both fail.
-bool parseNum(const std::string& tok, double& out) {
+/// from_chars with a full-consumption check — "12abc" and "abc" both fail.
+/// (strtod was the other per-line hot spot: it walks the locale and
+/// requires a NUL-terminated copy.)
+bool parseNum(std::string_view tok, double& out) {
+  if (!tok.empty() && tok.front() == '+') tok.remove_prefix(1);
   if (tok.empty()) return false;
-  char* end = nullptr;
-  out = std::strtod(tok.c_str(), &end);
-  return end == tok.c_str() + tok.size() && std::isfinite(out);
+  const char* b = tok.data();
+  const char* e = b + tok.size();
+  const auto [p, ec] = std::from_chars(b, e, out);
+  return ec == std::errc() && p == e && std::isfinite(out);
 }
 
-bool parseCount(const std::string& tok, long& out) {
+bool parseCount(std::string_view tok, long& out) {
   double d = 0.0;
   if (!parseNum(tok, d) || d < 0.0 || d != std::floor(d)) return false;
   out = static_cast<long>(d);
   return true;
 }
 
+/// Heterogeneous-lookup name map: find(string_view) without a temporary
+/// std::string per pin line.
+struct SvHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct SvEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+using NameMap = std::unordered_map<std::string, std::int32_t, SvHash, SvEq>;
+
+/// The resolved .aux file list.
+struct AuxFiles {
+  std::string dir;
+  std::string nodes, nets, pl, scl, wts;
+};
+
+Status resolveAux(const std::string& auxPath, AuxFiles& files,
+                  RuntimeContext& rc) {
+  std::ifstream aux(auxPath);
+  if (!aux) return ioFail(rc, "cannot open " + auxPath);
+  std::string line;
+  std::vector<std::string_view> t;
+  // Plain getline, not LineScanner: the counting pass must never consume
+  // "bookshelf.line" fault events — those belong to the fill pass, and the
+  // injector's event sequence has to match a non-counting read exactly.
+  while (std::getline(aux, line)) {
+    std::string_view sv(line);
+    if (const auto hash = sv.find('#'); hash != std::string_view::npos) {
+      sv = sv.substr(0, hash);
+    }
+    splitTokens(sv, t);
+    for (const auto tok : t) {
+      auto ends = [&](std::string_view suffix) {
+        return tok.size() > suffix.size() &&
+               tok.substr(tok.size() - suffix.size()) == suffix;
+      };
+      if (ends(".nodes")) files.nodes = std::string(tok);
+      if (ends(".nets")) files.nets = std::string(tok);
+      if (ends(".pl")) files.pl = std::string(tok);
+      if (ends(".scl")) files.scl = std::string(tok);
+      if (ends(".wts")) files.wts = std::string(tok);
+    }
+  }
+  if (files.nodes.empty() || files.nets.empty() || files.pl.empty()) {
+    rc.log().warn("bookshelf: %s lists no nodes/nets/pl", auxPath.c_str());
+    return Status::invalidInput(auxPath + " lists no nodes/nets/pl");
+  }
+  files.dir = dirOf(auxPath) + "/";
+  return {};
+}
+
+/// Counting pass over one file: returns the declared header count when
+/// `headerKey` is found, otherwise counts data lines accepted by
+/// `isData(t)`. Plain getline (no fault sites — counting is advisory and
+/// must not consume injector events meant for the fill pass).
+template <typename IsData>
+Status countFile(const std::string& path, std::string_view headerKey,
+                 IsData&& isData, std::size_t* count, bool* declared,
+                 RuntimeContext& rc) {
+  std::ifstream in(path);
+  if (!in) return ioFail(rc, "cannot open " + path);
+  std::string line;
+  std::vector<std::string_view> t;
+  std::size_t counted = 0;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    std::string_view sv(line);
+    if (hash != std::string_view::npos) sv = sv.substr(0, hash);
+    splitTokens(sv, t);
+    if (t.empty()) continue;
+    if (t[0] == headerKey) {
+      long v = 0;
+      if (t.size() >= 2 && parseCount(t[1], v)) {
+        *count = static_cast<std::size_t>(v);
+        *declared = true;
+        return {};  // headers precede data; stop reading
+      }
+      // Malformed header: fall through to counting; the fill pass will
+      // report the precise file:line error.
+    }
+    if (isData(t)) ++counted;
+  }
+  *count = counted;
+  *declared = false;
+  return {};
+}
+
+/// .nets needs two counts (nets + pins) in one pass; stop early only when
+/// both headers have been seen.
+Status countNetsFile(const std::string& path, std::size_t* nets,
+                     std::size_t* pins, bool* declared, RuntimeContext& rc) {
+  std::ifstream in(path);
+  if (!in) return ioFail(rc, "cannot open " + path);
+  std::string line;
+  std::vector<std::string_view> t;
+  std::size_t countedNets = 0;
+  std::size_t countedPins = 0;
+  long declaredNets = -1;
+  long declaredPins = -1;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    std::string_view sv(line);
+    if (hash != std::string_view::npos) sv = sv.substr(0, hash);
+    splitTokens(sv, t);
+    if (t.empty()) continue;
+    if (t[0] == "NumNets" && t.size() >= 2) {
+      parseCount(t[1], declaredNets);
+    } else if (t[0] == "NumPins" && t.size() >= 2) {
+      parseCount(t[1], declaredPins);
+    } else if (t[0] == "NetDegree") {
+      ++countedNets;
+    } else if (t[0] != "UCLA") {
+      ++countedPins;
+    }
+    if (declaredNets >= 0 && declaredPins >= 0) {
+      *nets = static_cast<std::size_t>(declaredNets);
+      *pins = static_cast<std::size_t>(declaredPins);
+      *declared = true;
+      return {};
+    }
+  }
+  *nets = declaredNets >= 0 ? static_cast<std::size_t>(declaredNets)
+                            : countedNets;
+  *pins = declaredPins >= 0 ? static_cast<std::size_t>(declaredPins)
+                            : countedPins;
+  *declared = false;
+  return {};
+}
+
+StatusOr<BookshelfCounts> scanCounts(const AuxFiles& files,
+                                     RuntimeContext& rc) {
+  BookshelfCounts counts;
+  bool declNodes = false;
+  bool declNets = false;
+  bool declRows = true;  // no .scl => nothing to count
+  const Status sn = countFile(
+      files.dir + files.nodes, "NumNodes",
+      [](const std::vector<std::string_view>& t) {
+        return t[0] != "UCLA" && t[0] != "NumTerminals";
+      },
+      &counts.objects, &declNodes, rc);
+  if (!sn.ok()) return sn;
+  const Status se = countNetsFile(files.dir + files.nets, &counts.nets,
+                                  &counts.pins, &declNets, rc);
+  if (!se.ok()) return se;
+  if (!files.scl.empty()) {
+    declRows = false;
+    const Status sr = countFile(
+        files.dir + files.scl, "NumRows",
+        [](const std::vector<std::string_view>& t) {
+          return t[0] == "CoreRow";
+        },
+        &counts.rows, &declRows, rc);
+    if (!sr.ok()) return sr;
+  }
+  counts.declared = declNodes && declNets && declRows;
+  return counts;
+}
+
+StatusOr<BookshelfCounts> scanBookshelfCountsImpl(const std::string& auxPath,
+                                                  RuntimeContext& rc) {
+  AuxFiles files;
+  if (const Status s = resolveAux(auxPath, files, rc); !s.ok()) return s;
+  return scanCounts(files, rc);
+}
+
 Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
                          RuntimeContext& rc) {
   std::ifstream aux(auxPath);
   if (!aux) return ioFail(rc, "cannot open " + auxPath);
-  std::string nodesFile, netsFile, plFile, sclFile, wtsFile;
+  AuxFiles files;
   std::string line;
+  std::vector<std::string_view> t;
   {
+    // LineScanner (not resolveAux) so the aux file participates in the
+    // "bookshelf.line" fault site exactly as it always has.
     LineScanner sc(aux, auxPath, rc);
     while (sc.next(line)) {
-      for (const auto& t : tokens(line)) {
-        auto ends = [&](const char* suffix) {
-          return t.size() > std::strlen(suffix) &&
-                 t.compare(t.size() - std::strlen(suffix), std::string::npos,
-                           suffix) == 0;
+      splitTokens(line, t);
+      for (const auto tok : t) {
+        auto ends = [&](std::string_view suffix) {
+          return tok.size() > suffix.size() &&
+                 tok.substr(tok.size() - suffix.size()) == suffix;
         };
-        if (ends(".nodes")) nodesFile = t;
-        if (ends(".nets")) netsFile = t;
-        if (ends(".pl")) plFile = t;
-        if (ends(".scl")) sclFile = t;
-        if (ends(".wts")) wtsFile = t;
+        if (ends(".nodes")) files.nodes = std::string(tok);
+        if (ends(".nets")) files.nets = std::string(tok);
+        if (ends(".pl")) files.pl = std::string(tok);
+        if (ends(".scl")) files.scl = std::string(tok);
+        if (ends(".wts")) files.wts = std::string(tok);
       }
     }
   }
-  if (nodesFile.empty() || netsFile.empty() || plFile.empty()) {
+  if (files.nodes.empty() || files.nets.empty() || files.pl.empty()) {
     rc.log().warn("bookshelf: %s lists no nodes/nets/pl", auxPath.c_str());
     return Status::invalidInput(auxPath + " lists no nodes/nets/pl");
   }
-  const std::string dir = dirOf(auxPath) + "/";
+  files.dir = dirOf(auxPath) + "/";
+  const std::string& dir = files.dir;
+  const std::string& nodesFile = files.nodes;
+  const std::string& netsFile = files.nets;
+  const std::string& plFile = files.pl;
+  const std::string& sclFile = files.scl;
+  const std::string& wtsFile = files.wts;
+
+  // ---- counting pass -> capacity plan -> budget charge ----
+  // The plan is charged for the duration of assembly only (ScopedCharge):
+  // the session/serving layer owns the persistent footprint accounting, but
+  // an instance that cannot even fit its structural arrays is rejected here
+  // before any array is sized.
+  const auto countsOr = scanCounts(files, rc);
+  if (!countsOr.ok()) return countsOr.status();
+  const auto planOr = planCapacity({countsOr->objects, countsOr->nets,
+                                    countsOr->pins, countsOr->rows});
+  if (!planOr.ok()) {
+    rc.log().warn("bookshelf: %s: %s", auxPath.c_str(),
+                  planOr.status().message().c_str());
+    return Status::invalidInput(auxPath + ": " + planOr.status().message());
+  }
+  const CapacityPlan& plan = *planOr;
+  ScopedCharge assemblyCharge(rc.memory(), plan.totalBytes());
+  if (!assemblyCharge.ok()) {
+    rc.log().warn("bookshelf: %s needs ~%zu bytes, over the memory budget",
+                  auxPath.c_str(), plan.totalBytes());
+    return Status::resourceExhausted(
+        auxPath + ": instance needs ~" + std::to_string(plan.totalBytes()) +
+        " bytes of model memory, over the budget");
+  }
 
   db = PlacementDB{};
+  reserveCapacity(db, plan);
   {
     const auto slash = auxPath.find_last_of('/');
     std::string basename =
@@ -141,7 +363,8 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
     db.name = dot == std::string::npos ? basename : basename.substr(0, dot);
   }
 
-  std::unordered_map<std::string, std::int32_t> nameToObj;
+  NameMap nameToObj;
+  nameToObj.reserve(countsOr->objects);
 
   // ---- .nodes ----
   {
@@ -150,7 +373,7 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
     LineScanner sc(in, nodesFile, rc);
     long declared = -1;
     while (sc.next(line)) {
-      const auto t = tokens(line);
+      splitTokens(line, t);
       if (t.empty() || t[0] == "UCLA" || t[0] == "NumTerminals") continue;
       if (t[0] == "NumNodes") {
         if (t.size() < 2 || !parseCount(t[1], declared)) {
@@ -160,12 +383,12 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
       }
       if (t.size() < 3) return sc.fail("truncated nodes line: " + line);
       Object o;
-      o.name = t[0];
+      o.name = std::string(t[0]);
       if (!parseNum(t[1], o.w) || !parseNum(t[2], o.h)) {
         return sc.fail("non-numeric node dims: " + line);
       }
       o.fixed = t.size() > 3 && (t[3] == "terminal" || t[3] == "terminal_NI");
-      if (nameToObj.count(o.name) != 0) {
+      if (nameToObj.find(std::string_view(o.name)) != nameToObj.end()) {
         return sc.fail("duplicate node " + o.name);
       }
       nameToObj[o.name] = static_cast<std::int32_t>(db.objects.size());
@@ -189,7 +412,7 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
     std::size_t totalPins = 0;
     auto netComplete = [&]() -> bool { return cur == nullptr || remaining == 0; };
     while (sc.next(line)) {
-      const auto t = tokens(line);
+      splitTokens(line, t);
       if (t.empty() || t[0] == "UCLA") continue;
       if (t[0] == "NumNets") {
         if (t.size() < 2 || !parseCount(t[1], declaredNets)) {
@@ -216,8 +439,10 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
         }
         if (degree == 0) return sc.fail("net with zero pins: " + line);
         Net net;
-        net.name = t.size() > 2 ? t[2] : ("net" + std::to_string(db.nets.size()));
+        net.name = t.size() > 2 ? std::string(t[2])
+                                : ("net" + std::to_string(db.nets.size()));
         remaining = static_cast<std::size_t>(degree);
+        net.pins.reserve(remaining);  // sole per-net allocation
         db.nets.push_back(std::move(net));
         cur = &db.nets.back();
         continue;
@@ -227,7 +452,7 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
       }
       const auto it = nameToObj.find(t[0]);
       if (it == nameToObj.end()) {
-        return sc.fail("unknown node in net: " + t[0]);
+        return sc.fail("unknown node in net: " + std::string(t[0]));
       }
       PinRef pin;
       pin.obj = it->second;
@@ -270,12 +495,13 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
     std::ifstream in(dir + wtsFile);
     if (in) {
       LineScanner sc(in, wtsFile, rc);
-      std::unordered_map<std::string, std::size_t> netIdx;
+      std::unordered_map<std::string, std::size_t, SvHash, SvEq> netIdx;
+      netIdx.reserve(db.nets.size());
       for (std::size_t i = 0; i < db.nets.size(); ++i) {
         netIdx[db.nets[i].name] = i;
       }
       while (sc.next(line)) {
-        const auto t = tokens(line);
+        splitTokens(line, t);
         if (t.size() >= 2) {
           const auto it = netIdx.find(t[0]);
           if (it == netIdx.end()) continue;
@@ -295,7 +521,7 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
     if (!in) return ioFail(rc, "cannot open " + plFile);
     LineScanner sc(in, plFile, rc);
     while (sc.next(line)) {
-      const auto t = tokens(line);
+      splitTokens(line, t);
       if (t.empty() || t[0] == "UCLA") continue;
       if (t.size() < 3) continue;
       const auto it = nameToObj.find(t[0]);
@@ -319,11 +545,11 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
     LineScanner sc(in, sclFile, rc);
     Row row;
     bool inRow = false;
-    auto rowNum = [&](const std::string& tok, double& out) -> bool {
+    auto rowNum = [&](std::string_view tok, double& out) -> bool {
       return parseNum(tok, out);
     };
     while (sc.next(line)) {
-      const auto t = tokens(line);
+      splitTokens(line, t);
       if (t.empty()) continue;
       if (t[0] == "CoreRow") {
         row = Row{};
@@ -396,6 +622,19 @@ Status readBookshelfImpl(const std::string& auxPath, PlacementDB& db,
 }
 
 }  // namespace
+
+StatusOr<BookshelfCounts> scanBookshelfCounts(const std::string& auxPath,
+                                              RuntimeContext* ctx) {
+  RuntimeContext& rc = resolveContext(ctx);
+  try {
+    return scanBookshelfCountsImpl(auxPath, rc);
+  } catch (const std::exception& e) {
+    rc.log().warn("bookshelf: count scan failed in %s: %s", auxPath.c_str(),
+                  e.what());
+    return Status::invalidInput(std::string("count scan failed in ") +
+                                auxPath + ": " + e.what());
+  }
+}
 
 Status readBookshelf(const std::string& auxPath, PlacementDB& db,
                      RuntimeContext* ctx) {

@@ -16,6 +16,15 @@
 // parse errors. Truncated files are detected against the declared
 // NumNodes/NumNets/NumPins/NetDegree counts; a corrupt file never crashes
 // the reader.
+//
+// The reader is a streaming two-pass front-end (docs/SCALING.md): a cheap
+// counting pass (scanBookshelfCounts — declared header counts when present,
+// a line count otherwise) feeds a capacity plan (model/capacity.h) that is
+// charged against the RuntimeContext MemoryBudget *before* any model array
+// is sized, then the fill pass assembles into exactly-reserved vectors. On
+// 100k+ instances peak memory is O(cells) with zero vector regrowth, and a
+// design that cannot fit a budgeted job is rejected up front with a typed
+// kResourceExhausted.
 #pragma once
 
 #include <string>
@@ -27,9 +36,35 @@ namespace ep {
 
 class RuntimeContext;
 
+/// Instance counts discovered by the counting pass. `declared` is true
+/// when every count came from a header (NumNodes/NumNets/NumPins/NumRows);
+/// false means at least one was recovered by counting lines (header-less
+/// or nonstandard file). Counts are advisory for reservation — the fill
+/// pass still validates the declared counts against reality.
+struct BookshelfCounts {
+  std::size_t objects = 0;
+  std::size_t nets = 0;
+  std::size_t pins = 0;
+  std::size_t rows = 0;
+  bool declared = false;
+};
+
+/// Counting pass: resolves the .aux file list and reads just far enough
+/// into .nodes/.nets/.scl to learn the instance counts (header-less files
+/// are counted line by line). Never touches the fault injector — the
+/// durable-I/O fault sites fire only on the fill pass — and allocates O(1)
+/// beyond a line buffer. kIo when a listed file cannot be opened.
+/// Serving uses this for capacity-estimated admission of Bookshelf jobs.
+StatusOr<BookshelfCounts> scanBookshelfCounts(const std::string& auxPath,
+                                              RuntimeContext* ctx = nullptr);
+
 /// Reads `<aux>` (path to the .aux file) and fills `db` (finalized).
 /// Object kinds: terminals with row-sized height stay kIo, larger ones are
 /// kMacro; movable objects taller than one row are kMacro.
+/// Runs the counting pass first and charges the resulting capacity plan
+/// against `ctx`'s MemoryBudget for the duration of assembly
+/// (kResourceExhausted when the instance cannot fit a budgeted job;
+/// kInvalidInput when counts exceed the 32-bit index space).
 /// `ctx` supplies the log sink and the "bookshelf.line" fault site;
 /// nullptr resolves to the process-default context.
 Status readBookshelf(const std::string& auxPath, PlacementDB& db,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "fft/fft.h"
+#include "util/checked_math.h"
 
 namespace ep {
 
@@ -11,6 +13,13 @@ BinGrid::BinGrid(const Rect& region, std::size_t nx, std::size_t ny)
     : region_(region), nx_(nx), ny_(ny) {
   assert(!region.empty());
   assert(nx > 0 && ny > 0);
+  // numBins() and the map indexing (iy * nx + ix) are size_t throughout,
+  // but a caller-supplied resolution must not wrap the bin count itself
+  // (32-bit overflow audit, util/checked_math.h).
+  std::size_t bins = 0;
+  if (!checkedMulSize(nx, ny, &bins) || !fitsIndex32(bins)) {
+    throw std::length_error("BinGrid: bin count overflows the index space");
+  }
   dx_ = region.width() / static_cast<double>(nx);
   dy_ = region.height() / static_cast<double>(ny);
 }

@@ -52,8 +52,21 @@ struct StageMetrics {
   bool ran = false;
 };
 
+/// One coarse level of the multilevel V-cycle (supervised flow only):
+/// "mGP@L<level>" rows in the run record. Level indices count down toward
+/// the flat netlist — the coarsest level has the highest index, level 0 is
+/// the last clustered level before flat mGP refinement.
+struct LevelMetrics {
+  int level = 0;
+  std::size_t clusters = 0;  ///< movable objects in the clustered instance
+  StageMetrics metrics;
+};
+
 struct FlowResult {
   StageMetrics mip, mgp, mlg, cgp, cdp;
+  /// Coarse V-cycle levels run before flat mGP, coarsest first. Empty for
+  /// flat (non-multilevel) runs, so existing records are unchanged.
+  std::vector<LevelMetrics> mgpLevels;
   double finalHpwl = 0.0;
   double finalScaledHpwl = 0.0;
   LegalityReport legality;

@@ -180,12 +180,21 @@ struct ResumeData {
   std::uint64_t rng[4] = {};
   bool hasGp = false;
   GpCheckpointState gp;
+  /// Multilevel cursor: the ladder level the run was inside (-1 = flat
+  /// mGP or not in mGP). When >= 0 the "mlevel" section carries that
+  /// level's positions (and fillers for mid-level optimizer snapshots);
+  /// the ladder itself is rebuilt deterministically, never serialized.
+  int mgpLevel = -1;
+  std::vector<double> levelPositions;
+  FillerSet levelFillers;
 };
 
 SnapshotData buildSnapshot(PlacementDB& db, const FlowState& st,
                            FlowStage next, bool macrosFrozen,
                            const Rng& jitter, const GpCheckpointState* gp,
-                           int poolThreads) {
+                           int poolThreads, int mgpLevel,
+                           PlacementDB* levelDb,
+                           const FillerSet* levelFillers) {
   SnapshotData snap;
   {
     ByteWriter w;
@@ -204,7 +213,18 @@ SnapshotData buildSnapshot(PlacementDB& db, const FlowState& st,
     putMetrics(w, st.res.mlg);
     putMetrics(w, st.res.cgp);
     putMetrics(w, st.res.cdp);
+    w.i32(mgpLevel);  // trailing field; absent in pre-multilevel snapshots
     snap.add("meta", w.take());
+  }
+  if (mgpLevel >= 0 && levelDb != nullptr) {
+    ByteWriter w;
+    w.i32(mgpLevel);
+    w.doubles(capturePositions(*levelDb));
+    w.f64(levelFillers->w);
+    w.f64(levelFillers->h);
+    w.doubles(levelFillers->cx);
+    w.doubles(levelFillers->cy);
+    snap.add("mlevel", w.take());
   }
   {
     ByteWriter w;
@@ -275,6 +295,8 @@ Status decodeSnapshot(const SnapshotData& snap, const PlacementDB& db,
     rd.mlg = getMetrics(r);
     rd.cgp = getMetrics(r);
     rd.cdp = getMetrics(r);
+    // Pre-multilevel snapshots end here; treat the missing field as "flat".
+    rd.mgpLevel = r.remaining() >= sizeof(std::int32_t) ? r.i32() : -1;
     if (!r.ok()) return Status::invalidInput("snapshot meta truncated");
     if (next > static_cast<std::uint8_t>(FlowStage::kDone)) {
       return Status::invalidInput("snapshot stage cursor out of range");
@@ -322,6 +344,28 @@ Status decodeSnapshot(const SnapshotData& snap, const PlacementDB& db,
     for (auto& word : rd.rng) word = r.u64();
     if (!r.ok()) return Status::invalidInput("snapshot rng malformed");
   }
+  if (rd.mgpLevel >= 0) {
+    const auto* ml = snap.find("mlevel");
+    if (ml == nullptr) {
+      return Status::invalidInput("snapshot level cursor without mlevel");
+    }
+    ByteReader r(*ml);
+    const std::int32_t lvl = r.i32();
+    rd.levelPositions = r.doubles();
+    rd.levelFillers.w = r.f64();
+    rd.levelFillers.h = r.f64();
+    rd.levelFillers.cx = r.doubles();
+    rd.levelFillers.cy = r.doubles();
+    if (!r.ok() || lvl != rd.mgpLevel || rd.levelPositions.empty() ||
+        rd.levelFillers.cx.size() != rd.levelFillers.cy.size()) {
+      return Status::invalidInput("snapshot mlevel section malformed");
+    }
+    for (const double v : rd.levelPositions) {
+      if (!std::isfinite(v)) {
+        return Status::invalidInput("snapshot level positions non-finite");
+      }
+    }
+  }
   if (const auto* opt = snap.find("optimizer")) {
     ByteReader r(*opt);
     rd.gp.opt.u = r.doubles();
@@ -364,6 +408,19 @@ struct Supervisor {
   GpCheckpointState resumeGp;
   bool hasResumeGp = false;
   FlowStage resumeGpStage = FlowStage::kMgp;
+  /// Multilevel V-cycle state. The ladder is rebuilt deterministically on
+  /// resume (coarsening depends only on the netlist, geometry, and the
+  /// restored positions), so it is never serialized.
+  ClusterLadder ladder;
+  bool ladderBuilt = false;
+  int resumeGpLevel = -1;  ///< ladder level owning resumeGp (-1 = flat mGP)
+  int resumeLevel = -1;    ///< ladder level to continue at (-1 = none)
+  std::vector<double> resumeLevelPositions;
+  FillerSet resumeLevelFillers;
+  /// Level currently running/checkpointing (drives the "mlevel" section).
+  int curLevel = -1;
+  PlacementDB* curLevelDb = nullptr;
+  FillerSet curLevelFillers;
   /// Checkpoint retention; starts at sup.keepSnapshots and is reduced to 1
   /// when a memory-budget retry needs headroom (degraded retention).
   int keepSnapshots;
@@ -408,6 +465,10 @@ struct Supervisor {
     std::size_t b = 2 * db.objects.size() * sizeof(double) +
                     2 * st.fillers.cx.size() * sizeof(double) + 4096;
     if (gp != nullptr) b += 5 * gp->opt.u.size() * sizeof(double);
+    if (curLevelDb != nullptr) {
+      b += 2 * curLevelDb->objects.size() * sizeof(double) +
+           2 * curLevelFillers.cx.size() * sizeof(double);
+    }
     return b;
   }
 
@@ -440,8 +501,10 @@ struct Supervisor {
       emit(ev);
       return;
     }
-    const SnapshotData snap = buildSnapshot(db, st, next, macrosFrozen,
-                                            jitter, gp, rc.pool().threads());
+    const SnapshotData snap =
+        buildSnapshot(db, st, next, macrosFrozen, jitter, gp,
+                      rc.pool().threads(), curLevel, curLevelDb,
+                      &curLevelFillers);
     const std::string path = sup.snapshotDir + "/" + snapFileName(nextSeq);
     const Status s = writeSnapshotFile(path, snap, &rc.faults());
     if (!s.ok()) {
@@ -561,10 +624,14 @@ struct Supervisor {
       rep.note = "restored from snapshot";
       report.stages.push_back(rep);
     }
+    resumeLevel = rd.mgpLevel;
+    resumeLevelPositions = rd.levelPositions;
+    resumeLevelFillers = rd.levelFillers;
     if (rd.hasGp) {
       resumeGp = rd.gp;
       hasResumeGp = true;
       resumeGpStage = rd.next;
+      resumeGpLevel = rd.mgpLevel;
     }
     report.resumed = true;
     report.resumeStage = rd.next;
@@ -592,6 +659,161 @@ struct Supervisor {
     }
     rep.seconds = t.seconds();
     finishStage(rep);
+  }
+
+  [[nodiscard]] bool multilevelEngaged() const {
+    return sup.multilevel.enabled &&
+           db.movable().size() >= sup.multilevel.minMovable;
+  }
+
+  /// One coarse level of the V-cycle: GP on the clustered instance with a
+  /// capped schedule. A coarse level is only a seed for the next-finer
+  /// level, so failures are recoverable — a diverged level rolls back to
+  /// its uncoarsened entry positions and the ladder continues. Returns
+  /// false on a memory-budget breach (the ladder is abandoned; the flat
+  /// stage's degradation ladder owns that failure mode).
+  bool runOneCoarseLevel(int k) {
+    PlacementDB& ldb = ladder.levels[static_cast<std::size_t>(k)].coarse;
+    Timer t;
+    const auto entry = capturePositions(ldb);
+    GpConfig gcfg = st.cfg.gp;
+    gcfg.maxIterations = std::max(1, sup.multilevel.levelMaxIterations);
+    gcfg.targetOverflow =
+        std::max(gcfg.targetOverflow, sup.multilevel.levelTargetOverflow);
+    GlobalPlacer gp(ldb, ldb.movable(), gcfg, &rc);
+    GpRunControl ctl;
+    const bool resumeHere = hasResumeGp &&
+                            resumeGpStage == FlowStage::kMgp &&
+                            resumeGpLevel == k;
+    if (resumeHere && resumeLevelFillers.size() > 0) {
+      gp.setFillers(resumeLevelFillers);
+      ctl.resume = &resumeGp;
+    } else {
+      gp.makeFillersFromDb();
+    }
+    curLevel = k;
+    curLevelDb = &ldb;
+    curLevelFillers = gp.fillers();
+    if (sup.saveEvery > 0 && !sup.snapshotDir.empty()) {
+      ctl.saveEvery = sup.saveEvery;
+      ctl.save = [this](const GpCheckpointState& cp) {
+        saveSnapshot(FlowStage::kMgp, &cp);
+      };
+    }
+    GlobalPlacer::TraceFn trace;
+    if (st.cfg.gpTrace) {
+      const std::string label = "mGP@L" + std::to_string(k);
+      trace = [this, label](const GpIterTrace& it) {
+        st.cfg.gpTrace(label, it);
+      };
+    }
+    GpResult r;
+    bool memBreach = false;
+    try {
+      r = gp.run(trace, ctl);
+    } catch (const MemoryBudgetExceeded& e) {
+      memBreach = true;
+      rc.stats().add("supervisor.memBreaches", 1.0);
+      rc.log().warn("supervisor: mGP@L%d memory budget breach (%s); "
+                    "abandoning coarse levels",
+                    k, e.what());
+    }
+    if (resumeHere) hasResumeGp = false;
+    curLevel = -1;
+    curLevelDb = nullptr;
+    if (memBreach || !movablesFiniteInCore(ldb)) {
+      restorePositions(ldb, entry);
+      if (!memBreach) {
+        bumpStage(FlowStage::kMgp, "rollbacks", 1.0);
+        rc.log().warn("supervisor: mGP@L%d failed the finite/in-core gate; "
+                      "level rolled back to its seed",
+                      k);
+      }
+    }
+    LevelMetrics lm;
+    lm.level = k;
+    lm.clusters = ldb.movable().size();
+    lm.metrics = flowStageMetrics(ldb, t.seconds(), r.iterations);
+    st.res.mgpLevels.push_back(lm);
+    st.res.stageSeconds.add("mGP", t.seconds());
+    rc.log().info(
+        "supervisor: mGP@L%d: %zu clusters, %d iter(s), overflow %.3f, "
+        "HPWL %.4g, %.2fs",
+        k, lm.clusters, lm.metrics.iterations, lm.metrics.overflow,
+        lm.metrics.hpwl, lm.metrics.seconds);
+    return !memBreach;
+  }
+
+  /// The coarse half of the V-cycle, run before flat mGP: coarsest level
+  /// first, each level seeding the next-finer instance via uncoarsening,
+  /// with a boundary snapshot per level so a killed run resumes mid-ladder
+  /// bit-exactly.
+  void runCoarseLevels() {
+    if (!multilevelEngaged()) return;
+    if (!ladderBuilt) {
+      auto lr = buildClusterLadder(db, sup.multilevel.cluster, &rc);
+      if (!lr.ok()) {
+        rc.log().warn("supervisor: clustering failed (%s); flat mGP only",
+                      lr.status().toString().c_str());
+        return;
+      }
+      ladder = std::move(*lr);
+      ladderBuilt = true;
+    }
+    if (ladder.empty()) return;
+    const int depth = static_cast<int>(ladder.depth());
+    int start = depth - 1;
+    if (resumeLevel >= 0) {
+      // Continue at the snapshot's level when its shape matches the
+      // deterministically rebuilt ladder; otherwise restart the ladder from
+      // the top — correct either way, coarse levels are only seeds.
+      PlacementDB* ldb = resumeLevel < depth
+                             ? &ladder.levels[static_cast<std::size_t>(
+                                                  resumeLevel)]
+                                    .coarse
+                             : nullptr;
+      if (ldb != nullptr &&
+          resumeLevelPositions.size() == 2 * ldb->objects.size()) {
+        restorePositions(*ldb, resumeLevelPositions);
+        start = resumeLevel;
+      } else {
+        rc.log().warn(
+            "supervisor: snapshot level %d does not match the rebuilt "
+            "ladder; restarting coarse levels",
+            resumeLevel);
+        if (resumeGpLevel >= 0) hasResumeGp = false;
+      }
+      resumeLevel = -1;
+    }
+    bumpStage(FlowStage::kMgp, "levels", static_cast<double>(start + 1));
+    for (int k = start; k >= 0; --k) {
+      if (rc.cancelled()) return;  // the flat stage reports the cancel
+      if (!runOneCoarseLevel(k)) return;
+      if (rc.cancelled()) return;
+      PlacementDB& fine =
+          k == 0 ? db : ladder.levels[static_cast<std::size_t>(k - 1)].coarse;
+      const Status us =
+          uncoarsenPositions(ladder.levels[static_cast<std::size_t>(k)], fine);
+      if (!us.ok()) {
+        // Unreachable for a ladder built from this db; bail to flat mGP.
+        rc.log().warn("supervisor: uncoarsen failed at L%d: %s", k,
+                      us.toString().c_str());
+        return;
+      }
+      // Boundary snapshot: the cursor stays kMgp; the mlevel section moves
+      // to the next-finer level (absent once the ladder is done, so a
+      // resume lands in flat mGP on the fully uncoarsened positions).
+      if (k > 0) {
+        curLevel = k - 1;
+        curLevelDb = &fine;
+        curLevelFillers = FillerSet{};
+        saveSnapshot(FlowStage::kMgp, nullptr);
+        curLevel = -1;
+        curLevelDb = nullptr;
+      } else {
+        saveSnapshot(FlowStage::kMgp, nullptr);
+      }
+    }
   }
 
   void runGpStage(FlowStage stage) {
@@ -645,7 +867,10 @@ struct Supervisor {
             std::max(1e-3, pol.timeBudgetSeconds - t.seconds());
       }
       GpRunControl ctl;
-      if (attempt == 0 && hasResumeGp && resumeGpStage == stage) {
+      if (attempt == 0 && hasResumeGp && resumeGpStage == stage &&
+          resumeGpLevel < 0) {
+        // A checkpoint belonging to a coarse ladder level is consumed by
+        // runOneCoarseLevel, never by the flat stage.
         ctl.resume = &resumeGp;
         rep.resumed = true;  // mid-stage continuation, still executed
       }
@@ -903,7 +1128,8 @@ struct Supervisor {
           next = FlowStage::kMgp;
           break;
         case FlowStage::kMgp:
-          runGpStage(FlowStage::kMgp);
+          runCoarseLevels();
+          if (!rc.cancelled()) runGpStage(FlowStage::kMgp);
           next = st.mixedSize ? FlowStage::kMlg
                  : st.cfg.runDetail ? FlowStage::kCdp
                                     : FlowStage::kDone;
@@ -1027,6 +1253,21 @@ RunRecord buildRunRecord(const PlacementDB& db, const FlowResult& res,
   rec.seed = rc.seed();
   rec.threads = rc.threadCount();
   rec.supervised = supervised;
+
+  // Coarse V-cycle rows ("mGP@L<k>", coarsest first) precede the flat
+  // stage rows. Flat runs emit none, so existing records and regression
+  // baselines are byte-for-byte unaffected.
+  for (const LevelMetrics& lm : res.mgpLevels) {
+    StageRecord sr;
+    sr.stage = "mGP@L" + std::to_string(lm.level);
+    sr.ran = lm.metrics.ran;
+    sr.wallMs = lm.metrics.seconds * 1000.0;
+    sr.iterations = lm.metrics.iterations;
+    sr.hpwl = lm.metrics.hpwl;
+    sr.hpwlBits = doubleBits(lm.metrics.hpwl);
+    sr.overflow = lm.metrics.overflow;
+    rec.stages.push_back(std::move(sr));
+  }
 
   const struct {
     FlowStage stage;

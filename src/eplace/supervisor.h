@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "eplace/flow.h"
 #include "util/run_record.h"
 #include "util/status.h"
@@ -91,6 +92,28 @@ const char* supervisorEventKindName(SupervisorEvent::Kind k);
 
 using SupervisorProgressFn = std::function<void(const SupervisorEvent&)>;
 
+/// Multilevel V-cycle (docs/SCALING.md). When enabled and the design has at
+/// least `minMovable` movables, the supervisor builds a cluster ladder
+/// (src/cluster) after mIP and replaces the single flat mGP with
+/// mGP@Lk -> uncoarsen -> mGP@Lk-1 -> ... -> uncoarsen -> flat mGP. Coarse
+/// levels are cheap seeds: capped iterations, relaxed overflow target, and
+/// a per-level finite-in-core gate that rolls a diverged level back to its
+/// uncoarsened seed instead of propagating garbage. Clustering is serial
+/// and the coarse GP runs use the same thread-count-deterministic kernels,
+/// so the full V-cycle stays bit-identical at any thread count, and the
+/// snapshot stream carries the active level for bit-exact kill-9 resume
+/// mid-ladder.
+struct MultilevelConfig {
+  bool enabled = false;
+  /// Engage threshold: below this many movables the flat path wins.
+  std::size_t minMovable = 10000;
+  ClusterConfig cluster;
+  /// Iteration cap per coarse level (a seed, not a final placement).
+  int levelMaxIterations = 300;
+  /// Overflow target for coarse levels (floored at GpConfig::targetOverflow).
+  double levelTargetOverflow = 0.25;
+};
+
 struct SupervisorConfig {
   StagePolicy mip{1, 0.0};  ///< deterministic; a retry would not differ
   StagePolicy mgp{2, 0.0};
@@ -117,6 +140,8 @@ struct SupervisorConfig {
   /// Streaming progress hook (stage boundaries, snapshots, resume). Empty =
   /// no notifications. See SupervisorEvent for the callback contract.
   SupervisorProgressFn onProgress;
+  /// Multilevel V-cycle for large designs (off by default).
+  MultilevelConfig multilevel;
 };
 
 /// Outcome of one supervised stage (one row of the end-of-flow report).

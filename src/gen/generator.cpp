@@ -35,6 +35,12 @@ PlacementDB generateCircuit(const GenSpec& spec) {
   db.targetDensity = spec.targetDensity;
   Rng rng(spec.seed);
 
+  // Size the big arrays up front (the 100k+ scale suite would otherwise
+  // spend its time in vector regrowth; same contract as the capacity plan
+  // in the Bookshelf reader).
+  db.objects.reserve(spec.numCells + spec.numMovableMacros +
+                     spec.numFixedMacros + spec.numIo);
+
   // ---- Standard cells ----
   double cellArea = 0.0;
   for (std::size_t i = 0; i < spec.numCells; ++i) {
@@ -103,6 +109,7 @@ PlacementDB generateCircuit(const GenSpec& spec) {
   // ---- Rows ----
   const auto numRows = static_cast<std::size_t>(regionH / spec.rowHeight);
   const auto sitesPerRow = static_cast<std::int32_t>(regionW / spec.siteWidth);
+  db.rows.reserve(numRows);
   for (std::size_t r = 0; r < numRows; ++r) {
     db.rows.push_back({0.0, static_cast<double>(r) * spec.rowHeight,
                        spec.rowHeight, spec.siteWidth, sitesPerRow});
@@ -204,6 +211,7 @@ PlacementDB generateCircuit(const GenSpec& spec) {
   // Candidate pools: movables (macros weighted up so they attract nets the
   // way real hard blocks do), plus fixed macros with small probability.
   std::vector<std::int32_t> pool;
+  pool.reserve(spec.numCells + 4 * (firstFixedMacro - firstMovMacro));
   for (std::size_t i = 0; i < spec.numCells; ++i) {
     pool.push_back(static_cast<std::int32_t>(i));
   }
@@ -219,7 +227,9 @@ PlacementDB generateCircuit(const GenSpec& spec) {
     oy = rng.uniform(-o.h * 0.25, o.h * 0.25);
   };
 
+  db.nets.reserve(numNets);
   std::vector<std::int32_t> picked;
+  picked.reserve(18);  // degree cap 16 + optional IO pad
   for (std::size_t n = 0; n < numNets; ++n) {
     const std::size_t degree = sampleDegree(rng, spec.avgNetDegree);
     picked.clear();
@@ -249,6 +259,7 @@ PlacementDB generateCircuit(const GenSpec& spec) {
     if (picked.size() < 2) continue;
     Net net;
     net.name = "n" + std::to_string(db.nets.size());
+    net.pins.reserve(picked.size());
     for (auto objIdx : picked) {
       PinRef pin;
       pin.obj = objIdx;

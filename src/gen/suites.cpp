@@ -116,8 +116,30 @@ std::vector<GenSpec> mmsSuite() {
   return suite;
 }
 
+std::vector<GenSpec> scaleSuite() {
+  struct Row {
+    const char* name;
+    std::size_t cells;
+  };
+  const Row rows[] = {
+      {"scale_1k", 1000},    {"scale_5k", 5000},    {"scale_10k", 10000},
+      {"scale_25k", 25000},  {"scale_50k", 50000},  {"scale_100k", 100000},
+      {"scale_200k", 200000}, {"scale_500k", 500000},
+  };
+  std::vector<GenSpec> suite;
+  for (const auto& r : rows) {
+    GenSpec s = base(r.name, r.cells, 1.0, 0.70);
+    s.numFixedMacros = 8;
+    // Pad count grows with the perimeter, as in the real contest designs.
+    s.numIo = r.cells >= 100000 ? 512 : r.cells >= 10000 ? 256 : 96;
+    suite.push_back(s);
+  }
+  return suite;
+}
+
 GenSpec suiteSpec(const std::string& name) {
-  for (const auto& suite : {ispd2005Suite(), ispd2006Suite(), mmsSuite()}) {
+  for (const auto& suite :
+       {ispd2005Suite(), ispd2006Suite(), mmsSuite(), scaleSuite()}) {
     for (const auto& s : suite) {
       if (s.name == name) return s;
     }

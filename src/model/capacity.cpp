@@ -1,0 +1,80 @@
+#include "model/capacity.h"
+
+#include <string>
+
+#include "model/netlist.h"
+#include "util/checked_math.h"
+
+namespace ep {
+
+namespace {
+
+/// Per-element structural costs. The string members of Object/Net count at
+/// sizeof (SSO); kNameSlack covers longer names plus the parser's
+/// name->index hash map node per object.
+constexpr std::size_t kNameSlack = 48;
+
+Status overflow(const char* what, std::size_t v) {
+  return Status::invalidInput(std::string("capacity plan: ") + what + " count " +
+                              std::to_string(v) +
+                              " exceeds the 32-bit index space");
+}
+
+}  // namespace
+
+StatusOr<CapacityPlan> planCapacity(const CapacityCounts& counts) {
+  if (!fitsIndex32(counts.objects)) return overflow("object", counts.objects);
+  if (!fitsIndex32(counts.nets)) return overflow("net", counts.nets);
+  if (!fitsIndex32(counts.pins)) return overflow("pin", counts.pins);
+  if (!fitsIndex32(counts.rows)) return overflow("row", counts.rows);
+
+  CapacityPlan plan;
+  plan.counts = counts;
+
+  // PlacementDB: objects, nets (with their pin vectors), rows, the movable
+  // index list, and the parser's name map.
+  const std::size_t perObjDb =
+      sizeof(Object) + kNameSlack + sizeof(std::int32_t);
+  const std::size_t perNetDb = sizeof(Net) + kNameSlack;
+  // PlacementView SoA: w/h/area/lx/ly + kind/fixed + objToMovable +
+  // objPinStart/objNetStart per object; pinObj/pinNet/pinOx/pinOy +
+  // objPinIds/objNetIds per pin; netPinStart/netWeight per net.
+  const std::size_t perObjView =
+      5 * sizeof(double) + 2 * sizeof(std::uint8_t) + 3 * sizeof(std::int32_t);
+  const std::size_t perPinView = 4 * sizeof(std::int32_t) + 2 * sizeof(double);
+  const std::size_t perNetView = sizeof(std::int32_t) + sizeof(double);
+
+  std::size_t term = 0;
+  std::size_t db = 0;
+  std::size_t view = 0;
+  const bool ok =
+      checkedMulSize(counts.objects, perObjDb, &term) &&
+      checkedAddSize(db, term, &db) &&
+      checkedMulSize(counts.nets, perNetDb, &term) &&
+      checkedAddSize(db, term, &db) &&
+      checkedMulSize(counts.pins, sizeof(PinRef), &term) &&
+      checkedAddSize(db, term, &db) &&
+      checkedMulSize(counts.rows, sizeof(Row), &term) &&
+      checkedAddSize(db, term, &db) &&
+      checkedMulSize(counts.objects, perObjView, &term) &&
+      checkedAddSize(view, term, &view) &&
+      checkedMulSize(counts.pins, perPinView, &term) &&
+      checkedAddSize(view, term, &view) &&
+      checkedMulSize(counts.nets, perNetView, &term) &&
+      checkedAddSize(view, term, &view);
+  if (!ok) {
+    return Status::invalidInput(
+        "capacity plan: byte total overflows size_t arithmetic");
+  }
+  plan.dbBytes = db;
+  plan.viewBytes = view;
+  return plan;
+}
+
+void reserveCapacity(PlacementDB& db, const CapacityPlan& plan) {
+  db.objects.reserve(plan.counts.objects);
+  db.nets.reserve(plan.counts.nets);
+  db.rows.reserve(plan.counts.rows);
+}
+
+}  // namespace ep

@@ -1,0 +1,57 @@
+// Capacity planning for the streaming I/O -> model pipeline.
+//
+// The contract (docs/SCALING.md): before a big instance is materialized,
+// the front-end learns its counts (Bookshelf headers or a counting pass),
+// turns them into a CapacityPlan, charges the plan against the
+// RuntimeContext MemoryBudget, and only then reserves every PlacementDB /
+// PlacementView / CSR array to its exact final size. Result: peak memory
+// is O(cells) with zero vector regrowth during parsing or finalize(), and
+// an instance that cannot fit the budget is rejected up front with a typed
+// kResourceExhausted instead of being OOM-killed halfway through a parse.
+//
+// planCapacity() is also the 32-bit index-space gate: the SoA core indexes
+// objects/nets/pins with std::int32_t (util/checked_math.h), so any count
+// beyond 2^31-1 is rejected here with kInvalidInput before a single array
+// is sized.
+#pragma once
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace ep {
+
+class PlacementDB;
+
+/// Instance counts from the front-end (declared Bookshelf headers, a
+/// counting pass, or a generator spec).
+struct CapacityCounts {
+  std::size_t objects = 0;
+  std::size_t nets = 0;
+  std::size_t pins = 0;
+  std::size_t rows = 0;
+};
+
+/// A validated sizing plan. Byte figures are estimates of the *structural*
+/// footprint (vectors, CSRs, the parser's name map); they deliberately
+/// exclude transient parse buffers (O(line length)) and optimizer state
+/// (charged separately by the GP engine).
+struct CapacityPlan {
+  CapacityCounts counts;
+  std::size_t dbBytes = 0;    ///< PlacementDB vectors + name map
+  std::size_t viewBytes = 0;  ///< SoA arrays + the three CSRs
+  [[nodiscard]] std::size_t totalBytes() const { return dbBytes + viewBytes; }
+};
+
+/// Validates counts against the 32-bit index space and computes the byte
+/// plan with overflow-checked arithmetic. kInvalidInput when any count (or
+/// the byte total) does not fit.
+StatusOr<CapacityPlan> planCapacity(const CapacityCounts& counts);
+
+/// Reserves the PlacementDB top-level vectors to the plan's exact counts
+/// (per-net pin vectors are reserved by the parser at each declared
+/// NetDegree). After this, assembling the instance performs no top-level
+/// vector regrowth.
+void reserveCapacity(PlacementDB& db, const CapacityPlan& plan);
+
+}  // namespace ep

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "util/checked_math.h"
 #include "util/log.h"
 
 namespace ep {
@@ -55,6 +56,26 @@ Status PlacementDB::validate() const {
   std::ostringstream err;
   if (region.empty()) return bad("region is empty");
   if (!finalized_) return bad("finalize() has not been called");
+  // 32-bit index-space gate (util/checked_math.h): the SoA CSRs index
+  // objects/nets/pins with std::int32_t. Oversized instances are rejected
+  // here (and by the capacity planner before assembly) with a typed status
+  // instead of wrapping an index.
+  if (!fitsIndex32(objects.size())) {
+    return bad("instance has " + std::to_string(objects.size()) +
+               " objects, over the 32-bit index space");
+  }
+  if (!fitsIndex32(nets.size())) {
+    return bad("instance has " + std::to_string(nets.size()) +
+               " nets, over the 32-bit index space");
+  }
+  {
+    std::size_t totalPins = 0;
+    for (const auto& n : nets) totalPins += n.pins.size();
+    if (!fitsIndex32(totalPins)) {
+      return bad("instance has " + std::to_string(totalPins) +
+                 " pins, over the 32-bit index space");
+    }
+  }
   for (std::size_t i = 0; i < objects.size(); ++i) {
     const auto& o = objects[i];
     if (!std::isfinite(o.w) || !std::isfinite(o.h) || o.w < 0.0 || o.h < 0.0) {

@@ -1,8 +1,10 @@
 #include "model/placement_view.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "model/netlist.h"
+#include "util/checked_math.h"
 
 namespace ep {
 
@@ -52,6 +54,19 @@ std::size_t ScratchArena::capacityBytes() const {
 void PlacementView::build(const PlacementDB& db) {
   const std::size_t nObj = db.objects.size();
   const std::size_t nNet = db.nets.size();
+  // Backstop for the 32-bit index contract. Validated entry points reject
+  // oversized instances earlier with a typed kInvalidInput (capacity plan /
+  // PlacementDB::validate); a caller that skips both still must not wrap
+  // the CSR indices into heap corruption.
+  {
+    std::size_t nPinsAll = 0;
+    for (const auto& net : db.nets) nPinsAll += net.pins.size();
+    if (!fitsIndex32(nObj) || !fitsIndex32(nNet) || !fitsIndex32(nPinsAll)) {
+      throw std::length_error(
+          "PlacementView: instance exceeds the 32-bit index space "
+          "(objects/nets/pins must each stay under 2^31)");
+    }
+  }
 
   // Geometry split from names and flags.
   w_.resize(nObj);

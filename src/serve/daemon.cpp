@@ -19,8 +19,10 @@
 #include <utility>
 #include <vector>
 
+#include "bookshelf/bookshelf.h"
 #include "density/bingrid.h"
 #include "eplace/session.h"
+#include "model/capacity.h"
 #include "gen/generator.h"
 #include "serve/journal.h"
 #include "serve/queue.h"
@@ -53,22 +55,41 @@ bool sendLine(int fd, const std::string& line) {
 
 bool sendJson(int fd, const JsonValue& v) { return sendLine(fd, writeJson(v)); }
 
-/// Admission-time capacity estimate (bytes) for a gen job. The spec names
-/// its cell count, so the daemon can reject a job whose mem_budget_mb
-/// cannot possibly hold the placement state at submit instead of burning a
-/// worker slot on a guaranteed mid-run breach. Aux jobs (cells unknown
-/// until the file is parsed) skip this and rely on mid-run enforcement.
+/// Admission-time capacity estimate (bytes) for an instance of n objects.
 /// Deliberately conservative-but-loose: linear terms only, sized to catch
 /// order-of-magnitude mismatches, not to shave the last MiB.
-std::size_t estimateJobBytes(const GenJobSpec& gen) {
-  const std::size_t n =
-      static_cast<std::size_t>(gen.numCells + gen.numMovableMacros);
+std::size_t estimateInstanceBytes(std::size_t n) {
   // View geometry + CSR (~28 doubles/object at average pin degree ~4) plus
   // Nesterov state and arena scratch over movables + fillers (~2x objects).
   const std::size_t perObject = 40 * sizeof(double);
   const std::size_t m = BinGrid::chooseResolution(2 * n);
   const std::size_t grid = m * m * sizeof(double) * 8;  // density planes
   return n * perObject + grid + (std::size_t{1} << 20);  // +1 MiB fixed
+}
+
+/// A gen job names its cell count in the spec, so the daemon can reject a
+/// job whose mem_budget_mb cannot possibly hold the placement state at
+/// submit instead of burning a worker slot on a guaranteed mid-run breach.
+std::size_t estimateJobBytes(const GenJobSpec& gen) {
+  return estimateInstanceBytes(
+      static_cast<std::size_t>(gen.numCells + gen.numMovableMacros));
+}
+
+/// Aux (Bookshelf) jobs learn their size from the counting pass
+/// (scanBookshelfCounts): headers only, O(1) memory, no fault-injection
+/// sites consumed, cheap enough for the submit path. The structural
+/// capacity plan (model/capacity.h) prices the parsed instance; the
+/// optimizer terms come from the same model as gen jobs. Returns 0 when
+/// the scan or plan fails — the job is admitted and fails at load with
+/// the real typed error, exactly as an unbudgeted submit would.
+std::size_t estimateAuxJobBytes(const std::string& auxPath,
+                                RuntimeContext& ctx) {
+  const auto counts = scanBookshelfCounts(auxPath, &ctx);
+  if (!counts.ok()) return 0;
+  const auto plan = planCapacity(
+      {counts->objects, counts->nets, counts->pins, counts->rows});
+  if (!plan.ok()) return 0;
+  return plan->totalBytes() + estimateInstanceBytes(counts->objects);
 }
 
 enum class JobState : unsigned char { kQueued, kRunning, kDone };
@@ -367,11 +388,14 @@ struct ServeDaemon::Impl {
       return errorResponse(
           Status::unavailable("admission fault injected (serve.accept)"));
     }
-    // Capacity check at admission: a gen job's size is known from its spec,
-    // so an impossible mem_budget_mb is a submit-time rejection, not a
+    // Capacity check at admission: a gen job's size is known from its
+    // spec, an aux job's from the Bookshelf counting pass, so an
+    // impossible mem_budget_mb is a submit-time rejection, not a
     // worker-slot-burning mid-run breach.
-    if (spec.memBudgetMb > 0 && spec.auxPath.empty()) {
-      const std::size_t need = estimateJobBytes(spec.gen);
+    if (spec.memBudgetMb > 0) {
+      const std::size_t need = spec.auxPath.empty()
+                                   ? estimateJobBytes(spec.gen)
+                                   : estimateAuxJobBytes(spec.auxPath, ctx);
       const std::size_t cap =
           static_cast<std::size_t>(spec.memBudgetMb) << 20;
       if (need > cap) {

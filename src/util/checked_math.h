@@ -1,0 +1,52 @@
+// Overflow-checked index/size arithmetic for the scaling path.
+//
+// The flat SoA core indexes objects, nets and pins with std::int32_t (half
+// the memory traffic of 64-bit indices on the hot kernels). That is a
+// contract, not an accident: 2^31-1 pins is comfortably above the 1M-cell /
+// 4M-pin regime this repo targets, but the boundary must be *checked*, not
+// assumed — a silently wrapped index is a heap corruption. Every layer that
+// converts a size_t count into the 32-bit index space goes through these
+// helpers; capacity planning (model/capacity.h) rejects oversized instances
+// with a typed kInvalidInput before any array is sized.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace ep {
+
+/// Largest count representable in the 32-bit index space.
+inline constexpr std::size_t kMaxIndex32 =
+    static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max());
+
+/// True when a size_t count fits the 32-bit index space.
+[[nodiscard]] constexpr bool fitsIndex32(std::size_t v) {
+  return v <= kMaxIndex32;
+}
+
+/// Checked narrowing cast: false (and *out untouched) on overflow.
+[[nodiscard]] inline bool checkedIndex32(std::size_t v, std::int32_t* out) {
+  if (!fitsIndex32(v)) return false;
+  *out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+/// Checked size_t multiply: false on overflow (byte-count arithmetic for
+/// capacity plans and grid allocations).
+[[nodiscard]] inline bool checkedMulSize(std::size_t a, std::size_t b,
+                                         std::size_t* out) {
+  if (a != 0 && b > std::numeric_limits<std::size_t>::max() / a) return false;
+  *out = a * b;
+  return true;
+}
+
+/// Checked size_t add: false on overflow.
+[[nodiscard]] inline bool checkedAddSize(std::size_t a, std::size_t b,
+                                         std::size_t* out) {
+  if (b > std::numeric_limits<std::size_t>::max() - a) return false;
+  *out = a + b;
+  return true;
+}
+
+}  // namespace ep

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 #include "util/io.h"
 
@@ -368,6 +370,34 @@ StatusOr<RunRecord> readRunRecordFile(const std::string& path) {
     return Status(rec.status().code(), path + ": " + rec.status().message());
   }
   return rec;
+}
+
+std::size_t pruneRecordFiles(const std::string& dir, const std::string& tool,
+                             std::size_t maxFiles) {
+  if (maxFiles == 0) return 0;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+  const std::string prefix = tool + "_";
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > prefix.size() + 5 &&
+        name.compare(0, prefix.size(), prefix) == 0 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      names.push_back(name);
+    }
+  }
+  if (names.size() <= maxFiles) return 0;
+  std::sort(names.begin(), names.end());
+  std::size_t removed = 0;
+  const std::size_t excess = names.size() - maxFiles;
+  for (std::size_t i = 0; i < excess; ++i) {
+    if (fs::remove(fs::path(dir) / names[i], ec) && !ec) ++removed;
+  }
+  return removed;
 }
 
 // ---------------------------------------------------------------------------

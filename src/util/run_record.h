@@ -104,6 +104,17 @@ Status writeRunRecordFile(const std::string& path, const RunRecord& rec,
                           FaultInjector* faults = nullptr);
 StatusOr<RunRecord> readRunRecordFile(const std::string& path);
 
+/// Retention policy for accumulated record directories (bench_results/):
+/// keeps at most `maxFiles` files named `<tool>_*.json` in `dir`, deleting
+/// the excess oldest-first. "Oldest" is the lexicographically smallest
+/// file *name* — the bench tools embed sortable keys (thread count, sweep
+/// size) in the name — never filesystem mtime, so rotation is
+/// deterministic across machines and clock skew. Files of other tools are
+/// untouched. Returns the number of files removed; a missing `dir` or
+/// `maxFiles == 0` (unlimited) is a no-op.
+std::size_t pruneRecordFiles(const std::string& dir, const std::string& tool,
+                             std::size_t maxFiles);
+
 // ---------------------------------------------------------------------------
 // Regression gate
 // ---------------------------------------------------------------------------

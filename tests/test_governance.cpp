@@ -15,10 +15,13 @@
 //   * The supervised flow survives persistent snapshot-write faults by
 //     degrading to snapshot-less mode and still finishing.
 //   * Daemon governance — an impossible mem_budget_mb is rejected typed at
-//     admission (no journal entry, worker slots untouched); a mid-run
-//     breach fails that job alone while neighbors stay bit-identical to
-//     solo runs; a journal-write fault rejects the one submit with
-//     kUnavailable while the daemon stays healthy.
+//     admission for gen jobs AND aux jobs (the Bookshelf counting pass +
+//     capacity plan price the instance at submit; no journal entry, worker
+//     slots untouched); a mid-run breach from costs the admission estimate
+//     cannot see (fillers over whitespace) fails that job alone while
+//     neighbors stay bit-identical to solo runs; a journal-write fault
+//     rejects the one submit with kUnavailable while the daemon stays
+//     healthy.
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -378,6 +381,24 @@ TEST_F(GovernanceDaemonTest, ImpossibleBudgetRejectedTypedAtAdmission) {
       << rejected.status().toString();
   EXPECT_FALSE(fs::exists(root_ + "/jobs/job_1.json"));
 
+  // Aux jobs are priced the same way at submit: the Bookshelf counting
+  // pass + capacity plan see the 20k cells, so the undersized budget is
+  // rejected before a worker slot or journal entry is burned.
+  const std::string auxDir = root_ + "_aux";
+  fs::remove_all(auxDir);
+  fs::create_directories(auxDir);
+  ASSERT_TRUE(writeBookshelf(auxDir, "doomed", genDb(20000)).ok());
+  JobSpec auxDoomed;
+  auxDoomed.name = "aux_doomed";
+  auxDoomed.auxPath = auxDir + "/doomed.aux";
+  auxDoomed.memBudgetMb = 1;
+  const auto auxRejected = client.submit(auxDoomed);
+  ASSERT_FALSE(auxRejected.ok());
+  EXPECT_EQ(auxRejected.status().code(), StatusCode::kResourceExhausted)
+      << auxRejected.status().toString();
+  EXPECT_FALSE(fs::exists(root_ + "/jobs/job_1.json"));
+  fs::remove_all(auxDir);
+
   // The same job with a workable budget is admitted and finishes.
   JobSpec fine = cleanJob("fine");
   fine.memBudgetMb = 512;
@@ -393,13 +414,21 @@ TEST_F(GovernanceDaemonTest, ImpossibleBudgetRejectedTypedAtAdmission) {
 }
 
 TEST_F(GovernanceDaemonTest, MidRunBreachFailsAloneNeighborsBitExact) {
-  // Admission capacity estimation only covers gen jobs (the spec names the
-  // cell count); an aux job's size is unknown until the file is parsed, so
-  // an undersized budget there MUST be caught by mid-run enforcement.
+  // The admission estimate prices what the counting pass can see: object /
+  // net / pin counts. Filler cells are created at run time from whitespace,
+  // so a sparse design (utilization 5% -> ~19 fillers per cell) carries GP
+  // state the estimate cannot anticipate: the job is admitted, then the
+  // arena/bin-grid charges breach the budget mid-run. That breach must fail
+  // this job alone, typed, with neighbors bit-identical to solo runs.
+  GenSpec sparse;
+  sparse.name = "mem";
+  sparse.numCells = 2000;
+  sparse.utilization = 0.05;
+  sparse.seed = kSeed;
   const std::string auxDir = root_ + "_aux";
   fs::remove_all(auxDir);
   fs::create_directories(auxDir);
-  ASSERT_TRUE(writeBookshelf(auxDir, "mem", genDb(20000)).ok());
+  ASSERT_TRUE(writeBookshelf(auxDir, "mem", generateCircuit(sparse)).ok());
 
   ServeDaemon daemon(baseOptions());
   ASSERT_TRUE(daemon.start().ok());
@@ -409,7 +438,7 @@ TEST_F(GovernanceDaemonTest, MidRunBreachFailsAloneNeighborsBitExact) {
   JobSpec breacher;
   breacher.name = "breacher";
   breacher.auxPath = auxDir + "/mem.aux";
-  breacher.memBudgetMb = 1;
+  breacher.memBudgetMb = 4;
   breacher.gpMaxIterations = kIters;
   breacher.runDetail = false;
 

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
+#include "model/capacity.h"
 #include "model/netlist.h"
+#include "util/checked_math.h"
+#include "util/status.h"
 
 namespace ep {
 namespace {
@@ -139,6 +145,72 @@ TEST(Model, ValidateCatchesUnfinalized) {
 TEST(Model, RowGeometry) {
   Row r{5.0, 10.0, 1.0, 2.0, 10};
   EXPECT_DOUBLE_EQ(r.hx(), 25.0);
+}
+
+// --- 32-bit index-space gate (util/checked_math.h + model/capacity.h) ------
+
+TEST(Model, CheckedMathBoundaries) {
+  EXPECT_TRUE(fitsIndex32(0));
+  EXPECT_TRUE(fitsIndex32(kMaxIndex32));
+  EXPECT_FALSE(fitsIndex32(kMaxIndex32 + 1));
+
+  std::int32_t idx = -7;
+  EXPECT_TRUE(checkedIndex32(kMaxIndex32, &idx));
+  EXPECT_EQ(idx, std::numeric_limits<std::int32_t>::max());
+  idx = -7;
+  EXPECT_FALSE(checkedIndex32(kMaxIndex32 + 1, &idx));
+  EXPECT_EQ(idx, -7);  // untouched on overflow
+
+  std::size_t out = 0;
+  const std::size_t big = std::numeric_limits<std::size_t>::max();
+  EXPECT_TRUE(checkedMulSize(1u << 20, 1u << 10, &out));
+  EXPECT_EQ(out, std::size_t{1} << 30);
+  EXPECT_FALSE(checkedMulSize(big / 2 + 1, 2, &out));
+  EXPECT_TRUE(checkedMulSize(0, big, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(checkedAddSize(big - 1, 1, &out));
+  EXPECT_EQ(out, big);
+  EXPECT_FALSE(checkedAddSize(big, 1, &out));
+}
+
+TEST(Model, PlanCapacitySizesTheInstance) {
+  const auto plan = planCapacity({1000, 1100, 3800, 64});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->counts.objects, 1000u);
+  EXPECT_GT(plan->dbBytes, 0u);
+  EXPECT_GT(plan->viewBytes, 0u);
+  EXPECT_EQ(plan->totalBytes(), plan->dbBytes + plan->viewBytes);
+  // More pins cannot plan smaller.
+  const auto bigger = planCapacity({1000, 1100, 7600, 64});
+  ASSERT_TRUE(bigger.ok());
+  EXPECT_GT(bigger->totalBytes(), plan->totalBytes());
+}
+
+TEST(Model, PlanCapacityRejectsCountsBeyondIndex32) {
+  // Each count is gated separately; any overflow is a typed kInvalidInput
+  // *before* a single array is sized.
+  const std::size_t over = kMaxIndex32 + 1;
+  for (const CapacityCounts c :
+       {CapacityCounts{over, 10, 10, 1}, CapacityCounts{10, over, 10, 1},
+        CapacityCounts{10, 10, over, 1}, CapacityCounts{10, 10, 10, over}}) {
+    const auto plan = planCapacity(c);
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.status().code(), StatusCode::kInvalidInput);
+  }
+  // Exactly at the boundary the gate itself passes (the byte model may
+  // still overflow on a smaller machine's size_t, but not on 64-bit).
+  const auto atMax = planCapacity({kMaxIndex32, 0, 0, 0});
+  EXPECT_TRUE(atMax.ok());
+}
+
+TEST(Model, ReserveCapacityMakesAssemblyRegrowthFree) {
+  const auto plan = planCapacity({64, 32, 128, 4});
+  ASSERT_TRUE(plan.ok());
+  PlacementDB db;
+  reserveCapacity(db, *plan);
+  EXPECT_GE(db.objects.capacity(), 64u);
+  EXPECT_GE(db.nets.capacity(), 32u);
+  EXPECT_GE(db.rows.capacity(), 4u);
 }
 
 }  // namespace

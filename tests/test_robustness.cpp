@@ -168,7 +168,12 @@ TEST(Robustness, MlgWithWallToWallMacros) {
 class BookshelfCorruption : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/corrupt";
+    // Unique per test: these cases run as separate ctest processes in
+    // parallel, and a shared fixture dir would let one test's SetUp rewrite
+    // files another test is mid-read on (the reader legitimately opens each
+    // file twice — counting pass, then fill pass).
+    dir_ = ::testing::TempDir() + "/corrupt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(dir_);
     GenSpec spec;
     spec.numCells = 30;

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -262,6 +264,47 @@ TEST_F(RunRecordTest, SupervisedSessionRecordIsSchemaValid) {
   ASSERT_TRUE(back.ok()) << back.status().toString();
   EXPECT_EQ(back.value().finalHpwlBits, rec.finalHpwlBits);
   EXPECT_FALSE(rec.stats.empty());  // context stats registry dump rode along
+}
+
+// --- bench_results/ retention (pruneRecordFiles) ---------------------------
+
+TEST_F(RunRecordTest, PruneRecordFilesRotatesOldestFirst) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) /
+      ("prune_" + std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto touch = [&](const std::string& name) {
+    std::ofstream(dir / name) << "{}\n";
+  };
+  // Sortable keys in the name define age; mtime is deliberately ignored.
+  for (const char* n : {"sweep_0001.json", "sweep_0002.json",
+                        "sweep_0003.json", "sweep_0004.json",
+                        "sweep_0005.json"}) {
+    touch(n);
+  }
+  touch("other_0001.json");   // different tool: untouched
+  touch("sweep_0000.notes");  // not a .json record: untouched
+
+  EXPECT_EQ(pruneRecordFiles(dir.string(), "sweep", 2), 3u);
+  EXPECT_FALSE(fs::exists(dir / "sweep_0001.json"));
+  EXPECT_FALSE(fs::exists(dir / "sweep_0002.json"));
+  EXPECT_FALSE(fs::exists(dir / "sweep_0003.json"));
+  EXPECT_TRUE(fs::exists(dir / "sweep_0004.json"));
+  EXPECT_TRUE(fs::exists(dir / "sweep_0005.json"));
+  EXPECT_TRUE(fs::exists(dir / "other_0001.json"));
+  EXPECT_TRUE(fs::exists(dir / "sweep_0000.notes"));
+
+  // Within the cap: a second prune is a no-op (deterministic fixpoint).
+  EXPECT_EQ(pruneRecordFiles(dir.string(), "sweep", 2), 0u);
+  // maxFiles == 0 means unlimited, never a mass delete.
+  EXPECT_EQ(pruneRecordFiles(dir.string(), "sweep", 0), 0u);
+  // Missing directory is a no-op, not an error.
+  EXPECT_EQ(pruneRecordFiles((dir / "nope").string(), "sweep", 1), 0u);
+  fs::remove_all(dir);
 }
 
 }  // namespace
