@@ -40,6 +40,7 @@
 #include "bookshelf/bookshelf.h"
 #include "density/electro.h"
 #include "eplace/flow.h"
+#include "fft/plan.h"
 #include "eplace/session.h"
 #include "eplace/supervisor.h"
 #include "eval/metrics.h"
@@ -48,6 +49,7 @@
 #include "qp/initial_place.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "model/netlist.h"
 #include "model/placement_view.h"
 #include "util/context.h"
 #include "util/io.h"
@@ -121,10 +123,24 @@ KernelRow measure(const char* name, int threads, int reps, const auto& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  std::string kernelRecordPath;  // --kernel-record <path>: kernels-only mode
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--kernel-record") == 0 && i + 1 < argc) {
+      kernelRecordPath = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--kernel-record <path>]\n", argv[0]);
+      return 2;
+    }
+  }
   const int kernelReps = smoke ? 1 : 20;
   const std::size_t cells = smoke ? 400 : 4000;
-  const int threadCounts[] = {1, 2, 4};
+  const std::vector<int> threadCounts =
+      kernelRecordPath.empty() ? std::vector<int>{1, 2, 4}
+                               : std::vector<int>{1};
 
   // --- per-kernel timings on a fixed mid-GP-like state ----------------------
   GenSpec spec;
@@ -193,6 +209,71 @@ int main(int argc, char** argv) {
       });
     }));
     std::printf("threads=%d done (%zu cells, grid %zu^2)\n", nt, nVars, dim);
+  }
+
+  // --kernel-record: spectral-core wall gate mode. The 1-thread ns/op of
+  // the two gated kernels is written as RunRecord stage wallMs (ns/op /
+  // 1e6), then the process exits; the CI regression lane runs this three
+  // times and eplace_regress gates the median against the committed
+  // tests/baselines/kernel_hotpaths.json (--min-wall-ms 0 because these
+  // rows are sub-millisecond, --wall-band sized for cross-machine noise).
+  if (!kernelRecordPath.empty()) {
+    RunRecord krec;
+    krec.name = "kernel_hotpaths";
+    krec.fingerprint = netlistFingerprint(db);
+    krec.seed = spec.seed;
+    krec.threads = 1;
+    for (const auto& k : kernels) {
+      if (k.threads != 1) continue;
+      if (k.name != "density_update" && k.name != "wa_gradient") continue;
+      StageRecord s;
+      s.stage = "kernel." + k.name;
+      s.ran = true;
+      s.wallMs = k.nsPerOp / 1e6;
+      s.iterations = kernelReps;
+      krec.stages.push_back(s);
+    }
+    const Status wr = writeRunRecordFile(kernelRecordPath, krec);
+    if (!wr.ok()) {
+      std::fprintf(stderr, "kernel record write failed: %s\n",
+                   wr.toString().c_str());
+      return 2;
+    }
+    std::printf("wrote kernel record %s\n", kernelRecordPath.c_str());
+    return 0;
+  }
+
+  // --- planned-transform sweep: 2-D DCT ns/op per solver grid size ----------
+  // One row per SpectralPlan size the Poisson solver can plan (the bin grid
+  // resolutions), serial, measuring the full separable 2-D analysis. The
+  // allocs/op column proves the plan + workspace are warm-up-only.
+  struct SweepRow {
+    std::size_t n;
+    double nsPerOp;
+    double allocsPerOp;
+  };
+  std::vector<SweepRow> sweepRows;
+  for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
+    if (smoke && n > 128) break;
+    SpectralPlan plan(n);
+    std::vector<double> tgrid(n * n);
+    for (std::size_t b = 0; b < tgrid.size(); ++b) {
+      tgrid[b] = 0.5 + 0.25 * static_cast<double>(b % 13) -
+                 0.125 * static_cast<double>(b % 5);
+    }
+    Spectral2dWorkspace tws;
+    const int reps =
+        smoke ? 1
+              : static_cast<int>(std::max<std::size_t>(
+                    2, (std::size_t{256} * 256 * 8) / (n * n)));
+    const KernelRow row =
+        measure(("dct2d_" + std::to_string(n)).c_str(), 1, reps, [&] {
+          spectral2d(tgrid, n, n, plan, plan, TrigOp::kDct2, TrigOp::kDct2,
+                     nullptr, &tws);
+        });
+    sweepRows.push_back({n, row.nsPerOp, row.allocsPerOp});
+    std::printf("dct2d_%zu: %.1f ns/op, %.2f allocs/op\n", n, row.nsPerOp,
+                row.allocsPerOp);
   }
 
   // --- budget overhead: the same hot kernels with governance armed ----------
@@ -440,6 +521,41 @@ int main(int argc, char** argv) {
   root.set("smoke", JsonValue::boolean(smoke));
   root.set("hw_concurrency",
            JsonValue::number(std::thread::hardware_concurrency()));
+  {
+    // Toolchain/ISA provenance: ns/op rows are only comparable between runs
+    // built with the same compiler and vector ISA, so record both.
+    JsonValue tc = JsonValue::object();
+#if defined(__VERSION__)
+    tc.set("compiler", JsonValue::str(__VERSION__));
+#else
+    tc.set("compiler", JsonValue::str("unknown"));
+#endif
+#if defined(__AVX512F__)
+    tc.set("isa", JsonValue::str("avx512f"));
+    tc.set("vector_bytes", JsonValue::number(64));
+#elif defined(__AVX2__)
+    tc.set("isa", JsonValue::str("avx2"));
+    tc.set("vector_bytes", JsonValue::number(32));
+#elif defined(__AVX__)
+    tc.set("isa", JsonValue::str("avx"));
+    tc.set("vector_bytes", JsonValue::number(32));
+#elif defined(__SSE2__) || defined(__x86_64__)
+    tc.set("isa", JsonValue::str("sse2"));
+    tc.set("vector_bytes", JsonValue::number(16));
+#elif defined(__ARM_NEON)
+    tc.set("isa", JsonValue::str("neon"));
+    tc.set("vector_bytes", JsonValue::number(16));
+#else
+    tc.set("isa", JsonValue::str("scalar"));
+    tc.set("vector_bytes", JsonValue::number(8));
+#endif
+#if defined(EP_MARCH)
+    tc.set("march", JsonValue::str(EP_MARCH));
+#else
+    tc.set("march", JsonValue::str("default"));
+#endif
+    root.set("toolchain", std::move(tc));
+  }
   root.set("cells", JsonValue::number(static_cast<double>(nVars)));
   root.set("grid", JsonValue::number(static_cast<double>(dim)));
   {
@@ -453,6 +569,18 @@ int main(int argc, char** argv) {
       arr.push(std::move(row));
     }
     root.set("kernels", std::move(arr));
+  }
+  {
+    JsonValue arr = JsonValue::array();
+    for (const auto& r : sweepRows) {
+      JsonValue row = JsonValue::object();
+      row.set("name", JsonValue::str("dct2d_" + std::to_string(r.n)));
+      row.set("grid", JsonValue::number(static_cast<double>(r.n)));
+      row.set("ns_per_op", JsonValue::number(r.nsPerOp));
+      row.set("allocs_per_op", JsonValue::number(r.allocsPerOp));
+      arr.push(std::move(row));
+    }
+    root.set("transform_sweep", std::move(arr));
   }
   {
     JsonValue arr = JsonValue::array();

@@ -69,14 +69,28 @@ void BinGrid::stampRows(const Rect& r, double amount, std::span<double> map,
     y1 = rowEnd - 1;
   }
   if (y0 > y1) return;
+  // First/middle/last x split: only the boundary bins need the overlap
+  // clamp — every interior bin is fully covered, so its contribution is a
+  // constant (scale * oy * dx_) and the inner loop is a vectorizable
+  // constant-add sweep. The per-bin expression depends only on (r, bin),
+  // never on the row band, so banded stamping still composes to stamp().
+  const double bxFirst = region_.lx + static_cast<double>(x0) * dx_;
+  const double bxLast = region_.lx + static_cast<double>(x1) * dx_;
+  const double oxFirst = intervalOverlap(c.lx, c.hx, bxFirst, bxFirst + dx_);
+  const double oxLast = intervalOverlap(c.lx, c.hx, bxLast, bxLast + dx_);
   for (std::size_t iy = y0; iy <= y1; ++iy) {
     const double by0 = region_.ly + static_cast<double>(iy) * dy_;
     const double oy = intervalOverlap(c.ly, c.hy, by0, by0 + dy_);
-    for (std::size_t ix = x0; ix <= x1; ++ix) {
-      const double bx0 = region_.lx + static_cast<double>(ix) * dx_;
-      const double ox = intervalOverlap(c.lx, c.hx, bx0, bx0 + dx_);
-      map[iy * nx_ + ix] += scale * ox * oy;
+    const double soy = scale * oy;
+    double* row = map.data() + iy * nx_;
+    if (x0 == x1) {
+      row[x0] += soy * oxFirst;
+      continue;
     }
+    row[x0] += soy * oxFirst;
+    const double mid = soy * dx_;
+    for (std::size_t ix = x0 + 1; ix < x1; ++ix) row[ix] += mid;
+    row[x1] += soy * oxLast;
   }
 }
 

@@ -26,7 +26,7 @@ ElectroDensity::ElectroDensity(const Rect& region, std::size_t nx,
       ovfGrid_(region, std::max<std::size_t>(16, nx / 4),
                std::max<std::size_t>(16, ny / 4)),
       rhoT_(targetDensity),
-      solver_(nx, ny, grid_.dx(), grid_.dy(), faults) {
+      solver_(nx, ny, grid_.dx(), grid_.dy(), arena, faults) {
   fixedSolver_ = buf(arena, "den.fixedSolver", nx * ny);
   fixedExact_ = buf(arena, "den.fixedExact", ovfGrid_.numBins());
   staticCharge_ = buf(arena, "den.staticCharge", nx * ny);
@@ -126,6 +126,9 @@ void ElectroDensity::gradient(const ChargeView& charges, std::span<double> gx,
   const double dx = grid_.dx(), dy = grid_.dy();
   // Pure gather: charge i reads the field under its own footprint and
   // writes gx[i]/gy[i] only, so any partition gives identical results.
+  // Like stampRows, the x-bins split first/middle/last: interior bins are
+  // fully covered (ox == dx), so their field contribution is a plain
+  // vectorizable sum scaled once per row.
   auto work = [&](std::size_t, std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const Footprint f =
@@ -137,16 +140,29 @@ void ElectroDensity::gradient(const ChargeView& charges, std::span<double> gx,
         const std::size_t x1 = grid_.binX(c.hx - 1e-12 * dx);
         const std::size_t y0 = grid_.binY(c.ly);
         const std::size_t y1 = grid_.binY(c.hy - 1e-12 * dy);
+        const double bxFirst = region.lx + static_cast<double>(x0) * dx;
+        const double bxLast = region.lx + static_cast<double>(x1) * dx;
+        const double oxF = intervalOverlap(c.lx, c.hx, bxFirst, bxFirst + dx);
+        const double oxL = intervalOverlap(c.lx, c.hx, bxLast, bxLast + dx);
         for (std::size_t iy = y0; iy <= y1; ++iy) {
           const double by0 = region.ly + static_cast<double>(iy) * dy;
           const double oy = intervalOverlap(c.ly, c.hy, by0, by0 + dy);
-          for (std::size_t ix = x0; ix <= x1; ++ix) {
-            const double bx0 = region.lx + static_cast<double>(ix) * dx;
-            const double ox = intervalOverlap(c.lx, c.hx, bx0, bx0 + dx);
-            const double charge = f.scale * ox * oy;
-            fx += charge * ex[iy * nx + ix];
-            fy += charge * ey[iy * nx + ix];
+          const double soy = f.scale * oy;
+          const double* exRow = ex.data() + iy * nx;
+          const double* eyRow = ey.data() + iy * nx;
+          if (x0 == x1) {
+            const double charge = soy * oxF;
+            fx += charge * exRow[x0];
+            fy += charge * eyRow[x0];
+            continue;
           }
+          double sx = 0.0, sy = 0.0;
+          for (std::size_t ix = x0 + 1; ix < x1; ++ix) {
+            sx += exRow[ix];
+            sy += eyRow[ix];
+          }
+          fx += soy * (oxF * exRow[x0] + dx * sx + oxL * exRow[x1]);
+          fy += soy * (oxF * eyRow[x0] + dx * sy + oxL * eyRow[x1]);
         }
       }
       gx[i] = fx;

@@ -12,31 +12,41 @@
 //   dpsi/dx = sum -a_uv w_u / (w_u^2 + w_v^2) sin(w_u x) cos(w_v y)
 //
 // a_00 is dropped per the paper so that the equilibrium couples to an even
-// charge distribution inside R. Total cost is O(n log n): four 2-D real
-// transforms per solve.
+// charge distribution inside R. The transforms run through SpectralPlan
+// (half-length real FFTs; the two field components share one complex
+// inverse per row/column pair — see fft/plan.h), so a solve costs the
+// equivalent of ~two complex 2-D FFTs instead of the reference's four.
+// The DCT orthogonality normalization and the 1/(w_u^2+w_v^2) kernel are
+// folded into one precomputed per-bin multiply.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
-#include "fft/dct.h"
+#include "fft/plan.h"
 
 namespace ep {
 
 class PoissonSolver {
  public:
   /// Grid of nx*ny bins (each a power of two) of physical size dx*dy.
-  /// `faults` (optional, borrowed) reaches the FFT plans' "fft.forward"
-  /// fault site; pass the owning context's injector.
+  /// With `arena` non-null every persistent buffer (plan tables, spectral
+  /// coefficient/field grids) is leased from it under "fft." keys — zero
+  /// allocations per solve after construction, growth charged to the
+  /// arena's MemoryBudget. Like the "den." maps, at most one solver may
+  /// lease those keys at a time. `faults` (optional, borrowed) reaches
+  /// the plans' "fft.forward" fault site; pass the owning context's
+  /// injector.
   PoissonSolver(std::size_t nx, std::size_t ny, double dx, double dy,
+                ScratchArena* arena = nullptr,
                 FaultInjector* faults = nullptr);
 
   /// Solve for the density grid `rho` (row-major, index iy*nx+ix).
   /// After the call psi(), fieldX(), fieldY() hold the potential and its
   /// gradient (xi = grad psi) sampled at bin centers. With a pool the
   /// row/column transform batches run concurrently; results are
-  /// bit-identical for any thread count (see transform2d).
+  /// bit-identical for any thread count (see spectral2d).
   void solve(std::span<const double> rho, ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::span<const double> psi() const { return psi_; }
@@ -48,11 +58,15 @@ class PoissonSolver {
 
  private:
   std::size_t nx_, ny_;
-  Dct dctX_, dctY_;
-  std::vector<double> wx_, wy_;   // angular frequencies w_u, w_v
-  std::vector<double> coeff_;     // a_uv scratch
-  std::vector<double> psi_, ex_, ey_;
-  Transform2dWorkspace ws_;       // per-thread transform scratch
+  SpectralPlan planX_, planY_;
+  std::vector<double> wx_, wy_;  // angular frequencies w_u, w_v
+  // Owned fallback for the spans below when no arena was supplied. Inner
+  // heap buffers are pointer-stable under outer growth, so spans hold.
+  std::vector<std::vector<double>> own_;
+  std::span<double> pre_;    // fx*fy / (w_u^2 + w_v^2), slot 0 == 0
+  std::span<double> coeff_;  // a_uv scratch
+  std::span<double> psi_, ex_, ey_;
+  Spectral2dWorkspace ws_;  // per-thread transform scratch
 };
 
 }  // namespace ep

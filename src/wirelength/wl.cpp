@@ -49,39 +49,74 @@ double hpwl(const VarView& view) {
 namespace {
 
 /// One axis of one net under the WA model. Computes the smooth extent
-/// (maxWA - minWA) and accumulates d(extent)/d(coordinate) into grad[] for
-/// movable pins. Stabilized: exp arguments are shifted by the axis max/min.
+/// (maxWA - minWA) and the per-pin d(extent)/d(coordinate). Stabilized:
+/// exp arguments are shifted by the axis max/min.
+///
+/// This is the hot kernel of `wa_gradient`: prepare() caches the two
+/// exponentials per pin (the reference recomputed them in grad()) and
+/// hoists the weighted means and reciprocal partition sums once per net
+/// (the reference divided by them per pin), so grad() is a handful of
+/// branch-free multiply-adds. Both the serial free functions and
+/// WlEvaluator run exactly this code, which is what keeps them
+/// bit-identical to each other at any thread count.
 struct WaAxis {
-  double sumExpPlus = 0.0, sumXExpPlus = 0.0;
-  double sumExpMinus = 0.0, sumXExpMinus = 0.0;
-  double maxC = -std::numeric_limits<double>::max();
-  double minC = std::numeric_limits<double>::max();
   double invGamma = 0.0;
+  double wMax = 0.0, wMin = 0.0;        // weighted-average max/min
+  double invSumP = 0.0, invSumM = 0.0;  // reciprocal partition sums
 
-  void prepare(std::span<const double> coords, double gamma) {
+  /// Pass over the n coordinates: min/max shift, then the exp sums, with
+  /// e^{(c-max)/g} cached in expP[] and e^{(min-c)/g} in expM[].
+  void prepare(const double* c, std::size_t n, double gamma, double* expP,
+               double* expM) {
     invGamma = 1.0 / gamma;
-    for (double c : coords) {
-      maxC = std::max(maxC, c);
-      minC = std::min(minC, c);
+    double mx = -std::numeric_limits<double>::max();
+    double mn = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      mx = std::max(mx, c[i]);
+      mn = std::min(mn, c[i]);
     }
-    for (double c : coords) {
-      const double ep = std::exp((c - maxC) * invGamma);
-      const double em = std::exp((minC - c) * invGamma);
-      sumExpPlus += ep;
-      sumXExpPlus += c * ep;
-      sumExpMinus += em;
-      sumXExpMinus += c * em;
+    double sp = 0.0, sxp = 0.0, sm = 0.0, sxm = 0.0;
+    const double span = (mx - mn) * invGamma;
+    if (span < 700.0) {
+      // Narrow net (the common case): e^{(min-c)/g} = K / e^{(c-max)/g}
+      // with K = e^{(min-max)/g}, turning two libm exps per pin into one
+      // exp and one divide. K >= DBL_MIN here, so the quotient cannot
+      // blow up, and the extreme pins still get exactly ep = K, em = 1
+      // and ep = 1, em = K (K/K == 1.0 in IEEE).
+      const double K = std::exp(-span);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ep = std::exp((c[i] - mx) * invGamma);
+        const double em = K / ep;
+        expP[i] = ep;
+        expM[i] = em;
+        sp += ep;
+        sxp += c[i] * ep;
+        sm += em;
+        sxm += c[i] * em;
+      }
+    } else {
+      // Wide net under a sharp gamma: K would underflow, keep both exps.
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ep = std::exp((c[i] - mx) * invGamma);
+        const double em = std::exp((mn - c[i]) * invGamma);
+        expP[i] = ep;
+        expM[i] = em;
+        sp += ep;
+        sxp += c[i] * ep;
+        sm += em;
+        sxm += c[i] * em;
+      }
     }
+    wMax = sxp / sp;
+    wMin = sxm / sm;
+    invSumP = 1.0 / sp;
+    invSumM = 1.0 / sm;
   }
-  [[nodiscard]] double waMax() const { return sumXExpPlus / sumExpPlus; }
-  [[nodiscard]] double waMin() const { return sumXExpMinus / sumExpMinus; }
-  [[nodiscard]] double extent() const { return waMax() - waMin(); }
-  /// d(extent)/dc for a pin at coordinate c.
-  [[nodiscard]] double grad(double c) const {
-    const double ep = std::exp((c - maxC) * invGamma);
-    const double em = std::exp((minC - c) * invGamma);
-    const double dMax = ep * (1.0 + (c - waMax()) * invGamma) / sumExpPlus;
-    const double dMin = em * (1.0 - (c - waMin()) * invGamma) / sumExpMinus;
+  [[nodiscard]] double extent() const { return wMax - wMin; }
+  /// d(extent)/dc for a pin at coordinate c with its cached exponentials.
+  [[nodiscard]] double grad(double c, double ep, double em) const {
+    const double dMax = ep * (1.0 + (c - wMax) * invGamma) * invSumP;
+    const double dMin = em * (1.0 - (c - wMin) * invGamma) * invSumM;
     return dMax - dMin;
   }
 };
@@ -151,7 +186,40 @@ double smoothWirelengthGrad(const VarView& view, double gammaX, double gammaY,
 
 double waWirelengthGrad(const VarView& view, double gammaX, double gammaY,
                         std::span<double> gx, std::span<double> gy) {
-  return smoothWirelengthGrad<WaAxis>(view, gammaX, gammaY, gx, gy);
+  std::fill(gx.begin(), gx.end(), 0.0);
+  std::fill(gy.begin(), gy.end(), 0.0);
+  double total = 0.0;
+  std::vector<double> px, py, epx, emx, epy, emy;
+  for (const auto& net : view.db->nets) {
+    const std::size_t deg = net.pins.size();
+    if (deg < 2) continue;
+    px.clear();
+    py.clear();
+    for (const auto& pin : net.pins) {
+      const Point p = view.pinPos(pin);
+      px.push_back(p.x);
+      py.push_back(p.y);
+    }
+    if (epx.size() < deg) {
+      epx.resize(deg);
+      emx.resize(deg);
+      epy.resize(deg);
+      emy.resize(deg);
+    }
+    WaAxis ax, ay;
+    ax.prepare(px.data(), deg, gammaX, epx.data(), emx.data());
+    ay.prepare(py.data(), deg, gammaY, epy.data(), emy.data());
+    total += net.weight * (ax.extent() + ay.extent());
+    for (std::size_t k = 0; k < deg; ++k) {
+      const auto v = view.objToVar[static_cast<std::size_t>(net.pins[k].obj)];
+      if (v < 0) continue;
+      gx[static_cast<std::size_t>(v)] +=
+          net.weight * ax.grad(px[k], epx[k], emx[k]);
+      gy[static_cast<std::size_t>(v)] +=
+          net.weight * ay.grad(py[k], epy[k], emy[k]);
+    }
+  }
+  return total;
 }
 
 double lseWirelengthGrad(const VarView& view, double gammaX, double gammaY,
@@ -184,6 +252,8 @@ WlEvaluator::WlEvaluator(const PlacementDB& db,
   ScratchArena& arena = pv.arena();
   pinGx_ = arena.doubles("wl.pinGx", pv.numPins());
   pinGy_ = arena.doubles("wl.pinGy", pv.numPins());
+  pinX_ = arena.doubles("wl.pinX", pv.numPins());
+  pinY_ = arena.doubles("wl.pinY", pv.numPins());
   perNet_ = arena.doubles("wl.perNet", pv.numNets());
 
   // Var -> pin-slot incidence. Each variable maps to at most one object,
@@ -227,10 +297,39 @@ void WlEvaluator::ensureScratch(std::size_t parts) {
   if (scratch_.size() < parts) scratch_.resize(parts);
   const auto cap = static_cast<std::size_t>(maxNetDegree_);
   for (std::size_t t = 0; t < parts; ++t) {
-    if (scratch_[t].px.capacity() < cap) {
-      scratch_[t].px.reserve(cap);
-      scratch_[t].py.reserve(cap);
+    if (scratch_[t].epx.size() < cap) {
+      scratch_[t].epx.resize(cap);
+      scratch_[t].emx.resize(cap);
+      scratch_[t].epy.resize(cap);
+      scratch_[t].emy.resize(cap);
     }
+  }
+}
+
+void WlEvaluator::fillPinPositions(const VarView& view, ThreadPool* pool) {
+  // All-pin position gather: pin ids are contiguous per net in the view
+  // CSR, so after this pass every per-net loop reads a dense slice of
+  // pinX_/pinY_ instead of staging copies. Each pin is written
+  // independently — any partition is bit-identical.
+  auto fill = [&](std::size_t, std::size_t p0, std::size_t p1) {
+    for (std::size_t pid = p0; pid < p1; ++pid) {
+      const auto obj = static_cast<std::size_t>(pinObj_[pid]);
+      const auto v = view.objToVar[obj];
+      if (v >= 0) {
+        pinX_[pid] = view.x[static_cast<std::size_t>(v)] + pinOx_[pid];
+        pinY_[pid] = view.y[static_cast<std::size_t>(v)] + pinOy_[pid];
+      } else {
+        // Same FP expression as Object::center(), so results stay
+        // bit-identical to VarView::pinPos.
+        pinX_[pid] = objLx_[obj] + objW_[obj] * 0.5 + pinOx_[pid];
+        pinY_[pid] = objLy_[obj] + objH_[obj] * 0.5 + pinOy_[pid];
+      }
+    }
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->parallelFor(pinX_.size(), fill, 1024);
+  } else {
+    fill(0, 0, pinX_.size());
   }
 }
 
@@ -242,30 +341,27 @@ double WlEvaluator::waGrad(const VarView& view, double gammaX, double gammaY,
   const std::size_t nNets = perNet_.size();
   const bool par = pool != nullptr && pool->threads() > 1;
   ensureScratch(par ? static_cast<std::size_t>(pool->threads()) : 1);
+  fillPinPositions(view, pool);
   auto perNet = [&](std::size_t part, std::size_t n0, std::size_t n1) {
-    auto& px = scratch_[part].px;
-    auto& py = scratch_[part].py;
+    auto& sc = scratch_[part];
     for (std::size_t n = n0; n < n1; ++n) {
       const auto pb = static_cast<std::size_t>(netPinStart_[n]);
       const auto pe = static_cast<std::size_t>(netPinStart_[n + 1]);
-      if (pe - pb < 2) {
+      const std::size_t deg = pe - pb;
+      if (deg < 2) {
         perNet_[n] = 0.0;
         continue;
       }
-      px.clear();
-      py.clear();
-      for (std::size_t pid = pb; pid < pe; ++pid) {
-        const Point p = pinPosition(view, pid);
-        px.push_back(p.x);
-        py.push_back(p.y);
-      }
+      const double* px = pinX_.data() + pb;
+      const double* py = pinY_.data() + pb;
       WaAxis ax, ay;
-      ax.prepare(px, gammaX);
-      ay.prepare(py, gammaY);
-      perNet_[n] = netWeight_[n] * (ax.extent() + ay.extent());
-      for (std::size_t k = 0; k < pe - pb; ++k) {
-        pinGx_[pb + k] = netWeight_[n] * ax.grad(px[k]);
-        pinGy_[pb + k] = netWeight_[n] * ay.grad(py[k]);
+      ax.prepare(px, deg, gammaX, sc.epx.data(), sc.emx.data());
+      ay.prepare(py, deg, gammaY, sc.epy.data(), sc.emy.data());
+      const double wn = netWeight_[n];
+      perNet_[n] = wn * (ax.extent() + ay.extent());
+      for (std::size_t k = 0; k < deg; ++k) {
+        pinGx_[pb + k] = wn * ax.grad(px[k], sc.epx[k], sc.emx[k]);
+        pinGy_[pb + k] = wn * ay.grad(py[k], sc.epy[k], sc.emy[k]);
       }
     }
   };
@@ -301,6 +397,10 @@ double WlEvaluator::waGrad(const VarView& view, double gammaX, double gammaY,
 double WlEvaluator::hpwl(const VarView& view, ThreadPool* pool) {
   assert(db_ != nullptr && view.db == db_);
   const std::size_t nNets = perNet_.size();
+  // Unlike waGrad, HPWL reads each position exactly once, so the staged
+  // fillPinPositions pass would be pure extra memory traffic — compute the
+  // position inline in the min/max scan instead (same FP expressions as
+  // fillPinPositions, so both paths stay bit-identical to VarView::pinPos).
   auto perNet = [&](std::size_t, std::size_t n0, std::size_t n1) {
     for (std::size_t n = n0; n < n1; ++n) {
       const auto pb = static_cast<std::size_t>(netPinStart_[n]);
@@ -312,11 +412,20 @@ double WlEvaluator::hpwl(const VarView& view, ThreadPool* pool) {
       double lx = std::numeric_limits<double>::max(), hx = -lx;
       double ly = lx, hy = -lx;
       for (std::size_t pid = pb; pid < pe; ++pid) {
-        const Point p = pinPosition(view, pid);
-        lx = std::min(lx, p.x);
-        hx = std::max(hx, p.x);
-        ly = std::min(ly, p.y);
-        hy = std::max(hy, p.y);
+        const auto obj = static_cast<std::size_t>(pinObj_[pid]);
+        const auto v = view.objToVar[obj];
+        double x, y;
+        if (v >= 0) {
+          x = view.x[static_cast<std::size_t>(v)] + pinOx_[pid];
+          y = view.y[static_cast<std::size_t>(v)] + pinOy_[pid];
+        } else {
+          x = objLx_[obj] + objW_[obj] * 0.5 + pinOx_[pid];
+          y = objLy_[obj] + objH_[obj] * 0.5 + pinOy_[pid];
+        }
+        lx = std::min(lx, x);
+        hx = std::max(hx, x);
+        ly = std::min(ly, y);
+        hy = std::max(hy, y);
       }
       perNet_[n] = netWeight_[n] * ((hx - lx) + (hy - ly));
     }

@@ -98,20 +98,11 @@ class WlEvaluator {
   double hpwl(const VarView& view, ThreadPool* pool = nullptr);
 
  private:
-  [[nodiscard]] Point pinPosition(const VarView& view, std::size_t pid) const {
-    const auto obj = static_cast<std::size_t>(pinObj_[pid]);
-    const auto v = view.objToVar[obj];
-    if (v >= 0) {
-      return {view.x[static_cast<std::size_t>(v)] + pinOx_[pid],
-              view.y[static_cast<std::size_t>(v)] + pinOy_[pid]};
-    }
-    // Fixed object: center from the view geometry (same FP expression as
-    // Object::center(), so results stay bit-identical to VarView::pinPos).
-    const double cx = objLx_[obj] + objW_[obj] * 0.5;
-    const double cy = objLy_[obj] + objH_[obj] * 0.5;
-    return {cx + pinOx_[pid], cy + pinOy_[pid]};
-  }
   void ensureScratch(std::size_t parts);
+  /// Gather every pin's position under `view` into pinX_/pinY_ (pin ids
+  /// are contiguous per net in the CSR, so the per-net kernels then read
+  /// dense slices). Partition-independent per-pin writes.
+  void fillPinPositions(const VarView& view, ThreadPool* pool);
 
   const PlacementDB* db_ = nullptr;
   // View topology (spans into the view; valid until the next finalize()).
@@ -123,11 +114,12 @@ class WlEvaluator {
   std::span<std::int32_t> varOffset_;  // numVars+1: CSR offsets
   std::span<std::int32_t> varSlots_;   // global pin ids, (net, pin) order
   std::span<double> pinGx_, pinGy_;    // per-pin-slot contributions
+  std::span<double> pinX_, pinY_;      // per-pin positions under the view
   std::span<double> perNet_;           // per-net weighted value
-  // Per-partition pin-coordinate scratch, capacity >= maxNetDegree_ so the
-  // hot loop never allocates; grown only on the orchestrating thread.
+  // Per-partition cached-exponential scratch, capacity >= maxNetDegree_ so
+  // the hot loop never allocates; grown only on the orchestrating thread.
   struct PartScratch {
-    std::vector<double> px, py;
+    std::vector<double> epx, emx, epy, emy;
   };
   std::vector<PartScratch> scratch_;
 };

@@ -8,14 +8,18 @@
 #include <cmath>
 #include <complex>
 #include <cstdint>
+#include <limits>
 #include <numbers>
 #include <random>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "fft/dct.h"
 #include "fft/fft.h"
+#include "fft/plan.h"
 #include "gen/generator.h"
+#include "model/placement_view.h"
 #include "util/parallel.h"
 #include "wirelength/wl.h"
 
@@ -193,6 +197,259 @@ TEST(DctProperties, Transform2dParallelBitIdenticalToSerial) {
                 std::bit_cast<std::uint64_t>(b[i]))
           << "bin " << i;
     }
+  }
+}
+
+// ---------- SpectralPlan: the planned real-input pipeline ----------
+
+// The grid sizes the Poisson solver actually plans for.
+constexpr std::size_t kSolverSizes[] = {32, 64, 128, 256, 512, 1024};
+
+double maxAbs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+// Naive O(n^2) reference sums matching the dct.h transform definitions.
+std::vector<double> naiveTrig(TrigOp op, const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  const double nD = static_cast<double>(n);
+  std::vector<double> out(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double jD = static_cast<double>(j);
+      const double kD = static_cast<double>(k);
+      double w = 0.0;
+      switch (op) {
+        case TrigOp::kDct2:
+          w = std::cos(std::numbers::pi * (2.0 * jD + 1.0) * kD / (2.0 * nD));
+          sum += x[j] * w;
+          break;
+        case TrigOp::kIdct2:
+          // x here holds coefficients; j indexes the coefficient.
+          w = std::cos(std::numbers::pi * jD * (2.0 * kD + 1.0) / (2.0 * nD));
+          sum += (j == 0 ? 1.0 : 2.0) / nD * x[j] * w;
+          break;
+        case TrigOp::kCosSynth:
+          w = std::cos(std::numbers::pi * jD * (2.0 * kD + 1.0) / (2.0 * nD));
+          sum += x[j] * w;
+          break;
+        case TrigOp::kSinSynth:
+          w = std::sin(std::numbers::pi * (jD + 1.0) * (2.0 * kD + 1.0) /
+                       (2.0 * nD));
+          sum += x[j] * w;
+          break;
+      }
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+// Adversarial inputs for the real-FFT pipeline: the Makhoul permutation and
+// Hermitian unpack touch exactly the slots these vectors stress (first/last
+// element, pure DC, Nyquist-rate alternation, huge dynamic range).
+std::vector<std::vector<double>> adversarialInputs(std::size_t n) {
+  std::vector<std::vector<double>> cases;
+  std::vector<double> v(n, 0.0);
+  v[0] = 1.0;
+  cases.push_back(v);  // impulse at 0
+  std::fill(v.begin(), v.end(), 0.0);
+  v[n - 1] = 1.0;
+  cases.push_back(v);  // impulse at n-1
+  std::fill(v.begin(), v.end(), 1.0);
+  cases.push_back(v);  // constant (DC only)
+  for (std::size_t j = 0; j < n; ++j) v[j] = (j % 2 == 0) ? 1.0 : -1.0;
+  cases.push_back(v);  // alternating (Nyquist)
+  for (std::size_t j = 0; j < n; ++j) {
+    v[j] = (j % 3 == 0 ? 1e8 : 1e-8) * ((j % 5 < 2) ? -1.0 : 1.0);
+  }
+  cases.push_back(v);  // mixed dynamic range
+  return cases;
+}
+
+TEST(SpectralPlanProperties, MatchesNaiveRealDftSumsOnRandomAndAdversarial) {
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 128u, 512u}) {
+    SpectralPlan plan(n);
+    SpectralScratch s;
+    auto inputs = adversarialInputs(n);
+    inputs.push_back(randomVector(n, 900 + n));
+    for (const auto& x : inputs) {
+      for (const TrigOp op : {TrigOp::kDct2, TrigOp::kIdct2, TrigOp::kCosSynth,
+                              TrigOp::kSinSynth}) {
+        const std::vector<double> ref = naiveTrig(op, x);
+        std::vector<double> fast = x;
+        plan.apply(op, fast, s);
+        const double tol =
+            1e-13 * static_cast<double>(n) * std::max(1.0, maxAbs(ref));
+        for (std::size_t k = 0; k < n; ++k) {
+          ASSERT_NEAR(fast[k], ref[k], tol)
+              << "n=" << n << " op=" << static_cast<int>(op) << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpectralPlanProperties, RoundTripAndParsevalAtEverySolverSize) {
+  for (const std::size_t n : kSolverSizes) {
+    SpectralPlan plan(n);
+    SpectralScratch s;
+    const double nD = static_cast<double>(n);
+    const std::vector<double> x = randomVector(n, 1000 + n);
+
+    // DCT-II -> inverse DCT-II round trip.
+    std::vector<double> y = x;
+    plan.dct2(y, s);
+    const std::vector<double> c = y;
+    plan.idct2(y, s);
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(y[j], x[j], 1e-13 * nD) << "n=" << n << " j=" << j;
+    }
+
+    // DCT-II Parseval: sum x^2 = C_0^2/n + (2/n) sum_{k>=1} C_k^2.
+    double timeE = 0.0;
+    for (double v : x) timeE += v * v;
+    double freqE = c[0] * c[0] / nD;
+    for (std::size_t k = 1; k < n; ++k) freqE += 2.0 / nD * c[k] * c[k];
+    EXPECT_NEAR(freqE, timeE, 1e-12 * nD * timeE) << "n=" << n;
+
+    // Sine-synthesis Parseval (basis k<n-1 has energy n/2, the Nyquist
+    // basis k=n-1 is the alternating +-1 sequence with energy n).
+    const std::vector<double> sv = randomVector(n, 2000 + n);
+    std::vector<double> ys = sv;
+    plan.sineSynthesis(ys, s);
+    double outE = 0.0;
+    for (double v : ys) outE += v * v;
+    double coefE = nD * sv[n - 1] * sv[n - 1];
+    for (std::size_t k = 0; k + 1 < n; ++k) coefE += 0.5 * nD * sv[k] * sv[k];
+    EXPECT_NEAR(outE, coefE, 1e-12 * nD * coefE) << "n=" << n;
+
+    // Cosine-synthesis Parseval (DC basis has energy n, the rest n/2).
+    std::vector<double> yc = sv;
+    plan.cosineSynthesis(yc, s);
+    outE = 0.0;
+    for (double v : yc) outE += v * v;
+    coefE = nD * sv[0] * sv[0];
+    for (std::size_t k = 1; k < n; ++k) coefE += 0.5 * nD * sv[k] * sv[k];
+    EXPECT_NEAR(outE, coefE, 1e-12 * nD * coefE) << "n=" << n;
+  }
+}
+
+TEST(SpectralPlanProperties, MatchesReferenceDctWithinScaledUlps) {
+  // New-vs-old parity: the planned pipeline is a different FP schedule than
+  // the dct.h reference, so outputs are not bit-identical; they must agree
+  // to a few ulps of the output magnitude at every solver size.
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  for (const std::size_t n : kSolverSizes) {
+    SpectralPlan plan(n);
+    Dct ref(n);
+    SpectralScratch s;
+    const std::vector<double> x = randomVector(n, 3000 + n);
+    for (const TrigOp op : {TrigOp::kDct2, TrigOp::kIdct2, TrigOp::kCosSynth,
+                            TrigOp::kSinSynth}) {
+      std::vector<double> a = x, b = x;
+      plan.apply(op, a, s);
+      switch (op) {
+        case TrigOp::kDct2: ref.dct2(b); break;
+        case TrigOp::kIdct2: ref.idct2(b); break;
+        case TrigOp::kCosSynth: ref.cosineSynthesis(b); break;
+        case TrigOp::kSinSynth: ref.sineSynthesis(b); break;
+      }
+      const double tol = 16.0 * kEps * std::max(1.0, maxAbs(b)) *
+                         std::log2(static_cast<double>(n));
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_NEAR(a[k], b[k], tol)
+            << "n=" << n << " op=" << static_cast<int>(op) << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SpectralPlanProperties, SynthesisPairMatchesSingleSyntheses) {
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  for (const std::size_t n : kSolverSizes) {
+    SpectralPlan plan(n);
+    SpectralScratch s;
+    const std::vector<double> a0 = randomVector(n, 4000 + n);
+    const std::vector<double> b0 = randomVector(n, 5000 + n);
+    for (const auto& [opA, opB] :
+         {std::pair{TrigOp::kSinSynth, TrigOp::kCosSynth},
+          std::pair{TrigOp::kCosSynth, TrigOp::kSinSynth},
+          std::pair{TrigOp::kCosSynth, TrigOp::kCosSynth}}) {
+      std::vector<double> aP = a0, bP = b0, aS = a0, bS = b0;
+      plan.synthesisPair(aP, opA, bP, opB, s);
+      plan.apply(opA, aS, s);
+      plan.apply(opB, bS, s);
+      const double tol = 32.0 * kEps *
+                         std::max(1.0, std::max(maxAbs(aS), maxAbs(bS))) *
+                         std::log2(static_cast<double>(n));
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_NEAR(aP[k], aS[k], tol) << "n=" << n << " k=" << k;
+        ASSERT_NEAR(bP[k], bS[k], tol) << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SpectralPlanProperties, ArenaBackedPlanBitIdenticalToOwnedPlan) {
+  ScratchArena arena;
+  for (const std::size_t n : {32u, 256u}) {
+    SpectralPlan owned(n);
+    SpectralPlan leased(n, &arena);
+    SpectralScratch s;
+    const std::vector<double> x = randomVector(n, 6000 + n);
+    for (const TrigOp op : {TrigOp::kDct2, TrigOp::kIdct2, TrigOp::kCosSynth,
+                            TrigOp::kSinSynth}) {
+      std::vector<double> a = x, b = x;
+      owned.apply(op, a, s);
+      leased.apply(op, b, s);
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(a[k]),
+                  std::bit_cast<std::uint64_t>(b[k]))
+            << "n=" << n << " op=" << static_cast<int>(op) << " k=" << k;
+      }
+    }
+  }
+  // A second same-size plan leases the SAME tables: no arena growth.
+  const std::size_t buffers = arena.bufferCount();
+  SpectralPlan again(256, &arena);
+  EXPECT_EQ(arena.bufferCount(), buffers);
+}
+
+TEST(SpectralPlanProperties, Spectral2dParallelBitIdenticalToSerial) {
+  const std::size_t nx = 64, ny = 32;
+  const std::vector<double> grid = randomVector(nx * ny, 7000);
+  SpectralPlan planX(nx), planY(ny);
+  ThreadPool pool(4);
+  for (const auto& [opX, opY] : {std::pair{TrigOp::kDct2, TrigOp::kDct2},
+                                std::pair{TrigOp::kCosSynth, TrigOp::kCosSynth},
+                                std::pair{TrigOp::kSinSynth, TrigOp::kCosSynth}}) {
+    std::vector<double> a = grid, b = grid;
+    Spectral2dWorkspace wsA, wsB;
+    spectral2d(a, nx, ny, planX, planY, opX, opY, nullptr, &wsA);
+    spectral2d(b, nx, ny, planX, planY, opX, opY, &pool, &wsB);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+                std::bit_cast<std::uint64_t>(b[i]))
+          << "bin " << i;
+    }
+  }
+  // Batched field synthesis: same contract.
+  std::vector<double> exA = grid, exB = grid;
+  std::vector<double> eyA = randomVector(nx * ny, 7001), eyB = eyA;
+  Spectral2dWorkspace wsA, wsB;
+  spectralFieldSynthesis2d(exA, eyA, nx, ny, planX, planY, nullptr, &wsA);
+  spectralFieldSynthesis2d(exB, eyB, nx, ny, planX, planY, &pool, &wsB);
+  for (std::size_t i = 0; i < exA.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(exA[i]),
+              std::bit_cast<std::uint64_t>(exB[i]))
+        << "ex bin " << i;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(eyA[i]),
+              std::bit_cast<std::uint64_t>(eyB[i]))
+        << "ey bin " << i;
   }
 }
 

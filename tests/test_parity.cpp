@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "eplace/global_placer.h"
+#include "fft/poisson.h"
 #include "gen/generator.h"
 #include "model/netlist.h"
 #include "qp/initial_place.h"
@@ -288,6 +289,38 @@ TEST(ScratchArena, ReusesBuffersWithoutGrowth) {
   // Outgrowing a key is counted.
   arena.doubles("k.a", 2000);
   EXPECT_GT(arena.growthEvents(), warm);
+}
+
+// The spectral Poisson solver leases its plan tables ("fft.<n>.*") and
+// per-solve buffers ("fft.pre"/"fft.coeff"/"fft.psi"/"fft.ex"/"fft.ey")
+// from the arena. Construction plus the first solve are the warm-up;
+// every later solve must be allocation-free as observed by the arena.
+TEST(ScratchArena, PoissonSolverSteadyStateNeverGrows) {
+  ScratchArena arena;
+  const std::size_t nx = 64, ny = 32;
+  std::vector<double> rho(nx * ny);
+  for (std::size_t b = 0; b < rho.size(); ++b) {
+    rho[b] = 0.5 + 0.25 * static_cast<double>(b % 7) -
+             0.125 * static_cast<double>(b % 3);
+  }
+  {
+    PoissonSolver solver(nx, ny, 1.0, 1.0, &arena);
+    solver.solve(rho, nullptr);
+    const long warm = arena.growthEvents();
+    EXPECT_GT(warm, 0);
+    const std::size_t buffers = arena.bufferCount();
+    for (int it = 0; it < 5; ++it) solver.solve(rho, nullptr);
+    EXPECT_EQ(arena.growthEvents(), warm)
+        << "steady-state solve() grew an arena buffer";
+    EXPECT_EQ(arena.bufferCount(), buffers);
+  }
+  // A successor solver of the same grid size (cGP after mGP) re-leases the
+  // exact same keys: zero growth even across solver lifetimes.
+  const long warm = arena.growthEvents();
+  PoissonSolver next(nx, ny, 1.0, 1.0, &arena);
+  next.solve(rho, nullptr);
+  EXPECT_EQ(arena.growthEvents(), warm)
+      << "same-size successor solver re-allocated instead of re-leasing";
 }
 
 // The Nesterov loop's zero-steady-state-allocation contract, observed via

@@ -357,10 +357,13 @@ TEST_F(ServeDaemonTest, GracefulShutdownDrainsRunningJobs) {
 }
 
 TEST_F(ServeDaemonTest, DrainDeadlinePreemptsThenRestartResumesBitExact) {
-  // Heavy enough that neither job can finish before the shutdown below.
+  // Heavy enough that neither job can finish before the shutdown below
+  // (sized against the planned-FFT kernels: a 4000-cell supervised flow
+  // stays well past the 600 ms preemption point on any machine).
+  constexpr std::size_t kBigCells = 4000;
   auto bigJob = [](const char* name) {
     JobSpec spec = cleanJob(name, kSeed, 1500);
-    spec.gen.numCells = 1500;
+    spec.gen.numCells = kBigCells;
     return spec;
   };
   std::uint64_t solo = 0;
@@ -375,7 +378,7 @@ TEST_F(ServeDaemonTest, DrainDeadlinePreemptsThenRestartResumesBitExact) {
     PlacerSession session(so);
     GenSpec gs;
     gs.name = "solo";
-    gs.numCells = 1500;
+    gs.numCells = kBigCells;
     gs.seed = kSeed;
     ASSERT_TRUE(session.adopt(generateCircuit(gs)).ok());
     auto res = session.place();
